@@ -1,0 +1,236 @@
+package provcompress
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSystemQuickstartFlow(t *testing.T) {
+	sys, err := NewSystem(Fig2(), ForwardingProgram(), SchemeAdvanced, BuiltinFuncs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadBase(Fig2Routes()...); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str("hello"))
+	sys.Inject(ev)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs := sys.Outputs()
+	if len(outs) != 1 {
+		t.Fatalf("outputs = %v", outs)
+	}
+	res, err := sys.Query(outs[0], HashTuple(ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trees) != 1 {
+		t.Fatalf("trees = %d", len(res.Trees))
+	}
+	if !res.Trees[0].EventOf().Equal(ev) {
+		t.Errorf("event = %v", res.Trees[0].EventOf())
+	}
+	if sys.TotalStorageBytes() <= 0 || sys.NetworkBytes() <= 0 {
+		t.Error("accounting zero")
+	}
+	if sys.StorageBytes("n3") <= 0 {
+		t.Error("n3 stores nothing")
+	}
+	if sys.Now() <= 0 {
+		t.Error("virtual time did not advance")
+	}
+}
+
+func TestNewSystemRejectsBadInputs(t *testing.T) {
+	prog, err := Parse("r1 a(@L, X) :- e(@L, X).\nr2 c(@L, X) :- d(@L, X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(Fig2(), prog, SchemeAdvanced, nil); err == nil {
+		t.Error("non-DELP program accepted")
+	}
+	if _, err := NewSystem(Fig2(), ForwardingProgram(), "zstd", nil); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestNewSystemRejectsUncompressibleProgram(t *testing.T) {
+	// The output location depends on a non-key event attribute, so the
+	// Advanced scheme's hmap association cannot work (Section 5.3 Stage 3).
+	prog, err := ParseDELP(`r1 out(@H, X) :- e(@L, X, H).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(Line(2, "n"), prog, SchemeAdvanced, nil); err == nil {
+		t.Error("uncompressible program accepted under Advanced")
+	}
+	// The uncompressed schemes handle it fine.
+	if _, err := NewSystem(Line(2, "n"), prog, SchemeExSPAN, nil); err != nil {
+		t.Errorf("ExSPAN rejected it: %v", err)
+	}
+}
+
+func TestARPEndToEnd(t *testing.T) {
+	g := Line(2, "h")
+	sys, err := NewSystem(g, ARPProgram(), SchemeAdvanced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Tuple{
+		NewTuple("arpEntry", Str("h1"), Str("10.0.0.9"), Str("aa:bb:cc")),
+		NewTuple("known", Str("h1"), Str("h0")),
+	}
+	if err := sys.LoadBase(base...); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewTuple("arpRequest", Str("h1"), Str("10.0.0.9"), Str("h0"))
+	sys.Inject(ev)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs := sys.Outputs()
+	if len(outs) != 1 {
+		t.Fatalf("outputs = %v", outs)
+	}
+	want := NewTuple("arpLearned", Str("h0"), Str("10.0.0.9"), Str("aa:bb:cc"))
+	if !outs[0].Equal(want) {
+		t.Errorf("output = %v, want %v", outs[0], want)
+	}
+	res, err := sys.Query(outs[0], HashTuple(ev))
+	if err != nil || len(res.Trees) != 1 {
+		t.Fatalf("query: %v, %d trees", err, len(res.Trees))
+	}
+	if res.Trees[0].Depth() != 2 {
+		t.Errorf("depth = %d, want 2", res.Trees[0].Depth())
+	}
+}
+
+func TestEquivalenceKeysFacade(t *testing.T) {
+	keys := EquivalenceKeys(ForwardingProgram())
+	if len(keys) != 2 || keys[0] != 0 || keys[1] != 2 {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestDependencyDOTFacade(t *testing.T) {
+	dot := DependencyDOT(ForwardingProgram())
+	if !strings.Contains(dot, "packet:0") {
+		t.Errorf("DOT missing nodes:\n%s", dot)
+	}
+}
+
+func TestParseDELPFacade(t *testing.T) {
+	p, err := ParseDELP(`r1 out(@L, X) :- ev(@L, X), cfg(@L, X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InputEvent() != "ev" {
+		t.Errorf("input event = %s", p.InputEvent())
+	}
+}
+
+func TestSlowUpdateFacade(t *testing.T) {
+	sys, err := NewSystem(Fig2(), ForwardingProgram(), SchemeAdvanced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadBase(Fig2Routes()...); err != nil {
+		t.Fatal(err)
+	}
+	sys.InsertSlow(NewTuple("route", Str("n2"), Str("n1"), Str("n1")))
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sys.DeleteSlow(NewTuple("route", Str("n2"), Str("n1"), Str("n1")))
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDumpAndReplay(t *testing.T) {
+	sys, err := NewSystem(Fig2(), ForwardingProgram(), SchemeAdvanced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadBase(Fig2Routes()...); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str("z"))
+	sys.Inject(ev)
+	if err := sys.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	dump := sys.DumpTables()
+	if !strings.Contains(dump, "ruleExec") || !strings.Contains(dump, "prov") {
+		t.Errorf("dump malformed:\n%s", dump)
+	}
+	trees, err := ReplayTrees(ForwardingProgram(), nil, Fig2Routes(), ev, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewTuple("recv", Str("n3"), Str("n1"), Str("n3"), Str("z"))
+	if got := trees[HashTuple(out)]; len(got) != 1 {
+		t.Errorf("replayed trees = %d", len(got))
+	}
+}
+
+func TestMultiSystemFacade(t *testing.T) {
+	tap, err := ParseDELP(`t1 mirror(@M, S, D, DT) :- packet(@L, S, D, DT), tap(@L, M).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewMultiSystem(Fig2(), []*Program{ForwardingProgram(), tap}, SchemeAdvanced, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadBase(Fig2Routes()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadBase(NewTuple("tap", Str("n2"), Str("n3"))); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str("x"))
+	sys.Inject(ev)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Outputs()) != 2 {
+		t.Fatalf("outputs = %v, want recv + mirror", sys.Outputs())
+	}
+	for _, out := range sys.Outputs() {
+		res, err := sys.Query(out, HashTuple(ev))
+		if err != nil || len(res.Trees) != 1 {
+			t.Errorf("query %v: %v, %d trees", out, err, len(res.Trees))
+		}
+	}
+
+	// Merge conflicts surface as construction errors.
+	bad, _ := Parse(`r1 other(@L, X) :- thing(@L, X).`)
+	if _, err := NewMultiSystem(Fig2(), []*Program{ForwardingProgram(), bad}, SchemeAdvanced, nil); err == nil {
+		t.Error("conflicting merge accepted")
+	}
+}
+
+func TestAllSchemesThroughFacade(t *testing.T) {
+	for _, scheme := range []string{SchemeExSPAN, SchemeBasic, SchemeAdvanced, SchemeAdvancedInterClass} {
+		sys, err := NewSystem(Fig2(), ForwardingProgram(), scheme, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if err := sys.LoadBase(Fig2Routes()...); err != nil {
+			t.Fatal(err)
+		}
+		ev := NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str("x"))
+		sys.Inject(ev)
+		if err := sys.Run(); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		res, err := sys.Query(sys.Outputs()[0], ZeroID)
+		if err != nil || len(res.Trees) != 1 {
+			t.Errorf("%s: query = %v, %v", scheme, res.Trees, err)
+		}
+	}
+}

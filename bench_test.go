@@ -1,0 +1,354 @@
+package provcompress
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"provcompress/internal/core"
+	"provcompress/internal/experiments"
+	"provcompress/internal/types"
+)
+
+// The benchmarks below regenerate every figure of the paper's evaluation
+// section at reduced scale (one full experiment per iteration) and report
+// the figure's headline quantity as custom metrics. cmd/provsim runs the
+// same experiments at paper scale and prints the full series.
+
+func benchForwardingCfg() experiments.ForwardingConfig {
+	cfg := experiments.DefaultForwardingConfig()
+	cfg.Pairs = 10
+	cfg.Rate = 10
+	cfg.Duration = 2 * time.Second
+	cfg.Snapshots = 4
+	return cfg
+}
+
+func benchDNSCfg() experiments.DNSConfig {
+	cfg := experiments.DefaultDNSConfig()
+	cfg.Tree.NumServers = 25
+	cfg.Tree.MaxDepth = 8
+	cfg.URLs = 10
+	cfg.Rate = 100
+	cfg.Duration = 2 * time.Second
+	cfg.Snapshots = 4
+	return cfg
+}
+
+// BenchmarkFig8PerNodeStorageGrowth reports the maximum per-node storage
+// growth rate (bits/s) per scheme for the forwarding workload.
+func BenchmarkFig8PerNodeStorageGrowth(b *testing.B) {
+	var res *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig8(benchForwardingCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range core.SchemeNames() {
+		b.ReportMetric(res.PerScheme[s].Percentile(1), "max-bps-"+s)
+	}
+}
+
+// BenchmarkFig9TotalStorage reports the final total storage per scheme.
+func BenchmarkFig9TotalStorage(b *testing.B) {
+	var res *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig9(benchForwardingCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range core.SchemeNames() {
+		b.ReportMetric(res.PerScheme[s].Last(), "bytes-"+s)
+	}
+}
+
+// BenchmarkFig10StorageVsPairs reports total storage at the largest pair
+// count per scheme.
+func BenchmarkFig10StorageVsPairs(b *testing.B) {
+	var res *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig10(benchForwardingCfg(), 200, []int{5, 10, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range core.SchemeNames() {
+		vals := res.Storage[s]
+		b.ReportMetric(float64(vals[len(vals)-1]), "bytes-"+s)
+	}
+}
+
+// BenchmarkFig11Bandwidth reports the total wire bytes per scheme and the
+// Advanced route-update overhead percentage.
+func BenchmarkFig11Bandwidth(b *testing.B) {
+	var res *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig11(benchForwardingCfg(), 500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range core.SchemeNames() {
+		b.ReportMetric(res.PerScheme[s].Last(), "wire-bytes-"+s)
+	}
+	b.ReportMetric(res.UpdateOverheadPct, "update-overhead-pct")
+}
+
+// BenchmarkFig12QueryLatency reports the median distributed query latency
+// (ms) per scheme.
+func BenchmarkFig12QueryLatency(b *testing.B) {
+	cfg := benchForwardingCfg()
+	cfg.Rate = 5
+	cfg.Duration = time.Second
+	var res *experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig12(cfg, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range core.SchemeNames() {
+		b.ReportMetric(res.PerScheme[s].Percentile(0.5), "median-ms-"+s)
+	}
+}
+
+// BenchmarkFig13DNSPerNodeStorage reports the p80 per-nameserver storage
+// growth rate per scheme.
+func BenchmarkFig13DNSPerNodeStorage(b *testing.B) {
+	var res *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig13(benchDNSCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range core.SchemeNames() {
+		b.ReportMetric(res.PerScheme[s].Percentile(0.8), "p80-bps-"+s)
+	}
+}
+
+// BenchmarkFig14DNSStorageVsURLs reports total storage at the largest URL
+// count per scheme.
+func BenchmarkFig14DNSStorageVsURLs(b *testing.B) {
+	var res *experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig14(benchDNSCfg(), 200, []int{2, 5, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range core.SchemeNames() {
+		vals := res.Storage[s]
+		b.ReportMetric(float64(vals[len(vals)-1]), "bytes-"+s)
+	}
+}
+
+// BenchmarkFig15DNSBandwidth reports total wire bytes per scheme; the
+// Advanced overhead over ExSPAN is the paper's ~25% headline.
+func BenchmarkFig15DNSBandwidth(b *testing.B) {
+	cfg := benchDNSCfg()
+	cfg.Duration = 0
+	var res *experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig15(cfg, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ex := res.PerScheme[core.SchemeExSPAN].Last()
+	for _, s := range core.SchemeNames() {
+		b.ReportMetric(res.PerScheme[s].Last(), "wire-bytes-"+s)
+	}
+	if ex > 0 {
+		b.ReportMetric((res.PerScheme[core.SchemeAdvanced].Last()-ex)/ex*100, "advanced-overhead-pct")
+	}
+}
+
+// BenchmarkFig16DNSStorageGrowth reports the storage growth rate (bits/s)
+// per scheme.
+func BenchmarkFig16DNSStorageGrowth(b *testing.B) {
+	var res *experiments.Fig16Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig16(benchDNSCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range core.SchemeNames() {
+		b.ReportMetric(res.PerScheme[s].GrowthRate()*8, "growth-bps-"+s)
+	}
+}
+
+// BenchmarkAblationInterClass reports the Section 5.4 split's storage
+// saving on a convergent workload.
+func BenchmarkAblationInterClass(b *testing.B) {
+	var res *experiments.AblationICResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AblationInterClass(10, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Chained), "bytes-chained")
+	b.ReportMetric(float64(res.InterClass), "bytes-interclass")
+}
+
+// BenchmarkAblationMetaOverhead reports the metadata overhead at zero and
+// 500-byte payloads.
+func BenchmarkAblationMetaOverhead(b *testing.B) {
+	var res *experiments.AblationMetaResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AblationMetaOverhead([]int{0, 500})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.OverheadPct[0], "overhead-pct-0B")
+	b.ReportMetric(res.OverheadPct[1], "overhead-pct-500B")
+}
+
+// BenchmarkCrossProgram measures joint deployment of forwarding plus a tap
+// program (the Section 8 extension): per-packet storage with chains shared
+// across programs.
+func BenchmarkCrossProgram(b *testing.B) {
+	tap, err := ParseDELP(`t1 mirror(@M, S, D, DT) :- packet(@L, S, D, DT), tap(@L, M).`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewMultiSystem(Fig2(), []*Program{ForwardingProgram(), tap}, SchemeAdvanced, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.LoadBase(Fig2Routes()...); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.LoadBase(NewTuple("tap", Str("n2"), Str("n3"))); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Inject(NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str(fmt.Sprintf("p%d", i))))
+		if err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sys.TotalStorageBytes())/float64(b.N), "stored-bytes/pkt")
+}
+
+// --- microbenchmarks of the core data path ---
+
+// benchSystem builds a 7-node line with one scheme and returns it.
+func benchSystem(b *testing.B, scheme string) *System {
+	b.Helper()
+	g := Line(7, "n")
+	sys, err := NewSystem(g, ForwardingProgram(), scheme, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.LoadBase(g.ShortestPaths().RouteTuples()...); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkMaintainPerPacket measures the end-to-end cost (engine +
+// maintenance) of pushing one packet through a 7-node path per scheme.
+func BenchmarkMaintainPerPacket(b *testing.B) {
+	for _, scheme := range []string{SchemeExSPAN, SchemeBasic, SchemeAdvanced} {
+		b.Run(scheme, func(b *testing.B) {
+			sys := benchSystem(b, scheme)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Inject(NewTuple("packet",
+					Str("n0"), Str("n0"), Str("n6"), Str(fmt.Sprintf("p%d", i))))
+				if err := sys.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sys.TotalStorageBytes())/float64(b.N), "stored-bytes/pkt")
+		})
+	}
+}
+
+// BenchmarkQueryPerScheme measures one distributed provenance query over a
+// 7-node chain per scheme (wall-clock cost of the walk + reconstruction).
+func BenchmarkQueryPerScheme(b *testing.B) {
+	for _, scheme := range []string{SchemeExSPAN, SchemeBasic, SchemeAdvanced} {
+		b.Run(scheme, func(b *testing.B) {
+			sys := benchSystem(b, scheme)
+			ev := NewTuple("packet", Str("n0"), Str("n0"), Str("n6"), Str("payload"))
+			sys.Inject(ev)
+			if err := sys.Run(); err != nil {
+				b.Fatal(err)
+			}
+			out := sys.Outputs()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sys.Query(out, HashTuple(ev))
+				if err != nil || len(res.Trees) != 1 {
+					b.Fatalf("query: %v, %d trees", err, len(res.Trees))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashTuple measures VID computation on a packet-sized tuple.
+func BenchmarkHashTuple(b *testing.B) {
+	t := NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str(string(make([]byte, 500))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HashTuple(t)
+	}
+}
+
+// BenchmarkTupleEncode measures canonical encoding of a packet tuple.
+func BenchmarkTupleEncode(b *testing.B) {
+	t := NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str(string(make([]byte, 500))))
+	buf := make([]byte, 0, t.EncodedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = t.AppendEncode(buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkEquivalenceKeys measures the static analysis on the DNS program
+// (the larger of the two bundled DELPs).
+func BenchmarkEquivalenceKeys(b *testing.B) {
+	prog := DNSProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EquivalenceKeys(prog)
+	}
+}
+
+var sinkID types.ID
+
+// BenchmarkEquivalenceKeyCheck measures the Stage 1 runtime check: hashing
+// the key attributes of an event tuple.
+func BenchmarkEquivalenceKeyCheck(b *testing.B) {
+	ev := NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str(string(make([]byte, 500))))
+	keys := EquivalenceKeys(ForwardingProgram())
+	vals := make([]Value, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, k := range keys {
+			vals[j] = ev.Args[k]
+		}
+		sinkID = types.HashValues(vals)
+	}
+}

@@ -1,0 +1,96 @@
+// Command provquery boots a real TCP cluster (one goroutine + loopback
+// listener per node, binary frames on the wire — the Section 6.1.3
+// deployment style), runs the packet-forwarding application with
+// equivalence-based provenance compression, and issues distributed
+// provenance queries, printing the reconstructed trees.
+//
+// Usage:
+//
+//	provquery [-nodes 8] [-packets 20] [-pairs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/cluster"
+	"provcompress/internal/metrics"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+	"provcompress/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster size (chain topology)")
+	packets := flag.Int("packets", 20, "packets per pair")
+	pairs := flag.Int("pairs", 3, "communicating pairs")
+	scheme := flag.String("scheme", "advanced", "provenance scheme: exspan, basic, or advanced")
+	flag.Parse()
+
+	if *nodes < 2 {
+		fmt.Fprintln(os.Stderr, "provquery: need at least 2 nodes")
+		os.Exit(2)
+	}
+
+	// A chain of nodes with shortest-path routes.
+	g := topo.Line(*nodes, "n")
+	routes := g.ShortestPaths().RouteTuples()
+
+	c, err := cluster.New(cluster.Config{
+		Prog:   apps.Forwarding(),
+		Funcs:  apps.Funcs(),
+		Nodes:  g.Nodes(),
+		Scheme: *scheme,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadBase(routes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster of %d nodes up on loopback TCP (%s scheme); equivalence keys %v\n\n",
+		*nodes, *scheme, c.Keys())
+
+	// Traffic: *pairs* random pairs, *packets* each.
+	chosen := workload.ChoosePairs(g.Nodes(), *pairs, time.Now().UnixNano()%1000)
+	var lastEvents []types.Tuple
+	start := time.Now()
+	for _, p := range chosen {
+		for i := 0; i < *packets; i++ {
+			ev := workload.PacketEvent(p, int64(i), 64)
+			if err := c.Inject(ev); err != nil {
+				log.Fatal(err)
+			}
+			if i == *packets-1 {
+				lastEvents = append(lastEvents, ev)
+			}
+		}
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	total := *packets * len(chosen)
+	fmt.Printf("forwarded %d packets in %v (%s of provenance stored, %s/packet)\n\n",
+		total, time.Since(start).Round(time.Millisecond),
+		metrics.HumanBytes(c.TotalStorageBytes()),
+		metrics.HumanBytes(c.TotalStorageBytes()/int64(total)))
+
+	// Query the provenance of each pair's last packet over the real wire.
+	for i, ev := range lastEvents {
+		out := types.NewTuple("recv", ev.Args[2], ev.Args[1], ev.Args[2], ev.Args[3])
+		res, err := c.Query(out, types.HashTuple(ev), 10*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Trees) == 0 {
+			log.Fatalf("no provenance for %s", out)
+		}
+		fmt.Printf("query %d: %s\n  latency %v over %d protocol hops\n%s\n",
+			i+1, out, res.Latency.Round(time.Microsecond), res.Hops, res.Trees[0])
+	}
+}

@@ -1,0 +1,23 @@
+// Package provcompress is a from-scratch reproduction of "Distributed
+// Provenance Compression" (SIGMOD 2017): online, equivalence-based
+// compression for network provenance of distributed event-driven linear
+// programs (DELPs).
+//
+// The package is the public facade over the implementation:
+//
+//   - write a network application as a DELP (a restricted NDlog program,
+//     Definition 1) and parse it with ParseDELP;
+//   - inspect the static analysis with EquivalenceKeys and DependencyDOT
+//     (Section 5.2);
+//   - build a topology (Fig2, TransitStub, DNSTree, Line, ...), pick a
+//     provenance maintenance scheme (ExSPAN, Basic, or Advanced), and run
+//     the application on the simulated network with NewSystem;
+//   - query any output tuple's distributed provenance with System.Query,
+//     which walks the compressed tables across nodes and re-derives the
+//     full tree (Sections 4 and 5.6);
+//   - regenerate every evaluation figure through internal/experiments, the
+//     cmd/provsim binary, or the benchmarks in bench_test.go.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package provcompress

@@ -1,0 +1,91 @@
+// Crossprogram demonstrates the paper's Section 8 future-work direction,
+// implemented here: compressing provenance across multiple programs that
+// share execution rules. Packet forwarding (Figure 1) and a traffic-tap
+// monitoring program are deployed together; every packet drives both, and
+// the tap's provenance chains reuse the forwarding chains' rule-execution
+// nodes, so adding the second program costs almost no extra provenance
+// storage.
+//
+// Run with:
+//
+//	go run ./examples/crossprogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"provcompress"
+	"provcompress/internal/metrics"
+)
+
+// tapSrc mirrors packets traversing a tapped node to a monitor.
+const tapSrc = `
+t1 mirror(@M, S, D, DT) :- packet(@L, S, D, DT), tap(@L, M).
+`
+
+func main() {
+	tap, err := provcompress.ParseDELP(tapSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	build := func(progs []*provcompress.Program) *provcompress.System {
+		var sys *provcompress.System
+		var err error
+		if len(progs) == 1 {
+			sys, err = provcompress.NewSystem(provcompress.Fig2(), progs[0],
+				provcompress.SchemeAdvanced, nil)
+		} else {
+			sys, err = provcompress.NewMultiSystem(provcompress.Fig2(), progs,
+				provcompress.SchemeAdvanced, nil)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadBase(provcompress.Fig2Routes()...); err != nil {
+			log.Fatal(err)
+		}
+		if len(progs) > 1 {
+			if err := sys.LoadBase(provcompress.NewTuple("tap",
+				provcompress.Str("n2"), provcompress.Str("n3"))); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			sys.Inject(provcompress.NewTuple("packet",
+				provcompress.Str("n1"), provcompress.Str("n1"),
+				provcompress.Str("n3"), provcompress.Str(fmt.Sprintf("payload-%d", i))))
+		}
+		if err := sys.Run(); err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+
+	solo := build([]*provcompress.Program{provcompress.ForwardingProgram()})
+	both := build([]*provcompress.Program{provcompress.ForwardingProgram(), tap})
+
+	fmt.Printf("forwarding alone:        %3d outputs, %s provenance\n",
+		len(solo.Outputs()), metrics.HumanBytes(solo.TotalStorageBytes()))
+	fmt.Printf("forwarding + tap:        %3d outputs, %s provenance\n",
+		len(both.Outputs()), metrics.HumanBytes(both.TotalStorageBytes()))
+	extra := both.TotalStorageBytes() - solo.TotalStorageBytes()
+	fmt.Printf("cost of the tap program: %s total — its chains reuse the\n"+
+		"forwarding rule-execution nodes, paying only one t1 node plus one\n"+
+		"prov row per mirrored packet.\n\n", metrics.HumanBytes(extra))
+
+	// Query a mirror tuple: the tree interleaves rules of both programs.
+	ev := provcompress.NewTuple("packet",
+		provcompress.Str("n1"), provcompress.Str("n1"),
+		provcompress.Str("n3"), provcompress.Str("payload-7"))
+	mirror := provcompress.NewTuple("mirror",
+		provcompress.Str("n3"), provcompress.Str("n1"),
+		provcompress.Str("n3"), provcompress.Str("payload-7"))
+	res, err := both.Query(mirror, provcompress.HashTuple(ev))
+	if err != nil || len(res.Trees) == 0 {
+		log.Fatalf("query: %v (%d trees)", err, len(res.Trees))
+	}
+	fmt.Printf("provenance of %s\n(t1 is the tap program's rule; r1 is forwarding's):\n%s",
+		mirror, res.Trees[0])
+}

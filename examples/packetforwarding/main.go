@@ -1,0 +1,94 @@
+// Packetforwarding reproduces the Section 6.1 storage comparison at
+// example scale: it runs the forwarding DELP over the 100-node
+// transit-stub topology under all three maintenance schemes, streams
+// packets between random stub-node pairs, and reports per-scheme
+// provenance storage, bandwidth, and the compression ratio.
+//
+// Run with:
+//
+//	go run ./examples/packetforwarding [-pairs 20] [-rate 20] [-seconds 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"provcompress"
+	"provcompress/internal/metrics"
+	"provcompress/internal/topo"
+	"provcompress/internal/workload"
+)
+
+func main() {
+	pairs := flag.Int("pairs", 20, "communicating stub-node pairs")
+	rate := flag.Float64("rate", 20, "packets per second per pair")
+	seconds := flag.Int("seconds", 5, "duration of the traffic")
+	flag.Parse()
+
+	ts := topo.GenTransitStub(topo.DefaultTransitStub())
+	diameter, mean := ts.Graph.HopStats()
+	fmt.Printf("transit-stub topology: %d nodes (%d transit), hop diameter %d, mean distance %.1f\n\n",
+		ts.Graph.NumNodes(), len(ts.Transit), diameter, mean)
+
+	routes := ts.Graph.ShortestPaths().RouteTuples()
+	chosen := workload.ChoosePairs(ts.Stubs, *pairs, 1)
+	duration := time.Duration(*seconds) * time.Second
+
+	type row struct {
+		scheme  string
+		storage int64
+		wire    int64
+		packets int64
+	}
+	var rows []row
+	for _, scheme := range []string{
+		provcompress.SchemeExSPAN, provcompress.SchemeBasic, provcompress.SchemeAdvanced,
+	} {
+		sys, err := provcompress.NewSystem(ts.Graph, provcompress.ForwardingProgram(), scheme, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.LoadBase(routes...); err != nil {
+			log.Fatal(err)
+		}
+		w := workload.PairTraffic{
+			Pairs:        chosen,
+			Rate:         *rate,
+			PayloadBytes: 500,
+			Duration:     duration,
+		}
+		w.Schedule(sys.Runtime, 0)
+		if err := sys.Run(); err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			scheme:  scheme,
+			storage: sys.TotalStorageBytes(),
+			wire:    sys.NetworkBytes(),
+			packets: sys.Runtime.Injected(),
+		})
+	}
+
+	var table [][]string
+	base := rows[0].storage
+	for _, r := range rows {
+		table = append(table, []string{
+			r.scheme,
+			fmt.Sprint(r.packets),
+			metrics.HumanBytes(r.storage),
+			metrics.HumanBytes(int64(float64(r.storage)/float64(r.packets))) + "/pkt",
+			fmt.Sprintf("%.1fx", float64(base)/float64(r.storage)),
+			metrics.HumanBytes(r.wire),
+		})
+	}
+	fmt.Println(metrics.FormatTable(
+		[]string{"scheme", "packets", "prov storage", "per packet", "vs ExSPAN", "wire traffic"},
+		table))
+
+	fmt.Printf("\nThe Advanced scheme maintains one shared provenance chain per (source,\n" +
+		"destination) equivalence class plus a prov-table row per packet, which is\n" +
+		"why its storage is an order of magnitude below ExSPAN's while its wire\n" +
+		"traffic stays within a few percent (Figures 9 and 11 of the paper).\n")
+}

@@ -1,0 +1,3 @@
+module provcompress
+
+go 1.22

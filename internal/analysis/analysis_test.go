@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/ndlog"
+)
+
+// TestForwardingEquivalenceKeys reproduces the paper's Section 5.2 result:
+// GetEquiKeys on the packet forwarding program identifies (packet:0,
+// packet:2) — the input location and the destination — as equivalence keys.
+func TestForwardingEquivalenceKeys(t *testing.T) {
+	keys := EquivalenceKeys(apps.Forwarding())
+	if !reflect.DeepEqual(keys, []int{0, 2}) {
+		t.Errorf("forwarding equivalence keys = %v, want [0 2]", keys)
+	}
+}
+
+// TestDNSEquivalenceKeys checks the DNS program of Figure 19: the keys are
+// (url:0, url:1) — the requesting host and the URL — while the request ID
+// (url:2) flows only to heads and is not a key. This matches Section 6.2,
+// where each distinct URL forms its own equivalence class.
+func TestDNSEquivalenceKeys(t *testing.T) {
+	keys := EquivalenceKeys(apps.DNS())
+	if !reflect.DeepEqual(keys, []int{0, 1}) {
+		t.Errorf("dns equivalence keys = %v, want [0 1]", keys)
+	}
+}
+
+func TestARPEquivalenceKeys(t *testing.T) {
+	// arpRequest(@O, IP, H): O is the location (always a key); IP joins the
+	// arpEntry slow table; H joins the known-hosts table (which also makes
+	// the reply location key-determined).
+	keys := EquivalenceKeys(apps.ARP())
+	if !reflect.DeepEqual(keys, []int{0, 1, 2}) {
+		t.Errorf("arp equivalence keys = %v, want [0 1 2]", keys)
+	}
+}
+
+// TestForwardingDependencyGraph checks the structure of Figure 17's graph:
+// joinSAttr marks on packet:0 and packet:2, joinFAttr edges from the packet
+// attributes to the recv attributes, and connectivity of payload to head
+// only.
+func TestForwardingDependencyGraph(t *testing.T) {
+	g := BuildGraph(apps.Forwarding())
+
+	for _, tc := range []struct {
+		node AttrNode
+		want bool
+	}{
+		{AttrNode{"packet", 0}, true},  // L joins route:0 and appears in D == L
+		{AttrNode{"packet", 2}, true},  // D joins route:1 and appears in D == L
+		{AttrNode{"packet", 1}, false}, // S only flows to heads
+		{AttrNode{"packet", 3}, false}, // DT only flows to heads
+		{AttrNode{"recv", 0}, false},
+	} {
+		if got := g.JoinSAttr(tc.node); got != tc.want {
+			t.Errorf("JoinSAttr(%s) = %v, want %v", tc.node, got, tc.want)
+		}
+	}
+
+	for _, tc := range []struct {
+		a, b AttrNode
+		want bool
+	}{
+		{AttrNode{"packet", 1}, AttrNode{"recv", 1}, true},
+		{AttrNode{"packet", 3}, AttrNode{"recv", 3}, true},
+		{AttrNode{"packet", 0}, AttrNode{"recv", 0}, true},
+		{AttrNode{"packet", 0}, AttrNode{"packet", 2}, true}, // via D == L
+		{AttrNode{"packet", 1}, AttrNode{"packet", 3}, false},
+		{AttrNode{"packet", 1}, AttrNode{"recv", 3}, false},
+		{AttrNode{"packet", 1}, AttrNode{"nosuch", 0}, false},
+	} {
+		if got := g.Connected(tc.a, tc.b); got != tc.want {
+			t.Errorf("Connected(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+
+	if !g.Connected(AttrNode{"packet", 1}, AttrNode{"packet", 1}) {
+		t.Error("Connected should be reflexive on existing nodes")
+	}
+}
+
+// TestDNSDependencyGraph traces the key attribute flows of the Figure 19
+// program through the merged dependency graph.
+func TestDNSDependencyGraph(t *testing.T) {
+	g := BuildGraph(apps.DNS())
+
+	// URL flows url -> request -> dnsResult -> reply.
+	chain := []AttrNode{{"url", 1}, {"request", 1}, {"dnsResult", 1}, {"reply", 1}}
+	for i := 1; i < len(chain); i++ {
+		if !g.Connected(chain[0], chain[i]) {
+			t.Errorf("URL flow broken: %s not connected to %s", chain[0], chain[i])
+		}
+	}
+	// The request ID reaches the reply but never joins slow state.
+	if !g.Connected(AttrNode{"url", 2}, AttrNode{"reply", 3}) {
+		t.Error("RQID flow broken")
+	}
+	if g.JoinSAttr(AttrNode{"url", 2}) || g.JoinSAttr(AttrNode{"request", 3}) {
+		t.Error("RQID spuriously joins slow state")
+	}
+	// request:0 (the nameserver) joins the delegation table.
+	if !g.JoinSAttr(AttrNode{"request", 0}) {
+		t.Error("request:0 should join nameServer")
+	}
+	// request:1 (URL) is a UDF argument (f_isSubDomain), hence joinSAttr.
+	if !g.JoinSAttr(AttrNode{"request", 1}) {
+		t.Error("request:1 should join via the UDF (JOIN-FUNC-ATTR)")
+	}
+	// EquivalenceKeysFor on a non-input relation works too: request's keys
+	// are its location, the URL, and the host — HST connects back to url:0,
+	// which joins rootServer — but not the request ID.
+	keys := g.EquivalenceKeysFor("request")
+	if !reflect.DeepEqual(keys, []int{0, 1, 2}) {
+		t.Errorf("request keys = %v, want [0 1 2]", keys)
+	}
+}
+
+// TestAssignmentFlow checks condition (4) of Section 5.2 using the paper's
+// r2' example: recv(@L, S, N, DT) :- packet(@L, S, D, DT), N := L + 2
+// creates an edge between packet:0 and recv:2.
+func TestAssignmentFlow(t *testing.T) {
+	src := `
+r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+r2 recv(@L, S, N, DT)   :- packet(@L, S, D, DT), N := L + 2.
+`
+	g := BuildGraph(ndlog.MustParse(src))
+	if !g.Connected(AttrNode{"packet", 0}, AttrNode{"recv", 2}) {
+		t.Error("assignment edge packet:0 -- recv:2 missing")
+	}
+	if g.Connected(AttrNode{"packet", 1}, AttrNode{"recv", 2}) {
+		t.Error("spurious assignment edge packet:1 -- recv:2")
+	}
+}
+
+// TestChainedAssignmentSources checks that an assigned variable used in a
+// later assignment propagates its event sources.
+func TestChainedAssignmentSources(t *testing.T) {
+	src := `r1 out(@L, M) :- e(@L, X), N := X + 1, M := N * 2.`
+	g := BuildGraph(ndlog.MustParse(src))
+	if !g.Connected(AttrNode{"e", 1}, AttrNode{"out", 1}) {
+		t.Error("chained assignment flow e:1 -- out:1 missing")
+	}
+}
+
+// TestUDFMakesKey checks JOIN-FUNC-ATTR: an event attribute passed to a UDF
+// becomes an equivalence key even without joining a relation.
+func TestUDFMakesKey(t *testing.T) {
+	src := `r1 out(@L, X, Y) :- e(@L, X, Y), Z := f_classify(X), Z == 1.`
+	keys := EquivalenceKeys(ndlog.MustParse(src))
+	if !reflect.DeepEqual(keys, []int{0, 1}) {
+		t.Errorf("keys = %v, want [0 1] (X used in UDF; Y untouched)", keys)
+	}
+}
+
+// TestConstraintConstantComparison checks JOIN-ARITH with a constant: an
+// event attribute compared against a literal is conservatively a key.
+func TestConstraintConstantComparison(t *testing.T) {
+	src := `r1 out(@L, X, Y) :- e(@L, X, Y), X < 10.`
+	keys := EquivalenceKeys(ndlog.MustParse(src))
+	if !reflect.DeepEqual(keys, []int{0, 1}) {
+		t.Errorf("keys = %v, want [0 1]", keys)
+	}
+}
+
+// TestKeyThroughChain checks connectivity across rules: an attribute that
+// only joins slow state two hops downstream is still a key of the input
+// event relation.
+func TestKeyThroughChain(t *testing.T) {
+	src := `
+r1 b(@L, X, Y) :- a(@L, X, Y).
+r2 c(@L, X)    :- b(@L, X, Y), lookup(@L, Y).
+`
+	keys := EquivalenceKeys(ndlog.MustParse(src))
+	// a:2 (Y) flows to b:2, which joins lookup:1 downstream; a:1 (X) never
+	// joins slow state.
+	if !reflect.DeepEqual(keys, []int{0, 2}) {
+		t.Errorf("keys = %v, want [0 2]", keys)
+	}
+}
+
+// TestLocationAlwaysKey: even with no slow joins at all, the input location
+// is an equivalence key so events at different nodes never share a class.
+func TestLocationAlwaysKey(t *testing.T) {
+	src := `r1 out(@L, X) :- e(@L, X).`
+	keys := EquivalenceKeys(ndlog.MustParse(src))
+	if !reflect.DeepEqual(keys, []int{0}) {
+		t.Errorf("keys = %v, want [0]", keys)
+	}
+}
+
+func TestNodesDeterministic(t *testing.T) {
+	g := BuildGraph(apps.Forwarding())
+	a := g.Nodes()
+	b := g.Nodes()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Nodes() not deterministic")
+	}
+	if len(a) == 0 {
+		t.Error("Nodes() empty")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Rel > a[i].Rel || (a[i-1].Rel == a[i].Rel && a[i-1].Idx >= a[i].Idx) {
+			t.Errorf("Nodes() not sorted at %d: %v then %v", i, a[i-1], a[i])
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := BuildGraph(apps.Forwarding())
+	dot := g.DOT()
+	for _, want := range []string{
+		"graph dependency {",
+		`"packet:0"`,
+		`"recv:3"`,
+		`"packet:1" -- "recv:1";`,
+		"peripheries=2", // equivalence keys highlighted
+		"style=dashed",  // slow-join justification edges
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if g.DOT() != dot {
+		t.Error("DOT not deterministic")
+	}
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the dependency graph in Graphviz format, in the style of
+// Figure 17: attribute vertices, solid joinFAttr edges, and dashed edges
+// from event attributes to the slow-changing attributes they join with.
+// Equivalence-key attributes are drawn with a double border.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph dependency {\n")
+	b.WriteString("  node [shape=ellipse];\n")
+
+	keys := make(map[AttrNode]bool)
+	ev := g.prog.InputEvent()
+	for _, i := range g.EquivalenceKeys() {
+		keys[AttrNode{ev, i}] = true
+	}
+
+	for _, n := range g.Nodes() {
+		attrs := []string{fmt.Sprintf("label=%q", n.String())}
+		if keys[n] {
+			attrs = append(attrs, "peripheries=2")
+		}
+		if g.slowJoin[n] {
+			attrs = append(attrs, "style=bold")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.String(), strings.Join(attrs, ", "))
+	}
+
+	// joinFAttr edges, each once.
+	type edge struct{ a, b string }
+	var edges []edge
+	for a, nbrs := range g.adj {
+		for c := range nbrs {
+			if a.String() < c.String() {
+				edges = append(edges, edge{a.String(), c.String()})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -- %q;\n", e.a, e.b)
+	}
+
+	// Slow-join justification edges, dashed.
+	var snodes []AttrNode
+	for n := range g.slowEdges {
+		snodes = append(snodes, n)
+	}
+	sort.Slice(snodes, func(i, j int) bool { return snodes[i].String() < snodes[j].String() })
+	for _, n := range snodes {
+		seen := make(map[AttrNode]bool)
+		for _, s := range g.slowEdges[n] {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			fmt.Fprintf(&b, "  %q -- %q [style=dashed];\n", n.String(), s.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"provcompress/internal/ndlog"
+)
+
+// CheckAdvancedApplicable verifies the assumption the Advanced scheme's
+// Stage 3 relies on: the location attribute of every output relation must
+// be determined by the equivalence keys. By Lemma 2, an output attribute
+// can differ within an equivalence class only if it is connected to a
+// non-key event attribute — if that held for a location attribute, members
+// of one class could produce outputs at different nodes, and the hmap
+// association (which lives at the output node) could never be found.
+//
+// Both of the paper's applications satisfy the check (recv's location is
+// the packet destination, a key; reply's location is the requesting host,
+// a key). A synthetic counterexample is out(@H, X) :- e(@L, X, H) with no
+// slow-changing joins: H is not a key, so two same-class events can output
+// at different nodes.
+func CheckAdvancedApplicable(prog *ndlog.Program) error {
+	return CheckAdvancedApplicableFor(prog, []string{prog.InputEvent()})
+}
+
+// CheckAdvancedApplicableFor runs the check against an explicit set of
+// input event relations — merged multi-program rule sets have one per
+// constituent program.
+func CheckAdvancedApplicableFor(prog *ndlog.Program, eventRels []string) error {
+	g := BuildGraph(prog)
+	arities, err := prog.Arities()
+	if err != nil {
+		return err
+	}
+
+	outputs := make([]string, 0)
+	for rel := range prog.OutputRelations() {
+		outputs = append(outputs, rel)
+	}
+	sort.Strings(outputs)
+
+	for _, ev := range eventRels {
+		keySet := make(map[int]bool)
+		for _, k := range g.EquivalenceKeysFor(ev) {
+			keySet[k] = true
+		}
+		for _, out := range outputs {
+			loc := AttrNode{out, 0}
+			for i := 0; i < arities[ev]; i++ {
+				if keySet[i] {
+					continue
+				}
+				if g.Connected(AttrNode{ev, i}, loc) {
+					return fmt.Errorf(
+						"analysis: program not compressible with the Advanced scheme: "+
+							"output location %s:0 depends on non-key event attribute %s:%d, "+
+							"so outputs of one equivalence class may land on different nodes",
+						out, ev, i)
+				}
+			}
+		}
+	}
+	return nil
+}

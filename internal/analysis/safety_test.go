@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/ndlog"
+)
+
+func TestCheckAdvancedApplicableAccepts(t *testing.T) {
+	for _, prog := range []*ndlog.Program{apps.Forwarding(), apps.DNS(), apps.ARP()} {
+		if err := CheckAdvancedApplicable(prog); err != nil {
+			t.Errorf("%s rejected: %v", prog.Name, err)
+		}
+	}
+}
+
+func TestCheckAdvancedApplicableRejectsFreeOutputLocation(t *testing.T) {
+	// H is not a key (no slow joins, no constraints): outputs of one class
+	// can land on different nodes.
+	prog := ndlog.MustParse(`r1 out(@H, X) :- e(@L, X, H).`)
+	err := CheckAdvancedApplicable(prog)
+	if err == nil {
+		t.Fatal("unsafe program accepted")
+	}
+	if !strings.Contains(err.Error(), "out:0") || !strings.Contains(err.Error(), "e:2") {
+		t.Errorf("error lacks diagnosis: %v", err)
+	}
+}
+
+func TestCheckAdvancedApplicableAcceptsKeyedOutputLocation(t *testing.T) {
+	// Here H joins a slow table, so it is a key and the program is safe.
+	prog := ndlog.MustParse(`r1 out(@H, X) :- e(@L, X, H), hosts(@L, H).`)
+	if err := CheckAdvancedApplicable(prog); err != nil {
+		t.Errorf("safe program rejected: %v", err)
+	}
+}
+
+func TestCheckAdvancedApplicableAcceptsSlowDerivedLocation(t *testing.T) {
+	// The output location comes from a slow-changing tuple, not the event:
+	// identical within a class by construction.
+	prog := ndlog.MustParse(`r1 out(@R, X) :- e(@L, X), gw(@L, R).`)
+	if err := CheckAdvancedApplicable(prog); err != nil {
+		t.Errorf("slow-derived location rejected: %v", err)
+	}
+}
+
+func TestCheckAdvancedApplicableChainedFlow(t *testing.T) {
+	// The unsafe flow can cross rules: H flows through mid to out's
+	// location.
+	prog := ndlog.MustParse(`
+r1 mid(@L, X, H) :- e(@L, X, H).
+r2 out(@H, X)    :- mid(@L, X, H).
+`)
+	if err := CheckAdvancedApplicable(prog); err == nil {
+		t.Error("chained unsafe flow accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Package apps holds the DELP sources of the paper's network applications —
+// packet forwarding (Figure 1), recursive DNS resolution (Figure 19) — plus
+// an ARP responder as an additional example of the model's generality
+// (Section 3.1), together with the user-defined functions they require.
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"provcompress/internal/ndlog"
+	"provcompress/internal/types"
+)
+
+// ForwardingSrc is the packet-forwarding program of Figure 1. r1 forwards a
+// packet at node L towards destination D via the next hop N found in the
+// local route table; r2 delivers a packet that has reached its destination
+// into the recv table.
+const ForwardingSrc = `
+r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+`
+
+// DNSSrc is the recursive DNS resolution program of Figure 19. r1 forwards
+// a new request to the root nameserver; r2 walks the delegation chain via
+// nameServer entries whose domain covers the requested URL; r3 resolves the
+// request at the authoritative server holding an addressRecord; r4 returns
+// the result to the requesting host.
+const DNSSrc = `
+r1 request(@RT, URL, HST, RQID) :- url(@HST, URL, RQID), rootServer(@HST, RT).
+r2 request(@SV, URL, HST, RQID) :- request(@X, URL, HST, RQID),
+                                   nameServer(@X, DM, SV),
+                                   f_isSubDomain(DM, URL) == true.
+r3 dnsResult(@X, URL, IPADDR, HST, RQID) :- request(@X, URL, HST, RQID),
+                                            addressRecord(@X, URL, IPADDR).
+r4 reply(@HST, URL, IPADDR, RQID) :- dnsResult(@X, URL, IPADDR, HST, RQID).
+`
+
+// ARPSrc is an Address Resolution Protocol responder written as a DELP:
+// a host sends an arpRequest for an IP address to the owner O, which
+// answers from its arpEntry table — after checking the requester H against
+// its known-hosts table, which also makes H an equivalence key (the reply
+// location must be determined by the keys for the Advanced scheme's
+// Stage 3; see analysis.CheckAdvancedApplicable). It is a third
+// application demonstrating the event-driven model of Section 3.1.
+const ARPSrc = `
+r1 arpReply(@O, IP, MAC, H) :- arpRequest(@O, IP, H), arpEntry(@O, IP, MAC),
+                               known(@O, H).
+r2 arpLearned(@H, IP, MAC)  :- arpReply(@O, IP, MAC, H).
+`
+
+// DHCPSrc models a DHCP-style address assignment handshake as a DELP
+// (Section 3.1 lists DHCP among the protocols the model covers): a client
+// H's discover reaches the server SV, which offers every address in its
+// pool; the client's accept table gates the request; the server
+// acknowledges addresses still in the pool.
+const DHCPSrc = `
+d1 dhcpOffer(@H, SV, IP)   :- dhcpDiscover(@SV, H), pool(@SV, IP).
+d2 dhcpRequest(@SV, H, IP) :- dhcpOffer(@H, SV, IP), accept(@H, SV).
+d3 dhcpAck(@H, SV, IP)     :- dhcpRequest(@SV, H, IP), pool(@SV, IP).
+`
+
+// Forwarding returns the parsed and DELP-validated packet forwarding
+// program.
+func Forwarding() *ndlog.Program {
+	return mustDELP("forwarding", ForwardingSrc)
+}
+
+// DNS returns the parsed and DELP-validated DNS resolution program.
+func DNS() *ndlog.Program {
+	return mustDELP("dns", DNSSrc)
+}
+
+// ARP returns the parsed and DELP-validated ARP program.
+func ARP() *ndlog.Program {
+	return mustDELP("arp", ARPSrc)
+}
+
+// DHCP returns the parsed and DELP-validated DHCP program.
+func DHCP() *ndlog.Program {
+	return mustDELP("dhcp", DHCPSrc)
+}
+
+func mustDELP(name, src string) *ndlog.Program {
+	p, err := ndlog.ParseDELP(src)
+	if err != nil {
+		panic(fmt.Sprintf("apps: %s program invalid: %v", name, err))
+	}
+	p.Name = name
+	return p
+}
+
+// Funcs returns the user-defined function registry required by the bundled
+// applications.
+func Funcs() ndlog.FuncMap {
+	return ndlog.FuncMap{
+		"f_isSubDomain": IsSubDomain,
+	}
+}
+
+// IsSubDomain implements f_isSubDomain(DM, URL): it reports whether the URL
+// falls under the domain DM. Domains are dot-separated label sequences; the
+// empty string and "." denote the root domain, which covers everything.
+// For example www.hello.com falls under "com" and "hello.com" but not under
+// "org" or "ello.com".
+func IsSubDomain(args []types.Value) (types.Value, error) {
+	if len(args) != 2 {
+		return types.Value{}, fmt.Errorf("f_isSubDomain: want 2 arguments, got %d", len(args))
+	}
+	if args[0].Kind() != types.KindString || args[1].Kind() != types.KindString {
+		return types.Value{}, fmt.Errorf("f_isSubDomain: arguments must be strings")
+	}
+	dm := strings.Trim(args[0].AsString(), ".")
+	url := strings.Trim(args[1].AsString(), ".")
+	if dm == "" {
+		return types.Bool(true), nil
+	}
+	if url == dm {
+		return types.Bool(true), nil
+	}
+	return types.Bool(strings.HasSuffix(url, "."+dm)), nil
+}

@@ -1,0 +1,61 @@
+package apps
+
+import (
+	"testing"
+
+	"provcompress/internal/types"
+)
+
+func TestProgramsParseAndValidate(t *testing.T) {
+	if p := Forwarding(); p.Name != "forwarding" || len(p.Rules) != 2 {
+		t.Errorf("Forwarding: %v", p)
+	}
+	if p := DNS(); p.Name != "dns" || len(p.Rules) != 4 {
+		t.Errorf("DNS: %v", p)
+	}
+	if p := ARP(); p.Name != "arp" || len(p.Rules) != 2 {
+		t.Errorf("ARP: %v", p)
+	}
+}
+
+func TestFuncsRegistry(t *testing.T) {
+	fns := Funcs()
+	if fns["f_isSubDomain"] == nil {
+		t.Fatal("f_isSubDomain not registered")
+	}
+}
+
+func TestIsSubDomain(t *testing.T) {
+	cases := []struct {
+		dm, url string
+		want    bool
+	}{
+		{"com", "www.hello.com", true},
+		{"hello.com", "www.hello.com", true},
+		{"www.hello.com", "www.hello.com", true},
+		{"org", "www.hello.com", false},
+		{"ello.com", "www.hello.com", false}, // label boundary respected
+		{"", "anything.at.all", true},        // root domain
+		{".", "anything.at.all", true},       // root domain, dot form
+		{"com.", "www.hello.com", true},      // trailing dots tolerated
+		{"hello.com", "hello.org", false},
+	}
+	for _, tc := range cases {
+		got, err := IsSubDomain([]types.Value{types.String(tc.dm), types.String(tc.url)})
+		if err != nil {
+			t.Fatalf("IsSubDomain(%q, %q): %v", tc.dm, tc.url, err)
+		}
+		if got.AsBool() != tc.want {
+			t.Errorf("IsSubDomain(%q, %q) = %v, want %v", tc.dm, tc.url, got.AsBool(), tc.want)
+		}
+	}
+}
+
+func TestIsSubDomainErrors(t *testing.T) {
+	if _, err := IsSubDomain([]types.Value{types.String("com")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := IsSubDomain([]types.Value{types.Int(1), types.String("x")}); err == nil {
+		t.Error("wrong types accepted")
+	}
+}

@@ -1,0 +1,269 @@
+// Package cluster is the real-socket deployment of the system: every node
+// is a goroutine with its own TCP listener, tuples and provenance-query
+// messages travel as length-prefixed binary frames over loopback
+// connections, and provenance is maintained with any of the three schemes
+// (ExSPAN, Basic, or the Section 5 equivalence-based Advanced compression).
+//
+// It corresponds to the paper's physical testbed of Section 6.1.3 ("actual
+// sockets were used over a physical network"), complementing the
+// discrete-event simulation used for the storage and bandwidth
+// experiments. The DELP engine (internal/engine) and the per-scheme state
+// machines (core.NodeState) are shared with the simulated runtime; only
+// the transport differs.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"provcompress/internal/analysis"
+	"provcompress/internal/core"
+	"provcompress/internal/engine"
+	"provcompress/internal/ndlog"
+	"provcompress/internal/types"
+)
+
+// Config describes the cluster to boot.
+type Config struct {
+	// Prog is the DELP every node runs; it must validate.
+	Prog *ndlog.Program
+	// Funcs registers the user-defined functions the program calls.
+	Funcs ndlog.FuncMap
+	// Nodes lists the member addresses.
+	Nodes []types.NodeAddr
+	// Scheme selects the provenance maintenance scheme (core.SchemeExSPAN,
+	// core.SchemeBasic, or core.SchemeAdvanced); empty selects Advanced.
+	Scheme string
+}
+
+// Cluster is a set of live nodes on loopback TCP.
+type Cluster struct {
+	prog   *ndlog.Program
+	funcs  ndlog.FuncMap
+	keys   []int
+	scheme string
+
+	nodes map[types.NodeAddr]*Node
+
+	inflight atomic.Int64
+	nextQID  atomic.Uint64
+	closed   atomic.Bool
+}
+
+// Node is one cluster member: a listener, a database, and the scheme's
+// provenance state, all driven by its message loop.
+type Node struct {
+	c       *Cluster
+	addr    types.NodeAddr
+	ln      net.Listener
+	tcpAddr string
+
+	mu      sync.Mutex
+	db      *engine.Database
+	state   core.NodeState
+	outputs []types.Tuple
+
+	connMu sync.Mutex
+	conns  map[types.NodeAddr]*peerConn
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan *walkFrame
+
+	wg sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// New boots the cluster: one listener per node, the program validated and
+// analyzed once, every node starting with an empty database.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Prog.ValidateDELP(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = core.SchemeAdvanced
+	}
+	c := &Cluster{
+		prog:   cfg.Prog,
+		funcs:  cfg.Funcs,
+		keys:   analysis.EquivalenceKeys(cfg.Prog),
+		scheme: scheme,
+		nodes:  make(map[types.NodeAddr]*Node, len(cfg.Nodes)),
+	}
+	for _, addr := range cfg.Nodes {
+		if _, dup := c.nodes[addr]; dup {
+			c.Close()
+			return nil, fmt.Errorf("cluster: duplicate node %s", addr)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: listen for %s: %w", addr, err)
+		}
+		state, err := core.NewNodeState(scheme, c.keys)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		n := &Node{
+			c:       c,
+			addr:    addr,
+			ln:      ln,
+			tcpAddr: ln.Addr().String(),
+			db:      engine.NewDatabase(),
+			state:   state,
+			conns:   make(map[types.NodeAddr]*peerConn),
+			pending: make(map[uint64]chan *walkFrame),
+		}
+		c.nodes[addr] = n
+	}
+	for _, n := range c.nodes {
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	return c, nil
+}
+
+// Node returns a member by address, or nil.
+func (c *Cluster) Node(addr types.NodeAddr) *Node { return c.nodes[addr] }
+
+// Keys returns the equivalence-key indexes in use.
+func (c *Cluster) Keys() []int { return append([]int(nil), c.keys...) }
+
+// LoadBase inserts base tuples directly into the member databases (the
+// initial configuration step).
+func (c *Cluster) LoadBase(tuples []types.Tuple) error {
+	for _, t := range tuples {
+		n := c.nodes[t.Loc()]
+		if n == nil {
+			return fmt.Errorf("cluster: base tuple %s at unknown node", t)
+		}
+		n.mu.Lock()
+		n.db.Insert(t)
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// Inject sends a fresh input event to its origin node over TCP.
+func (c *Cluster) Inject(ev types.Tuple) error {
+	origin := c.nodes[ev.Loc()]
+	if origin == nil {
+		return fmt.Errorf("cluster: inject %s at unknown node", ev)
+	}
+	f := &tupleFrame{Tuple: ev, Fresh: true}
+	c.inflight.Add(1)
+	return origin.sendFrom(origin.addr, ev.Loc(), f.encode())
+}
+
+// InsertSlow inserts a slow-changing tuple at runtime and broadcasts sig
+// (Section 5.5).
+func (c *Cluster) InsertSlow(t types.Tuple) error {
+	n := c.nodes[t.Loc()]
+	if n == nil {
+		return fmt.Errorf("cluster: slow insert %s at unknown node", t)
+	}
+	n.mu.Lock()
+	inserted := n.db.Insert(t)
+	n.mu.Unlock()
+	if !inserted {
+		return nil
+	}
+	frame := encodeSig()
+	for addr := range c.nodes {
+		c.inflight.Add(1)
+		if err := n.sendFrom(n.addr, addr, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Quiesce blocks until no messages are in flight (stable for a settle
+// window) or the deadline passes.
+func (c *Cluster) Quiesce(deadline time.Duration) error {
+	end := time.Now().Add(deadline)
+	stable := 0
+	for time.Now().Before(end) {
+		if c.inflight.Load() == 0 {
+			stable++
+			if stable >= 3 {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: quiesce timeout with %d messages in flight", c.inflight.Load())
+}
+
+// Outputs returns the output tuples that arrived at one node.
+func (c *Cluster) Outputs(addr types.NodeAddr) []types.Tuple {
+	n := c.nodes[addr]
+	if n == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]types.Tuple(nil), n.outputs...)
+}
+
+// AllOutputs returns every output across the cluster.
+func (c *Cluster) AllOutputs() []types.Tuple {
+	var out []types.Tuple
+	for _, n := range c.nodes {
+		out = append(out, c.Outputs(n.addr)...)
+	}
+	return out
+}
+
+// StorageBytes returns the provenance storage at one node.
+func (c *Cluster) StorageBytes(addr types.NodeAddr) int64 {
+	n := c.nodes[addr]
+	if n == nil {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state.StorageBytes()
+}
+
+// TotalStorageBytes sums provenance storage across members.
+func (c *Cluster) TotalStorageBytes() int64 {
+	var total int64
+	for addr := range c.nodes {
+		total += c.StorageBytes(addr)
+	}
+	return total
+}
+
+// Close shuts down listeners and connections.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, n := range c.nodes {
+		if n.ln != nil {
+			n.ln.Close()
+		}
+		n.connMu.Lock()
+		for _, pc := range n.conns {
+			pc.conn.Close()
+		}
+		n.connMu.Unlock()
+	}
+	for _, n := range c.nodes {
+		n.wg.Wait()
+	}
+}

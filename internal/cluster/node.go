@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"provcompress/internal/core"
+	"provcompress/internal/engine"
+	"provcompress/internal/types"
+	"provcompress/internal/wire"
+)
+
+// acceptLoop accepts peer connections and spawns a reader per connection.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one connection and dispatches them.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		n.handleFrame(payload)
+	}
+}
+
+// handleFrame processes one frame; the cluster in-flight counter drops
+// when processing (including any follow-up sends) completes.
+func (n *Node) handleFrame(payload []byte) {
+	defer n.c.inflight.Add(-1)
+	d := wire.NewDecoder(payload)
+	kind := d.U8()
+	switch kind {
+	case frameTuple:
+		f, err := decodeTupleFrame(d)
+		if err != nil {
+			return
+		}
+		n.handleTuple(f)
+	case frameSig:
+		n.mu.Lock()
+		n.state.ClearEquiKeys()
+		n.mu.Unlock()
+	case frameWalk:
+		f, err := decodeWalkFrame(d)
+		if err != nil {
+			return
+		}
+		n.handleWalk(f)
+	case frameResult:
+		f, err := decodeWalkFrame(d)
+		if err != nil {
+			return
+		}
+		n.pendMu.Lock()
+		ch := n.pending[f.QID]
+		delete(n.pending, f.QID)
+		n.pendMu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// handleTuple runs the DELP pipeline step for an arriving tuple: join the
+// local slow tables, fire the matching rules, maintain provenance via the
+// Advanced state machine, and ship the heads.
+func (n *Node) handleTuple(f *tupleFrame) {
+	n.mu.Lock()
+	n.db.Insert(f.Tuple)
+	meta := f.Meta
+	if f.Fresh {
+		meta = n.state.Inject(f.Tuple)
+	}
+	rules := n.c.prog.RulesForEvent(f.Tuple.Rel)
+	if len(rules) == 0 {
+		n.state.Output(f.Tuple, meta)
+		n.outputs = append(n.outputs, f.Tuple)
+		n.mu.Unlock()
+		return
+	}
+	type shipment struct {
+		head types.Tuple
+		meta core.AdvMeta
+	}
+	var ships []shipment
+	for _, r := range rules {
+		firings, err := engine.EvalRule(r, n.db, f.Tuple, n.c.funcs)
+		if err != nil {
+			continue
+		}
+		for _, fr := range firings {
+			out := n.state.FireAt(n.addr, fr, meta)
+			ships = append(ships, shipment{head: fr.Head, meta: out})
+		}
+	}
+	n.mu.Unlock()
+
+	for _, s := range ships {
+		frame := (&tupleFrame{Tuple: s.head, Meta: s.meta}).encode()
+		n.c.inflight.Add(1)
+		if err := n.sendFrom(n.addr, s.head.Loc(), frame); err != nil {
+			n.c.inflight.Add(-1)
+		}
+	}
+}
+
+// handleWalk advances a traveling provenance query: it collects every
+// worklist reference stored at this node, then forwards the walk or
+// returns the result.
+func (n *Node) handleWalk(f *walkFrame) {
+	n.mu.Lock()
+	for {
+		idx := -1
+		for i := len(f.Work) - 1; i >= 0; i-- {
+			if f.Work[i].Loc == n.addr {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		ref := f.Work[idx]
+		f.Work = append(f.Work[:idx], f.Work[idx+1:]...)
+		ce, vids, provs, nexts, ok := n.state.Collect(ref)
+		if !ok {
+			continue
+		}
+		f.Entries = append(f.Entries, ce)
+		f.Provs = append(f.Provs, provs...)
+		for _, vid := range vids {
+			if t, ok := n.db.LookupVID(vid); ok {
+				f.Tuples = appendTupleOnce(f.Tuples, t)
+			}
+		}
+		if n.state.EventByEvID() && hasNilRef(ce.Nexts) {
+			// Chain leaf: resolve the event tuples by EVID (Section 5.6).
+			for _, evid := range walkEventIDs(f) {
+				if t, ok := n.db.LookupVID(evid); ok {
+					f.Tuples = appendTupleOnce(f.Tuples, t)
+				}
+			}
+		}
+		for _, nx := range nexts {
+			f.Work = append(f.Work, nx)
+		}
+	}
+	n.mu.Unlock()
+
+	f.Hops++
+	if len(f.Work) == 0 {
+		n.c.inflight.Add(1)
+		if err := n.sendFrom(n.addr, f.Querier, f.encode(frameResult)); err != nil {
+			n.c.inflight.Add(-1)
+		}
+		return
+	}
+	target := f.Work[len(f.Work)-1].Loc
+	n.c.inflight.Add(1)
+	if err := n.sendFrom(n.addr, target, f.encode(frameWalk)); err != nil {
+		n.c.inflight.Add(-1)
+	}
+}
+
+func hasNilRef(refs []core.Ref) bool {
+	for _, r := range refs {
+		if r.IsNil() {
+			return true
+		}
+	}
+	return false
+}
+
+func appendTupleOnce(ts []types.Tuple, t types.Tuple) []types.Tuple {
+	for _, u := range ts {
+		if u.Equal(t) {
+			return ts
+		}
+	}
+	return append(ts, t)
+}
+
+func walkEventIDs(f *walkFrame) []types.ID {
+	if !f.EvID.IsZero() {
+		return []types.ID{f.EvID}
+	}
+	var out []types.ID
+	seen := make(map[types.ID]bool)
+	for _, p := range f.RootProvs {
+		if !p.EvID.IsZero() && !seen[p.EvID] {
+			seen[p.EvID] = true
+			out = append(out, p.EvID)
+		}
+	}
+	return out
+}
+
+// sendFrom delivers a frame to a peer over its TCP listener, dialing and
+// caching the connection on first use.
+func (n *Node) sendFrom(_ types.NodeAddr, to types.NodeAddr, frame []byte) error {
+	peer := n.c.nodes[to]
+	if peer == nil {
+		return fmt.Errorf("cluster: send to unknown node %s", to)
+	}
+	n.connMu.Lock()
+	pc := n.conns[to]
+	if pc == nil {
+		conn, err := net.Dial("tcp", peer.tcpAddr)
+		if err != nil {
+			n.connMu.Unlock()
+			return err
+		}
+		pc = &peerConn{conn: conn}
+		n.conns[to] = pc
+	}
+	n.connMu.Unlock()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return wire.WriteFrame(pc.conn, frame)
+}
+
+// QueryResult is the outcome of a distributed query over the cluster.
+type QueryResult struct {
+	Trees   []*core.Tree
+	Latency time.Duration
+	Hops    int
+}
+
+// Query retrieves the provenance of an output tuple over the real
+// protocol: the walk starts at the output's node, travels the shared
+// chains over TCP, and the reconstruction (TRANSFORM_TO_D) runs back at
+// the querier. Pass types.ZeroID as evid for every stored derivation.
+func (c *Cluster) Query(out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, error) {
+	querier := c.nodes[out.Loc()]
+	if querier == nil {
+		return QueryResult{}, fmt.Errorf("cluster: query at unknown node %s", out)
+	}
+	start := time.Now()
+	qid := c.nextQID.Add(1)
+	ch := make(chan *walkFrame, 1)
+	querier.pendMu.Lock()
+	querier.pending[qid] = ch
+	querier.pendMu.Unlock()
+
+	f := &walkFrame{QID: qid, Querier: querier.addr, Root: out, EvID: evid}
+	querier.mu.Lock()
+	f.RootProvs = querier.state.ProvRows(types.HashTuple(out), evid)
+	querier.mu.Unlock()
+	seen := make(map[core.Ref]bool)
+	for _, p := range f.RootProvs {
+		if !p.Ref.IsNil() && !seen[p.Ref] {
+			seen[p.Ref] = true
+			f.Work = append(f.Work, p.Ref)
+		}
+	}
+	if len(f.Work) == 0 {
+		querier.pendMu.Lock()
+		delete(querier.pending, qid)
+		querier.pendMu.Unlock()
+		return QueryResult{Latency: time.Since(start)}, nil
+	}
+	// Start the walk by sending it to the first target (possibly self).
+	target := f.Work[len(f.Work)-1].Loc
+	c.inflight.Add(1)
+	if err := querier.sendFrom(querier.addr, target, f.encode(frameWalk)); err != nil {
+		c.inflight.Add(-1)
+		return QueryResult{}, err
+	}
+
+	select {
+	case res := <-ch:
+		trees := reconstructWalk(c, querier, res)
+		return QueryResult{Trees: trees, Latency: time.Since(start), Hops: int(res.Hops)}, nil
+	case <-time.After(timeout):
+		querier.pendMu.Lock()
+		delete(querier.pending, qid)
+		querier.pendMu.Unlock()
+		return QueryResult{}, errors.New("cluster: query timeout")
+	}
+}
+
+// reconstructWalk rebuilds the provenance trees from a completed walk
+// using the querier's scheme state.
+func reconstructWalk(c *Cluster, querier *Node, f *walkFrame) []*core.Tree {
+	entries := make(map[core.Ref]core.CollectedEntry, len(f.Entries))
+	for _, ce := range f.Entries {
+		entries[core.Ref{Loc: ce.Entry.Loc, RID: ce.Entry.RID}] = ce
+	}
+	tuples := make(map[types.ID]types.Tuple, len(f.Tuples))
+	for _, t := range f.Tuples {
+		tuples[types.HashTuple(t)] = t
+	}
+	provs := make(map[types.ID][]core.Prov, len(f.Provs))
+	for _, p := range f.Provs {
+		provs[p.VID] = append(provs[p.VID], p)
+	}
+	raw := querier.state.Reconstruct(c.prog, c.funcs, f.Root, f.RootProvs, entries, tuples, provs)
+	var trees []*core.Tree
+	for _, t := range raw {
+		if !f.EvID.IsZero() && t.EvID() != f.EvID {
+			continue
+		}
+		dup := false
+		for _, u := range trees {
+			if u.Equal(t) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			trees = append(trees, t)
+		}
+	}
+	return trees
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"fmt"
+
+	"provcompress/internal/core"
+	"provcompress/internal/types"
+	"provcompress/internal/wire"
+)
+
+// Frame kinds of the cluster protocol.
+const (
+	frameTuple  = 1 // tuple shipment (fresh input event or derived head)
+	frameSig    = 2 // Section 5.5 equivalence-table reset broadcast
+	frameWalk   = 3 // traveling provenance query (Section 5.6)
+	frameResult = 4 // completed walk returning to the querier
+)
+
+// tupleFrame ships a tuple plus the Advanced metadata. Fresh marks an
+// injected input event whose Stage 1 runs at the receiver.
+type tupleFrame struct {
+	Tuple types.Tuple
+	Fresh bool
+	Meta  core.AdvMeta
+}
+
+func (f *tupleFrame) encode() []byte {
+	e := wire.NewEncoder(128)
+	e.U8(frameTuple)
+	e.Tuple(f.Tuple)
+	e.Bool(f.Fresh)
+	if !f.Fresh {
+		encodeMeta(e, f.Meta)
+	}
+	return e.Bytes()
+}
+
+func decodeTupleFrame(d *wire.Decoder) (*tupleFrame, error) {
+	f := &tupleFrame{}
+	f.Tuple = d.Tuple()
+	f.Fresh = d.Bool()
+	if !f.Fresh {
+		f.Meta = decodeMeta(d)
+	}
+	return f, d.Err()
+}
+
+func encodeMeta(e *wire.Encoder, m core.AdvMeta) {
+	e.ID(m.Eq)
+	e.Bool(m.Exist)
+	e.ID(m.EvID)
+	encodeRef(e, m.Prev)
+}
+
+func decodeMeta(d *wire.Decoder) core.AdvMeta {
+	var m core.AdvMeta
+	m.Eq = d.ID()
+	m.Exist = d.Bool()
+	m.EvID = d.ID()
+	m.Prev = decodeRef(d)
+	return m
+}
+
+func encodeRef(e *wire.Encoder, r core.Ref) {
+	e.Str(string(r.Loc))
+	e.ID(r.RID)
+}
+
+func decodeRef(d *wire.Decoder) core.Ref {
+	loc := d.Str()
+	rid := d.ID()
+	return core.Ref{Loc: types.NodeAddr(loc), RID: rid}
+}
+
+func encodeSig() []byte {
+	e := wire.NewEncoder(1)
+	e.U8(frameSig)
+	return e.Bytes()
+}
+
+// walkFrame is the traveling provenance query: the anchor rows, the DFS
+// worklist, and everything collected so far. The same layout returns to
+// the querier as a result frame.
+type walkFrame struct {
+	QID     uint64
+	Querier types.NodeAddr
+	Root    types.Tuple
+	EvID    types.ID
+
+	RootProvs []core.Prov
+	Work      []core.Ref
+	Entries   []core.CollectedEntry
+	// Provs carries the prov rows collected along the walk (ExSPAN needs
+	// them to follow derivations during reconstruction).
+	Provs  []core.Prov
+	Tuples []types.Tuple
+	Hops   uint32
+}
+
+func (f *walkFrame) encode(kind uint8) []byte {
+	e := wire.NewEncoder(512)
+	e.U8(kind)
+	e.U64(f.QID)
+	e.Str(string(f.Querier))
+	e.Tuple(f.Root)
+	e.ID(f.EvID)
+	e.U32(uint32(len(f.RootProvs)))
+	for _, p := range f.RootProvs {
+		e.Str(string(p.Loc))
+		e.ID(p.VID)
+		encodeRef(e, p.Ref)
+		e.ID(p.EvID)
+	}
+	e.U32(uint32(len(f.Work)))
+	for _, r := range f.Work {
+		encodeRef(e, r)
+	}
+	e.U32(uint32(len(f.Entries)))
+	for _, ce := range f.Entries {
+		e.Str(string(ce.Entry.Loc))
+		e.ID(ce.Entry.RID)
+		e.Str(ce.Entry.Rule)
+		e.U32(uint32(len(ce.Entry.VIDs)))
+		for _, v := range ce.Entry.VIDs {
+			e.ID(v)
+		}
+		encodeRef(e, ce.Entry.Next)
+		e.U32(uint32(len(ce.Nexts)))
+		for _, r := range ce.Nexts {
+			encodeRef(e, r)
+		}
+	}
+	e.U32(uint32(len(f.Provs)))
+	for _, p := range f.Provs {
+		e.Str(string(p.Loc))
+		e.ID(p.VID)
+		encodeRef(e, p.Ref)
+		e.ID(p.EvID)
+	}
+	e.U32(uint32(len(f.Tuples)))
+	for _, t := range f.Tuples {
+		e.Tuple(t)
+	}
+	e.U32(f.Hops)
+	return e.Bytes()
+}
+
+const maxWalkItems = 1 << 20
+
+func decodeWalkFrame(d *wire.Decoder) (*walkFrame, error) {
+	f := &walkFrame{}
+	f.QID = d.U64()
+	f.Querier = types.NodeAddr(d.Str())
+	f.Root = d.Tuple()
+	f.EvID = d.ID()
+	n := d.U32()
+	if n > maxWalkItems {
+		return nil, fmt.Errorf("cluster: walk frame with %d prov rows", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var p core.Prov
+		p.Loc = types.NodeAddr(d.Str())
+		p.VID = d.ID()
+		p.Ref = decodeRef(d)
+		p.EvID = d.ID()
+		f.RootProvs = append(f.RootProvs, p)
+	}
+	n = d.U32()
+	if n > maxWalkItems {
+		return nil, fmt.Errorf("cluster: walk frame with %d work refs", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		f.Work = append(f.Work, decodeRef(d))
+	}
+	n = d.U32()
+	if n > maxWalkItems {
+		return nil, fmt.Errorf("cluster: walk frame with %d entries", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var ce core.CollectedEntry
+		ce.Entry.Loc = types.NodeAddr(d.Str())
+		ce.Entry.RID = d.ID()
+		ce.Entry.Rule = d.Str()
+		vn := d.U32()
+		if vn > maxWalkItems {
+			return nil, fmt.Errorf("cluster: entry with %d vids", vn)
+		}
+		for j := uint32(0); j < vn && d.Err() == nil; j++ {
+			ce.Entry.VIDs = append(ce.Entry.VIDs, d.ID())
+		}
+		ce.Entry.Next = decodeRef(d)
+		ln := d.U32()
+		if ln > maxWalkItems {
+			return nil, fmt.Errorf("cluster: entry with %d links", ln)
+		}
+		for j := uint32(0); j < ln && d.Err() == nil; j++ {
+			ce.Nexts = append(ce.Nexts, decodeRef(d))
+		}
+		f.Entries = append(f.Entries, ce)
+	}
+	n = d.U32()
+	if n > maxWalkItems {
+		return nil, fmt.Errorf("cluster: walk frame with %d collected prov rows", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var p core.Prov
+		p.Loc = types.NodeAddr(d.Str())
+		p.VID = d.ID()
+		p.Ref = decodeRef(d)
+		p.EvID = d.ID()
+		f.Provs = append(f.Provs, p)
+	}
+	n = d.U32()
+	if n > maxWalkItems {
+		return nil, fmt.Errorf("cluster: walk frame with %d tuples", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		f.Tuples = append(f.Tuples, d.Tuple())
+	}
+	f.Hops = d.U32()
+	return f, d.Err()
+}

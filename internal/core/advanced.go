@@ -1,0 +1,255 @@
+package core
+
+import (
+	"provcompress/internal/analysis"
+	"provcompress/internal/engine"
+	"provcompress/internal/ndlog"
+	"provcompress/internal/netsim"
+	"provcompress/internal/types"
+)
+
+// MsgSig is the control broadcast sent when a slow-changing table grows
+// (Section 5.5); receivers empty their equivalence-key hash tables.
+const MsgSig = "prov.sig"
+
+// SigWireSize approximates the sig control message size on the wire.
+const SigWireSize = 16
+
+// Advanced implements the equivalence-based online compression of
+// Section 5: equivalence keys are identified by static analysis at attach
+// time; at runtime the origin node checks each input event's key valuation
+// against htequi (Stage 1), rule executions maintain the shared provenance
+// chain only for the first execution of a class (Stage 2), and every output
+// tuple is associated to its class's shared chain through hmap, with the
+// input event recoverable through the EVID column (Stage 3).
+//
+// With InterClass set, the ruleExec table is split into ruleExecNode /
+// ruleExecLink (Section 5.4), letting different equivalence classes share
+// identical rule-execution nodes; queries may then encounter several next
+// links per node and validate candidate derivations during reconstruction
+// (the set semantics of Theorem 5).
+//
+// RID construction: the paper hashes the rule name and slow-changing VIDs
+// (Table 3). We additionally fold in the child RID in the default (chained)
+// mode so that (Loc, RID) keeps the uniqueness property Lemma 6 relies on
+// when chains of different classes overlap; the InterClass mode uses the
+// paper's location-free hash and resolves the resulting link ambiguity
+// through validation, as Theorem 5 prescribes.
+type Advanced struct {
+	base
+	// InterClass enables the Section 5.4 table split.
+	InterClass bool
+
+	keys []int // equivalence keys of the primary input event relation
+	// keysByEvent holds the equivalence keys per input event relation; a
+	// multi-program deployment has one entry per constituent program.
+	keysByEvent map[string][]int
+}
+
+// NewAdvanced returns the equivalence-based compression maintainer.
+func NewAdvanced() *Advanced {
+	return &Advanced{base: newBase(true, true, false)}
+}
+
+// NewAdvancedInterClass returns the maintainer with the Section 5.4
+// ruleExecNode/ruleExecLink split enabled.
+func NewAdvancedInterClass() *Advanced {
+	a := &Advanced{base: newBase(false, true, true)}
+	a.InterClass = true
+	return a
+}
+
+// advMeta is the metadata tagged along with every execution: the
+// equivalence-key hash, the existFlag of Stage 1, the input event's ID, and
+// the reference to the last maintained rule execution (meaningful only when
+// existFlag is false).
+type advMeta struct {
+	Eq    types.ID
+	Exist bool
+	EvID  types.ID
+	Prev  Ref
+}
+
+// Name identifies the scheme.
+func (a *Advanced) Name() string {
+	if a.InterClass {
+		return "Advanced+IC"
+	}
+	return "Advanced"
+}
+
+// Attach runs the static analysis to obtain the equivalence keys — one key
+// set per input event relation, computed on the merged rule set so that
+// cross-program attribute flows count — then wires the maintainer to the
+// runtime.
+func (a *Advanced) Attach(rt *engine.Runtime) {
+	g := analysis.BuildGraph(rt.Prog)
+	a.keysByEvent = make(map[string][]int)
+	for _, ev := range ndlog.InputEvents(rt.SourcePrograms()...) {
+		a.keysByEvent[ev] = g.EquivalenceKeysFor(ev)
+	}
+	a.keys = a.keysByEvent[rt.Prog.InputEvent()]
+	a.attach(rt, a)
+}
+
+// Keys returns the equivalence-key attribute indexes in use.
+func (a *Advanced) Keys() []int { return append([]int(nil), a.keys...) }
+
+// OnInject performs Stage 1 (equivalence keys checking) at the origin node.
+// Events of a relation the analysis did not see fall back to treating
+// every attribute as a key: no compression, but correct.
+func (a *Advanced) OnInject(n *engine.Node, ev types.Tuple) engine.Meta {
+	keys, ok := a.keysByEvent[ev.Rel]
+	if !ok {
+		keys = make([]int, ev.Arity())
+		for i := range keys {
+			keys[i] = i
+		}
+	}
+	vals := make([]types.Value, len(keys))
+	for i, k := range keys {
+		vals[i] = ev.Args[k]
+	}
+	eq := types.HashValues(vals)
+	exist := a.store(n.Addr).seenEquiKey(eq)
+	return advMeta{Eq: eq, Exist: exist, EvID: types.HashTuple(ev), Prev: NilRef}
+}
+
+// OnFire performs Stage 2 (online provenance maintenance): nothing is
+// stored when existFlag is true; otherwise the shared chain grows by one
+// rule-execution node.
+func (a *Advanced) OnFire(n *engine.Node, f engine.Firing, in engine.Meta) engine.Meta {
+	m := in.(advMeta)
+	if m.Exist {
+		return m
+	}
+	st := a.store(n.Addr)
+	svids := slowVIDs(f)
+	var rid types.ID
+	if a.InterClass {
+		rid = types.RuleExecID(f.Rule.Label, "", svids)
+		st.addRuleExec(RuleExec{Loc: n.Addr, RID: rid, Rule: f.Rule.Label, VIDs: svids})
+		st.addLink(rid, m.Prev)
+	} else {
+		rid = types.RuleExecID(f.Rule.Label, "", append(append([]types.ID(nil), svids...), m.Prev.RID))
+		st.addRuleExec(RuleExec{Loc: n.Addr, RID: rid, Rule: f.Rule.Label, VIDs: svids, Next: m.Prev})
+	}
+	m.Prev = Ref{Loc: n.Addr, RID: rid}
+	return m
+}
+
+// OnOutput performs Stage 3 (output tuple provenance maintenance): the
+// class's first execution installs the shared-chain reference in hmap and
+// releases any outputs that arrived before it; later executions associate
+// their output through hmap.
+func (a *Advanced) OnOutput(n *engine.Node, out types.Tuple, in engine.Meta) {
+	m := in.(advMeta)
+	st := a.store(n.Addr)
+	vid := types.HashTuple(out)
+	if !m.Exist {
+		waiting := st.addHmapRef(m.Eq, out.Rel, m.EvID, m.Prev)
+		st.addProv(Prov{Loc: n.Addr, VID: vid, Ref: m.Prev, EvID: m.EvID})
+		for _, w := range waiting {
+			st.addProv(Prov{Loc: n.Addr, VID: w.vid, Ref: m.Prev, EvID: w.evid})
+		}
+		return
+	}
+	if refs := st.hmapRefs(m.Eq, out.Rel); len(refs) > 0 {
+		for _, ref := range refs {
+			st.addProv(Prov{Loc: n.Addr, VID: vid, Ref: ref, EvID: m.EvID})
+		}
+		return
+	}
+	// The class's first execution has not finished yet (its chain-building
+	// messages are still in flight); park the association until it does.
+	st.deferOutput(m.Eq, out.Rel, pendingOutput{vid: vid, evid: m.EvID})
+}
+
+// OnSlowUpdate broadcasts sig when a slow-changing table grows
+// (Section 5.5). Deletions do not invalidate stored provenance.
+func (a *Advanced) OnSlowUpdate(n *engine.Node, _ types.Tuple, inserted bool) {
+	if inserted {
+		a.rt.Net.Broadcast(n.Addr, MsgSig, SigWireSize, nil)
+	}
+}
+
+// HandleMessage processes sig broadcasts, then defers to the query
+// protocol.
+func (a *Advanced) HandleMessage(n *engine.Node, msg netsim.Message) bool {
+	if msg.Kind == MsgSig {
+		a.store(n.Addr).clearEquiKeys()
+		return true
+	}
+	return a.base.HandleMessage(n, msg)
+}
+
+// MetaSize prices the equivalence hash, the existFlag, the event ID, and —
+// for the class's first execution — the chain reference.
+func (a *Advanced) MetaSize(in engine.Meta) int {
+	m := in.(advMeta)
+	n := len(m.Eq) + 1 + len(m.EvID)
+	if !m.Exist {
+		n += m.Prev.WireSize()
+	}
+	return n
+}
+
+// --- query scheme implementation ---
+
+// provRefsFor anchors the query, filtering by the EVID column when an
+// event ID is given (Section 5.6).
+func (a *Advanced) provRefsFor(st *store, vid, evid types.ID) []Prov {
+	return st.provRows(vid, evid)
+}
+
+// collectEntry fetches a shared rule-execution node, the contents of its
+// slow-changing tuples, and — at chain leaves — the input event tuples of
+// the derivations being queried, then follows the next links.
+func (a *Advanced) collectEntry(n *engine.Node, st *store, ref Ref, q *walkQuery) ([]Ref, int64) {
+	entry, ok := st.getRuleExec(ref.RID)
+	if !ok {
+		return nil, 0
+	}
+	var bytes int64
+	bytes += int64(entry.WireSize(!a.InterClass))
+	nexts := st.nexts(ref.RID)
+	if a.InterClass {
+		bytes += int64(len(nexts) * (2 + len(ref.RID) + NilRef.WireSize()))
+	}
+	q.acc.addEntry(CollectedEntry{Entry: entry, Nexts: nexts})
+	for _, vid := range entry.VIDs {
+		if t, ok := n.DB.LookupVID(vid); ok {
+			if q.acc.addTuple(t) {
+				bytes += int64(t.EncodedSize())
+			}
+		}
+	}
+	var live []Ref
+	isLeaf := false
+	for _, nx := range nexts {
+		if nx.IsNil() {
+			isLeaf = true
+		} else {
+			live = append(live, nx)
+		}
+	}
+	if isLeaf {
+		// The tagged evid retrieves the event tuple materialized at the
+		// chain's origin node (Section 5.6).
+		for _, evid := range q.eventIDs() {
+			if t, ok := n.DB.LookupVID(evid); ok {
+				if q.acc.addTuple(t) {
+					bytes += int64(t.EncodedSize())
+				}
+			}
+		}
+	}
+	return live, bytes
+}
+
+// assemble runs TRANSFORM_TO_D: it re-derives the intermediate tuples
+// bottom-up from the event tuple (found by EVID) and the shared chain
+// (Appendix E), validating candidate chains against the queried output.
+func (a *Advanced) assemble(q *walkQuery) []*Tree {
+	return a.reconstructChains(q, EvIDLeafEvent(q.acc.tupleIndex()))
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"provcompress/internal/engine"
+	"provcompress/internal/netsim"
+	"provcompress/internal/types"
+)
+
+// scheme is the per-maintainer behaviour the shared query walker needs.
+type scheme interface {
+	// provRefsFor returns the prov rows anchoring the query for a tuple
+	// (filtered by event ID where the scheme records one).
+	provRefsFor(st *store, vid, evid types.ID) []Prov
+	// collectEntry fetches the rule-execution node ref at node n, records
+	// it (and any tuple contents the scheme needs) into the query's
+	// accumulator, and returns the next references to walk plus the bytes
+	// fetched.
+	collectEntry(n *engine.Node, st *store, ref Ref, q *walkQuery) (nexts []Ref, bytes int64)
+	// assemble reconstructs the provenance trees from the accumulated walk.
+	assemble(q *walkQuery) []*Tree
+}
+
+// base carries the state shared by the three maintainers: per-node stores,
+// the runtime handle, and the query walker.
+type base struct {
+	rt     *engine.Runtime
+	stores map[types.NodeAddr]*store
+
+	withNext bool
+	withEvID bool
+	useLinks bool
+
+	// Cost is the query-time computation model (see QueryCostModel).
+	Cost QueryCostModel
+
+	queries *queryDispatcher
+}
+
+func newBase(withNext, withEvID, useLinks bool) base {
+	return base{
+		stores:   make(map[types.NodeAddr]*store),
+		withNext: withNext,
+		withEvID: withEvID,
+		useLinks: useLinks,
+		Cost:     DefaultQueryCost(),
+	}
+}
+
+// attach wires the base to the runtime.
+func (b *base) attach(rt *engine.Runtime, s scheme) {
+	b.rt = rt
+	b.queries = newQueryDispatcher(b, s)
+}
+
+// store returns (lazily creating) the provenance store at addr.
+func (b *base) store(addr types.NodeAddr) *store {
+	s, ok := b.stores[addr]
+	if !ok {
+		s = newStore(b.withNext, b.withEvID, b.useLinks)
+		b.stores[addr] = s
+	}
+	return s
+}
+
+// StorageBytes returns the serialized provenance storage at one node.
+func (b *base) StorageBytes(addr types.NodeAddr) int64 {
+	if s, ok := b.stores[addr]; ok {
+		return s.bytes()
+	}
+	return 0
+}
+
+// TotalStorageBytes sums provenance storage over all nodes.
+func (b *base) TotalStorageBytes() int64 {
+	var total int64
+	for _, s := range b.stores {
+		total += s.bytes()
+	}
+	return total
+}
+
+// RuleExecRows and ProvRows report table sizes at a node, for tests and
+// table dumps.
+func (b *base) RuleExecRows(addr types.NodeAddr) []RuleExec {
+	s, ok := b.stores[addr]
+	if !ok {
+		return nil
+	}
+	out := make([]RuleExec, 0, len(s.ruleExec))
+	for _, e := range s.ruleExec {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// ProvRows returns the prov rows stored at a node.
+func (b *base) ProvRows(addr types.NodeAddr) []Prov {
+	s, ok := b.stores[addr]
+	if !ok {
+		return nil
+	}
+	var out []Prov
+	for _, rows := range s.prov {
+		out = append(out, rows...)
+	}
+	return out
+}
+
+// OnSlowUpdate is a no-op by default (ExSPAN, Basic); Advanced overrides it
+// to broadcast sig on insertion (Section 5.5).
+func (b *base) OnSlowUpdate(*engine.Node, types.Tuple, bool) {}
+
+// HandleMessage routes provenance-query protocol messages; other kinds are
+// unhandled.
+func (b *base) HandleMessage(n *engine.Node, msg netsim.Message) bool {
+	return b.queries.handle(n, msg)
+}
+
+// QueryProvenance starts a distributed provenance query for the output
+// tuple out (which must have been produced at its location). evid selects
+// the derivation triggered by one specific input event; pass types.ZeroID
+// to retrieve every stored derivation. cb runs, in virtual time, when the
+// result is complete.
+func (b *base) QueryProvenance(out types.Tuple, evid types.ID, cb func(QueryResult)) {
+	b.queries.start(out, evid, cb)
+}
+
+// slowVIDs hashes the slow tuples of a firing in body order.
+func slowVIDs(f engine.Firing) []types.ID {
+	vids := make([]types.ID, len(f.Slow))
+	for i, s := range f.Slow {
+		vids[i] = types.HashTuple(s)
+	}
+	return vids
+}

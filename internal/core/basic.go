@@ -1,0 +1,122 @@
+package core
+
+import (
+	"provcompress/internal/engine"
+	"provcompress/internal/types"
+)
+
+// Basic implements the storage optimization of Section 4: provenance nodes
+// for intermediate event tuples are removed. Each ruleExec row records only
+// the slow-changing body VIDs (plus the input-event VID at the leaf) and an
+// (NLoc, NRID) link to the previous rule execution; the prov table holds a
+// single row per output tuple. Querying re-derives the intermediate tuples
+// bottom-up (Section 4, step 2).
+//
+// Note: RIDs hash the rule name, location, and all body VIDs, so they equal
+// ExSPAN's RIDs for the same execution — exactly the relationship between
+// the paper's Tables 1 and 2.
+type Basic struct {
+	base
+}
+
+// NewBasic returns the intermediate-node-removal maintainer.
+func NewBasic() *Basic {
+	return &Basic{base: newBase(true, false, false)}
+}
+
+// basicMeta carries the (NLoc, NRID) reference to the previous rule
+// execution in the chain; NULL at the first rule.
+type basicMeta struct {
+	Prev Ref
+}
+
+// Name identifies the scheme.
+func (b *Basic) Name() string { return "Basic" }
+
+// Attach wires the maintainer to the runtime.
+func (b *Basic) Attach(rt *engine.Runtime) { b.attach(rt, b) }
+
+// OnInject starts an execution chain with a NULL previous reference.
+func (b *Basic) OnInject(*engine.Node, types.Tuple) engine.Meta {
+	return basicMeta{Prev: NilRef}
+}
+
+// OnFire stores the optimized ruleExec row (Table 2): slow-changing VIDs
+// only — plus the input event's VID at the chain's first rule, which the
+// bottom-up re-derivation starts from — linked to the previous execution.
+func (b *Basic) OnFire(n *engine.Node, f engine.Firing, in engine.Meta) engine.Meta {
+	m := in.(basicMeta)
+	st := b.store(n.Addr)
+
+	stored := slowVIDs(f)
+	allVids := append(append([]types.ID(nil), stored...), types.HashTuple(f.Event))
+	if m.Prev.IsNil() {
+		stored = allVids // leaf keeps the event VID too
+	}
+	rid := types.RuleExecID(f.Rule.Label, n.Addr, allVids)
+	if !st.addRuleExec(RuleExec{Loc: n.Addr, RID: rid, Rule: f.Rule.Label, VIDs: stored, Next: m.Prev}) {
+		// The same rule execution already chains to another derivation of
+		// this event tuple (converging derivations). Record the extra
+		// predecessor as a link row; queries enumerate both chains and
+		// validate during re-derivation (as in Section 5.4's split tables).
+		if prev, ok := st.getRuleExec(rid); ok && prev.Next != m.Prev {
+			st.addLink(rid, m.Prev)
+		}
+	}
+	return basicMeta{Prev: Ref{Loc: n.Addr, RID: rid}}
+}
+
+// OnOutput stores the single prov row of the optimized scheme, pointing at
+// the last rule execution of the chain.
+func (b *Basic) OnOutput(n *engine.Node, out types.Tuple, in engine.Meta) {
+	m := in.(basicMeta)
+	b.store(n.Addr).addProv(Prov{Loc: n.Addr, VID: types.HashTuple(out), Ref: m.Prev})
+}
+
+// MetaSize prices the (NLoc, NRID) reference shipped with each tuple.
+func (b *Basic) MetaSize(m engine.Meta) int {
+	return m.(basicMeta).Prev.WireSize()
+}
+
+// --- query scheme implementation ---
+
+// provRefsFor anchors the query; Basic has no EVID column, so event
+// filtering happens after reconstruction.
+func (b *Basic) provRefsFor(st *store, vid, _ types.ID) []Prov {
+	return st.provRows(vid, types.ZeroID)
+}
+
+// collectEntry fetches the optimized ruleExec row and the contents of the
+// tuples its VIDs reference (slow-changing tuples, and the input event at
+// the leaf), then follows the NLoc/NRID link.
+func (b *Basic) collectEntry(n *engine.Node, st *store, ref Ref, q *walkQuery) ([]Ref, int64) {
+	entry, ok := st.getRuleExec(ref.RID)
+	if !ok {
+		return nil, 0
+	}
+	var bytes int64
+	bytes += int64(entry.WireSize(true))
+	nexts := st.nexts(ref.RID)
+	ce := CollectedEntry{Entry: entry, Nexts: nexts}
+	q.acc.addEntry(ce)
+	for _, vid := range entry.VIDs {
+		if t, ok := n.DB.LookupVID(vid); ok {
+			if q.acc.addTuple(t) {
+				bytes += int64(t.EncodedSize())
+			}
+		}
+	}
+	var live []Ref
+	for _, nx := range nexts {
+		if !nx.IsNil() {
+			live = append(live, nx)
+		}
+	}
+	return live, bytes
+}
+
+// assemble re-derives the intermediate tuples bottom-up from the event and
+// slow-changing leaves (Section 4, step 2).
+func (b *Basic) assemble(q *walkQuery) []*Tree {
+	return b.reconstructChains(q, BasicLeafEvent(b.rt.Prog, q.acc.tupleIndex()))
+}

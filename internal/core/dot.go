@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the provenance tree in Graphviz format, in the paper's
+// Figure 3 style: square (box) nodes for tuples, oval nodes for rule
+// executions, edges from each rule execution up to the tuple it derives
+// and down to the tuples that triggered it.
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph provenance {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [fontsize=10];\n")
+	id := 0
+	fresh := func() string {
+		id++
+		return fmt.Sprintf("n%d", id)
+	}
+	tupleNode := func(label string) string {
+		n := fresh()
+		fmt.Fprintf(&b, "  %s [shape=box, label=%q];\n", n, label)
+		return n
+	}
+	ruleNode := func(label string) string {
+		n := fresh()
+		fmt.Fprintf(&b, "  %s [shape=ellipse, label=%q];\n", n, label)
+		return n
+	}
+
+	var emit func(tr *Tree) string // returns the output tuple's node id
+	emit = func(tr *Tree) string {
+		out := tupleNode(tr.Output.String())
+		rule := ruleNode(tr.Rule)
+		fmt.Fprintf(&b, "  %s -> %s;\n", rule, out)
+		if tr.Child != nil {
+			child := emit(tr.Child)
+			fmt.Fprintf(&b, "  %s -> %s;\n", child, rule)
+		} else {
+			ev := tupleNode(tr.Event.String())
+			fmt.Fprintf(&b, "  %s -> %s;\n", ev, rule)
+		}
+		for _, s := range tr.Slow {
+			sn := tupleNode(s.String())
+			fmt.Fprintf(&b, "  %s -> %s;\n", sn, rule)
+		}
+		return out
+	}
+	emit(t)
+	b.WriteString("}\n")
+	return b.String()
+}

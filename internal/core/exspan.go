@@ -1,0 +1,183 @@
+package core
+
+import (
+	"provcompress/internal/engine"
+	"provcompress/internal/ndlog"
+	"provcompress/internal/types"
+)
+
+// ExSPAN maintains uncompressed distributed provenance in the style of the
+// ExSPAN system (Section 2.2, Table 1): every rule execution stores a
+// ruleExec row with the VIDs of all its body tuples, and every tuple node
+// of every provenance tree — derived tuples, intermediate event tuples, and
+// the base tuples they joined with — gets a prov row at its location.
+type ExSPAN struct {
+	base
+}
+
+// NewExSPAN returns the uncompressed maintainer.
+func NewExSPAN() *ExSPAN {
+	return &ExSPAN{base: newBase(false, false, false)}
+}
+
+// exspanMeta carries the reference to the rule execution that derived the
+// shipped tuple, so the receiving node can store the tuple's prov row.
+type exspanMeta struct {
+	Ref Ref
+}
+
+// Name identifies the scheme.
+func (e *ExSPAN) Name() string { return "ExSPAN" }
+
+// Attach wires the maintainer to the runtime.
+func (e *ExSPAN) Attach(rt *engine.Runtime) { e.attach(rt, e) }
+
+// OnInject starts an execution; the injected event has no deriving rule,
+// so its prov row (stored when it first triggers a rule) will carry NULL.
+func (e *ExSPAN) OnInject(*engine.Node, types.Tuple) engine.Meta {
+	return exspanMeta{Ref: NilRef}
+}
+
+// OnFire stores the ruleExec row for the execution at the firing node,
+// prov rows for the event tuple (referencing its deriving execution, NULL
+// for injected events) and for the slow-changing body tuples (NULL).
+func (e *ExSPAN) OnFire(n *engine.Node, f engine.Firing, in engine.Meta) engine.Meta {
+	m := in.(exspanMeta)
+	st := e.store(n.Addr)
+
+	evVID := types.HashTuple(f.Event)
+	st.addProv(Prov{Loc: n.Addr, VID: evVID, Ref: m.Ref})
+
+	vids := slowVIDs(f)
+	for _, v := range vids {
+		st.addProv(Prov{Loc: n.Addr, VID: v, Ref: NilRef})
+	}
+	vids = append(vids, evVID)
+
+	rid := types.RuleExecID(f.Rule.Label, n.Addr, vids)
+	st.addRuleExec(RuleExec{Loc: n.Addr, RID: rid, Rule: f.Rule.Label, VIDs: vids})
+	return exspanMeta{Ref: Ref{Loc: n.Addr, RID: rid}}
+}
+
+// OnOutput stores the output tuple's prov row at the output node
+// (Table 1's vid6 row).
+func (e *ExSPAN) OnOutput(n *engine.Node, out types.Tuple, in engine.Meta) {
+	m := in.(exspanMeta)
+	e.store(n.Addr).addProv(Prov{Loc: n.Addr, VID: types.HashTuple(out), Ref: m.Ref})
+}
+
+// MetaSize prices the (RID, RLoc) reference shipped with each tuple.
+func (e *ExSPAN) MetaSize(m engine.Meta) int {
+	return m.(exspanMeta).Ref.WireSize()
+}
+
+// --- query scheme implementation ---
+
+// provRefsFor anchors the query at every derivation of the tuple; ExSPAN
+// has no EVID column, so event filtering happens after reconstruction.
+func (e *ExSPAN) provRefsFor(st *store, vid, _ types.ID) []Prov {
+	return st.provRows(vid, types.ZeroID)
+}
+
+// collectEntry fetches a ruleExec row plus, for each of its body VIDs, the
+// local prov rows and the tuple contents, following the event tuple's prov
+// reference to the previous node (the recursive querying of Section 2.2).
+func (e *ExSPAN) collectEntry(n *engine.Node, st *store, ref Ref, q *walkQuery) ([]Ref, int64) {
+	entry, ok := st.getRuleExec(ref.RID)
+	if !ok {
+		return nil, 0
+	}
+	var bytes int64
+	bytes += int64(entry.WireSize(false))
+	q.acc.addEntry(CollectedEntry{Entry: entry})
+	var nexts []Ref
+	for _, vid := range entry.VIDs {
+		if t, ok := n.DB.LookupVID(vid); ok {
+			if q.acc.addTuple(t) {
+				bytes += int64(t.EncodedSize())
+			}
+		}
+		for _, p := range st.provRows(vid, types.ZeroID) {
+			if q.acc.addProv(p) {
+				bytes += int64(p.WireSize(false))
+			}
+			if !p.Ref.IsNil() {
+				nexts = append(nexts, p.Ref)
+			}
+		}
+	}
+	return nexts, bytes
+}
+
+// assemble reconstructs the trees directly from the collected entries,
+// prov rows and tuple contents — no re-execution needed, since ExSPAN
+// materialized everything.
+func (e *ExSPAN) assemble(q *walkQuery) []*Tree {
+	return AssembleExSPAN(e.rt.Prog, q.root, q.rootProvs,
+		q.acc.entryIndex(), q.acc.tupleIndex(), q.acc.provIndex())
+}
+
+// AssembleExSPAN reconstructs provenance trees from an uncompressed
+// (ExSPAN) walk: entries carry every body VID, tuples their contents, and
+// the prov rows link each derived tuple to the execution that produced it.
+// Exported for transport implementations (internal/cluster).
+func AssembleExSPAN(prog *ndlog.Program, root types.Tuple, rootProvs []Prov,
+	entries map[Ref]CollectedEntry, tuples map[types.ID]types.Tuple, provs map[types.ID][]Prov) []*Tree {
+	var build func(ref Ref, output types.Tuple, depth int) []*Tree
+	build = func(ref Ref, output types.Tuple, depth int) []*Tree {
+		if depth > maxQueryDepth {
+			return nil
+		}
+		ce, ok := entries[ref]
+		if !ok {
+			return nil
+		}
+		rule := prog.Rule(ce.Entry.Rule)
+		if rule == nil {
+			return nil
+		}
+		var slow []types.Tuple
+		var event types.Tuple
+		haveEvent := false
+		for _, vid := range ce.Entry.VIDs {
+			t, ok := tuples[vid]
+			if !ok {
+				return nil
+			}
+			if t.Rel == rule.Event.Rel {
+				event, haveEvent = t, true
+			} else {
+				slow = append(slow, t)
+			}
+		}
+		if !haveEvent {
+			return nil
+		}
+		var childRefs []Ref
+		for _, p := range provs[types.HashTuple(event)] {
+			if !p.Ref.IsNil() {
+				childRefs = append(childRefs, p.Ref)
+			}
+		}
+		if len(childRefs) == 0 {
+			ev := event
+			return []*Tree{{Rule: rule.Label, Output: output, Event: &ev, Slow: slow}}
+		}
+		var out []*Tree
+		for _, cr := range childRefs {
+			for _, sub := range build(cr, event, depth+1) {
+				out = append(out, &Tree{Rule: rule.Label, Output: output, Child: sub, Slow: slow})
+			}
+		}
+		return out
+	}
+
+	var trees []*Tree
+	for _, p := range rootProvs {
+		if p.Ref.IsNil() {
+			continue
+		}
+		trees = append(trees, build(p.Ref, root, 0)...)
+	}
+	return trees
+}

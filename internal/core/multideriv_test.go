@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"provcompress/internal/engine"
+	"provcompress/internal/ndlog"
+	"provcompress/internal/netsim"
+	"provcompress/internal/sim"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+)
+
+// projSrc projects away the event attribute Y, so different events can
+// derive the same output tuple — exercising multi-derivation handling.
+const projSrc = `
+r1 mid(@R, X)  :- ev(@L, X, Y), hop(@L, Y, R).
+r2 out(@R, X)  :- mid(@R, X), sink(@R, X).
+`
+
+func projRuntime(t *testing.T, maint engine.Maintainer) *engine.Runtime {
+	t.Helper()
+	prog, err := ndlog.ParseDELP(projSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched sim.Scheduler
+	g := topo.Line(2, "n")
+	net := netsim.New(&sched, g)
+	rt := engine.NewRuntime(net, prog, nil, maint)
+	base := []types.Tuple{
+		types.NewTuple("hop", types.String("n0"), types.Int(1), types.String("n1")),
+		types.NewTuple("hop", types.String("n0"), types.Int(2), types.String("n1")),
+		types.NewTuple("sink", types.String("n1"), types.Int(7)),
+	}
+	if err := rt.LoadBase(base); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func projEvent(y int64) types.Tuple {
+	return types.NewTuple("ev", types.String("n0"), types.Int(7), types.Int(y))
+}
+
+// TestMultipleDerivationsSameOutput injects two events that differ only in
+// the projected-away attribute: both derive out(@n1, 7) through different
+// slow tuples, so the output has two stored derivations. Every scheme must
+// return both trees for an unfiltered query and exactly one for an
+// evid-filtered query.
+func TestMultipleDerivationsSameOutput(t *testing.T) {
+	ev1, ev2 := projEvent(1), projEvent(2)
+
+	rec := NewRecorder()
+	rrec := projRuntime(t, rec)
+	injectSpaced(rrec, ev1, ev2)
+	rrec.Run()
+	checkNoErrors(t, rrec)
+	out := types.NewTuple("out", types.String("n1"), types.Int(7))
+	if got := rec.TreesFor(types.HashTuple(out), types.ZeroID); len(got) != 2 {
+		t.Fatalf("reference trees = %d, want 2", len(got))
+	}
+
+	for _, m := range []queryMaintainer{NewExSPAN(), NewBasic(), NewAdvanced(), NewAdvancedInterClass()} {
+		t.Run(m.Name(), func(t *testing.T) {
+			rt := projRuntime(t, m)
+			injectSpaced(rt, ev1, ev2)
+			rt.Run()
+			checkNoErrors(t, rt)
+			if rt.NumOutputs() != 2 {
+				t.Fatalf("outputs = %d, want 2 (out derived twice)", rt.NumOutputs())
+			}
+
+			// Unfiltered query: both derivations.
+			res := runQuery(t, rt, m, out, types.ZeroID)
+			if len(res.Trees) != 2 {
+				t.Fatalf("%s: unfiltered trees = %d, want 2", m.Name(), len(res.Trees))
+			}
+			for _, want := range rec.TreesFor(types.HashTuple(out), types.ZeroID) {
+				found := false
+				for _, g := range res.Trees {
+					if g.Equal(want) {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: derivation missing:\n%s", m.Name(), want)
+				}
+			}
+
+			// Filtered by each event: exactly that derivation.
+			for _, ev := range []types.Tuple{ev1, ev2} {
+				res := runQuery(t, rt, m, out, types.HashTuple(ev))
+				if len(res.Trees) != 1 {
+					t.Fatalf("%s: filtered trees = %d, want 1", m.Name(), len(res.Trees))
+				}
+				if !res.Trees[0].EventOf().Equal(ev) {
+					t.Errorf("%s: wrong event %v", m.Name(), res.Trees[0].EventOf())
+				}
+			}
+		})
+	}
+}
+
+// TestProjectionKeysIncludeY pins why the two events above form different
+// equivalence classes: Y joins the hop table, so it is a key.
+func TestProjectionKeysIncludeY(t *testing.T) {
+	a := NewAdvanced()
+	rt := projRuntime(t, a)
+	_ = rt
+	keys := a.Keys()
+	if len(keys) != 3 {
+		t.Errorf("keys = %v, want [0 1 2] (X joins sink downstream, Y joins hop)", keys)
+	}
+}

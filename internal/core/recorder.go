@@ -1,0 +1,113 @@
+package core
+
+import (
+	"provcompress/internal/engine"
+	"provcompress/internal/netsim"
+	"provcompress/internal/types"
+)
+
+// Recorder is a reference maintainer: it carries the full provenance tree
+// of each execution along with the tuples and stores every completed tree
+// at the output, exactly what semi-naïve evaluation with uncompressed
+// provenance derives (the C_sn states of Lemma 4). It is the ground truth
+// the correctness tests compare the compressed schemes against, and doubles
+// as the "centralized uncompressed" baseline for ablations.
+type Recorder struct {
+	rt       *engine.Runtime
+	trees    []*Tree
+	byOutput map[types.ID][]*Tree
+}
+
+// NewRecorder returns an empty reference maintainer.
+func NewRecorder() *Recorder {
+	return &Recorder{byOutput: make(map[types.ID][]*Tree)}
+}
+
+// Name identifies the scheme.
+func (r *Recorder) Name() string { return "Recorder" }
+
+// Attach wires the maintainer to the runtime.
+func (r *Recorder) Attach(rt *engine.Runtime) { r.rt = rt }
+
+// OnInject starts an execution with no subtree.
+func (r *Recorder) OnInject(*engine.Node, types.Tuple) engine.Meta { return (*Tree)(nil) }
+
+// OnFire extends the carried tree with the new rule execution.
+func (r *Recorder) OnFire(_ *engine.Node, f engine.Firing, in engine.Meta) engine.Meta {
+	child, _ := in.(*Tree)
+	node := &Tree{Rule: f.Rule.Label, Output: f.Head, Slow: f.Slow}
+	if child == nil {
+		ev := f.Event
+		node.Event = &ev
+	} else {
+		node.Child = child
+	}
+	return node
+}
+
+// OnOutput records the completed tree. Semi-naïve evaluation has set
+// semantics: re-deriving an identical tree (e.g. by injecting the same
+// event tuple twice) does not grow the stored set.
+func (r *Recorder) OnOutput(_ *engine.Node, out types.Tuple, in engine.Meta) {
+	t, _ := in.(*Tree)
+	if t == nil {
+		return // an injected tuple landed directly on an output relation
+	}
+	vid := types.HashTuple(out)
+	for _, prev := range r.byOutput[vid] {
+		if prev.Equal(t) {
+			return
+		}
+	}
+	r.trees = append(r.trees, t)
+	r.byOutput[vid] = append(r.byOutput[vid], t)
+}
+
+// OnSlowUpdate is a no-op: the recorder always maintains full trees.
+func (r *Recorder) OnSlowUpdate(*engine.Node, types.Tuple, bool) {}
+
+// HandleMessage handles nothing.
+func (r *Recorder) HandleMessage(*engine.Node, netsim.Message) bool { return false }
+
+// MetaSize is zero: the recorder is a reference, not a wire protocol.
+func (r *Recorder) MetaSize(engine.Meta) int { return 0 }
+
+// Trees returns every completed provenance tree in completion order.
+func (r *Recorder) Trees() []*Tree { return r.trees }
+
+// TreesFor returns the trees of the output tuple with the given VID,
+// optionally restricted to those triggered by the event with hash evid.
+func (r *Recorder) TreesFor(vid, evid types.ID) []*Tree {
+	rows := r.byOutput[vid]
+	if evid.IsZero() {
+		return rows
+	}
+	var out []*Tree
+	for _, t := range rows {
+		if t.EvID() == evid {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// StorageBytes sums the serialized sizes of the trees rooted at addr: the
+// cost of storing every tree whole, per node.
+func (r *Recorder) StorageBytes(addr types.NodeAddr) int64 {
+	var total int64
+	for _, t := range r.trees {
+		if t.Output.Loc() == addr {
+			total += int64(t.WireSize())
+		}
+	}
+	return total
+}
+
+// TotalStorageBytes sums the serialized sizes of all trees.
+func (r *Recorder) TotalStorageBytes() int64 {
+	var total int64
+	for _, t := range r.trees {
+		total += int64(t.WireSize())
+	}
+	return total
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"provcompress/internal/engine"
+	"provcompress/internal/ndlog"
+	"provcompress/internal/types"
+)
+
+// ReplayTrees implements the reactive maintenance strategy of Section 3.2
+// (after DTaP): instead of materializing provenance for every relation,
+// keep only the non-deterministic inputs — the slow-changing tables and
+// the input events — and re-execute the program deterministically to
+// reconstruct the provenance trees of any tuple on demand, including the
+// "tuples of less interest" whose provenance the online schemes do not
+// maintain concretely.
+//
+// slow is a snapshot of every node's slow-changing tuples (their location
+// specifiers keep the joins node-faithful: a rule firing "at" a node only
+// ever joins tuples whose location attribute matches). The replay returns
+// the provenance trees of every tuple the event derives, keyed by the
+// derived tuple's VID. maxSteps bounds runaway recursion in
+// non-terminating programs.
+func ReplayTrees(prog *ndlog.Program, funcs ndlog.FuncMap, slow []types.Tuple, ev types.Tuple, maxSteps int) (map[types.ID][]*Tree, error) {
+	db := engine.NewDatabase()
+	for _, t := range slow {
+		db.Insert(t)
+	}
+	trees := make(map[types.ID][]*Tree)
+	record := func(t *Tree) {
+		vid := types.HashTuple(t.Output)
+		for _, prev := range trees[vid] {
+			if prev.Equal(t) {
+				return
+			}
+		}
+		trees[vid] = append(trees[vid], t)
+	}
+
+	type item struct {
+		tuple types.Tuple
+		sub   *Tree // derivation of tuple; nil for the input event
+	}
+	queue := []item{{tuple: ev}}
+	steps := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, r := range prog.RulesForEvent(cur.tuple.Rel) {
+			firings, err := engine.EvalRule(r, db, cur.tuple, funcs)
+			if err != nil {
+				return nil, fmt.Errorf("core: replay: %w", err)
+			}
+			for _, f := range firings {
+				steps++
+				if steps > maxSteps {
+					return nil, fmt.Errorf("core: replay exceeded %d steps (non-terminating program?)", maxSteps)
+				}
+				node := &Tree{Rule: r.Label, Output: f.Head, Slow: f.Slow}
+				if cur.sub == nil {
+					e := cur.tuple
+					node.Event = &e
+				} else {
+					node.Child = cur.sub
+				}
+				record(node)
+				queue = append(queue, item{tuple: f.Head, sub: node})
+			}
+		}
+	}
+	return trees, nil
+}
+
+// ReplayTreesFor reconstructs the provenance trees of one specific tuple
+// derived (directly or transitively) from the input event.
+func ReplayTreesFor(prog *ndlog.Program, funcs ndlog.FuncMap, slow []types.Tuple, ev types.Tuple, target types.Tuple, maxSteps int) ([]*Tree, error) {
+	all, err := ReplayTrees(prog, funcs, slow, ev, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	return all[types.HashTuple(target)], nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+)
+
+func fig2Slow() []types.Tuple { return topo.Fig2Routes() }
+
+// TestReplayMatchesDistributedExecution checks the Section 3.2 claim: the
+// trees reconstructed by replaying the non-deterministic inputs equal the
+// trees the distributed execution maintains.
+func TestReplayMatchesDistributedExecution(t *testing.T) {
+	ev := packet("n1", "n1", "n3", "data")
+
+	rec := NewRecorder()
+	rt := fig2Runtime(t, rec)
+	rt.Inject(ev)
+	rt.Run()
+
+	trees, err := ReplayTrees(apps.Forwarding(), apps.Funcs(), fig2Slow(), ev, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := recvTuple("n3", "n1", "n3", "data")
+	got := trees[types.HashTuple(out)]
+	want := rec.TreesFor(types.HashTuple(out), types.ZeroID)
+	if len(got) != 1 || len(want) != 1 || !got[0].Equal(want[0]) {
+		t.Errorf("replayed tree differs:\ngot %v\nwant %v", got, want)
+	}
+}
+
+// TestReplayIntermediateTuples: replay also yields the provenance of the
+// "tuples of less interest" — the intermediate packet tuples whose
+// provenance no online scheme materializes.
+func TestReplayIntermediateTuples(t *testing.T) {
+	ev := packet("n1", "n1", "n3", "data")
+	trees, err := ReplayTrees(apps.Forwarding(), apps.Funcs(), fig2Slow(), ev, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := packet("n2", "n1", "n3", "data")
+	got := trees[types.HashTuple(mid)]
+	if len(got) != 1 {
+		t.Fatalf("intermediate trees = %d", len(got))
+	}
+	if got[0].Depth() != 1 || got[0].Rule != "r1" {
+		t.Errorf("intermediate tree wrong:\n%s", got[0])
+	}
+	if len(got[0].Slow) != 1 || !got[0].Slow[0].Equal(routeTuple("n1", "n3", "n2")) {
+		t.Errorf("intermediate slow tuples: %v", got[0].Slow)
+	}
+}
+
+func TestReplayTreesFor(t *testing.T) {
+	ev := packet("n1", "n1", "n3", "data")
+	got, err := ReplayTreesFor(apps.Forwarding(), apps.Funcs(), fig2Slow(), ev,
+		recvTuple("n3", "n1", "n3", "data"), 1000)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if none, err := ReplayTreesFor(apps.Forwarding(), apps.Funcs(), fig2Slow(), ev,
+		recvTuple("n3", "zz", "n3", "ghost"), 1000); err != nil || len(none) != 0 {
+		t.Errorf("ghost target: %v, %v", none, err)
+	}
+}
+
+func TestReplayStepBound(t *testing.T) {
+	// A self-looping rule never terminates; the step bound must trip.
+	prog := mustDELPSrc(t, `r1 tick(@L, N) :- tick(@L, M), N := M + 1, N > 0.`)
+	ev := types.NewTuple("tick", types.String("n1"), types.Int(0))
+	if _, err := ReplayTrees(prog, nil, nil, ev, 50); err == nil {
+		t.Error("non-terminating replay did not trip the bound")
+	}
+}
+
+func TestReplayDNS(t *testing.T) {
+	tree := topo.GenDNSTree(topo.DNSTreeConfig{NumServers: 10, MaxDepth: 4, Seed: 3})
+	clients := tree.AttachClients(1)
+	urls := tree.PickURLs(2)
+	slow := append(tree.NameServerTuples(clients), topo.AddressRecordTuples(urls)...)
+	ev := urlEvent(clients[0], urls[1].URL, 9)
+	trees, err := ReplayTrees(apps.DNS(), apps.Funcs(), slow, ev, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := types.NewTuple("reply",
+		types.String(string(clients[0])), types.String(urls[1].URL),
+		types.String(urls[1].IP), types.Int(9))
+	got := trees[types.HashTuple(reply)]
+	if len(got) != 1 {
+		t.Fatalf("reply trees = %d", len(got))
+	}
+	if got[0].Rule != "r4" || !got[0].EventOf().Equal(ev) {
+		t.Errorf("reply tree wrong:\n%s", got[0])
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"provcompress/internal/engine"
+	"provcompress/internal/types"
+)
+
+// Maintainer is the full surface of a provenance maintenance scheme: the
+// engine hooks plus distributed querying and per-node storage accounting.
+type Maintainer interface {
+	engine.Maintainer
+	// QueryProvenance starts a distributed provenance query for an output
+	// tuple; cb is invoked in virtual time with the result.
+	QueryProvenance(out types.Tuple, evid types.ID, cb func(QueryResult))
+}
+
+// Scheme names accepted by NewScheme.
+const (
+	SchemeExSPAN             = "ExSPAN"
+	SchemeBasic              = "Basic"
+	SchemeAdvanced           = "Advanced"
+	SchemeAdvancedInterClass = "Advanced+IC"
+)
+
+// SchemeNames lists the maintenance schemes the evaluation compares, in
+// presentation order.
+func SchemeNames() []string {
+	return []string{SchemeExSPAN, SchemeBasic, SchemeAdvanced}
+}
+
+// AllSchemeNames additionally includes the Section 5.4 inter-class variant.
+func AllSchemeNames() []string {
+	return []string{SchemeExSPAN, SchemeBasic, SchemeAdvanced, SchemeAdvancedInterClass}
+}
+
+// NewScheme constructs a maintenance scheme by name (case-insensitive;
+// "advanced-ic" and "advanced+ic" both select the inter-class variant).
+func NewScheme(name string) (Maintainer, error) {
+	switch strings.ToLower(name) {
+	case "exspan":
+		return NewExSPAN(), nil
+	case "basic":
+		return NewBasic(), nil
+	case "advanced":
+		return NewAdvanced(), nil
+	case "advanced+ic", "advanced-ic", "advancedic", "interclass":
+		return NewAdvancedInterClass(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q (want exspan, basic, advanced, or advanced-ic)", name)
+	}
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"provcompress/internal/engine"
+	"provcompress/internal/ndlog"
+	"provcompress/internal/types"
+)
+
+// AdvMeta is the exported form of the per-execution metadata transport
+// implementations serialize alongside each shipped tuple. It is the
+// superset used by the three schemes: ExSPAN and Basic use only Prev (the
+// reference to the last rule execution); Advanced uses every field
+// (Section 5.3).
+type AdvMeta struct {
+	Eq    types.ID
+	Exist bool
+	EvID  types.ID
+	Prev  Ref
+}
+
+// WireSize returns the metadata's on-the-wire size under the Advanced
+// scheme.
+func (m AdvMeta) WireSize() int {
+	n := len(m.Eq) + 1 + len(m.EvID)
+	if !m.Exist {
+		n += m.Prev.WireSize()
+	}
+	return n
+}
+
+// NodeState is a transport-agnostic per-node provenance state machine: the
+// same maintenance and query-walk logic the simulated maintainers run,
+// exposed so a real-socket deployment (internal/cluster) can drive it from
+// its own message loop. Implementations are not safe for concurrent use;
+// callers serialize access per node.
+type NodeState interface {
+	// Scheme names the maintenance scheme.
+	Scheme() string
+	// Inject performs the scheme's injection step at the origin node.
+	Inject(ev types.Tuple) AdvMeta
+	// FireAt performs the scheme's maintenance for one rule firing.
+	FireAt(addr types.NodeAddr, f engine.Firing, m AdvMeta) AdvMeta
+	// Output performs the scheme's output association step.
+	Output(out types.Tuple, m AdvMeta)
+	// ClearEquiKeys handles a sig broadcast (no-op outside Advanced).
+	ClearEquiKeys()
+	// ProvRows anchors a query at an output VID (evid filter where the
+	// scheme records one).
+	ProvRows(vid, evid types.ID) []Prov
+	// Collect processes one query-walk reference at this node: the
+	// collected entry with its links, the VIDs whose tuple contents the
+	// walk must fetch here, the local prov rows to ship (ExSPAN), and the
+	// next references to follow.
+	Collect(ref Ref) (ce CollectedEntry, vids []types.ID, provs []Prov, nexts []Ref, ok bool)
+	// EventByEvID reports whether chain-leaf events resolve through EVID
+	// lookups (Advanced) rather than through recorded VIDs (Basic) or prov
+	// rows (ExSPAN).
+	EventByEvID() bool
+	// Reconstruct rebuilds the provenance trees at the querier from the
+	// completed walk.
+	Reconstruct(prog *ndlog.Program, funcs ndlog.FuncMap, root types.Tuple, rootProvs []Prov,
+		entries map[Ref]CollectedEntry, tuples map[types.ID]types.Tuple, provs map[types.ID][]Prov) []*Tree
+	// StorageBytes returns the serialized size of the node's tables.
+	StorageBytes() int64
+}
+
+// NewNodeState builds the per-node state machine for a scheme name
+// (SchemeExSPAN, SchemeBasic, SchemeAdvanced, case-insensitive); keys are
+// the program's equivalence keys (used by Advanced only).
+func NewNodeState(scheme string, keys []int) (NodeState, error) {
+	switch strings.ToLower(scheme) {
+	case "exspan":
+		return NewExSPANState(), nil
+	case "basic":
+		return NewBasicState(), nil
+	case "advanced":
+		return NewAdvancedState(keys), nil
+	default:
+		if _, err := NewScheme(scheme); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: scheme %s is not available on the cluster transport", scheme)
+	}
+}
+
+// --- Advanced ---
+
+// AdvancedState is the Advanced scheme's per-node state machine
+// (Sections 5.2-5.3, chained RIDs).
+type AdvancedState struct {
+	keys []int
+	st   *store
+}
+
+// NewAdvancedState builds the state for one node given the program's
+// equivalence-key indexes (from analysis.EquivalenceKeys).
+func NewAdvancedState(keys []int) *AdvancedState {
+	return &AdvancedState{
+		keys: append([]int(nil), keys...),
+		st:   newStore(true, true, false),
+	}
+}
+
+// Scheme names the scheme.
+func (s *AdvancedState) Scheme() string { return SchemeAdvanced }
+
+// Inject performs Stage 1 at the event's origin node.
+func (s *AdvancedState) Inject(ev types.Tuple) AdvMeta {
+	vals := make([]types.Value, len(s.keys))
+	for i, k := range s.keys {
+		vals[i] = ev.Args[k]
+	}
+	eq := types.HashValues(vals)
+	return AdvMeta{Eq: eq, Exist: s.st.seenEquiKey(eq), EvID: types.HashTuple(ev), Prev: NilRef}
+}
+
+// FireAt performs Stage 2 for one rule firing at the named node.
+func (s *AdvancedState) FireAt(addr types.NodeAddr, f engine.Firing, m AdvMeta) AdvMeta {
+	if m.Exist {
+		return m
+	}
+	svids := slowVIDs(f)
+	rid := types.RuleExecID(f.Rule.Label, "", append(append([]types.ID(nil), svids...), m.Prev.RID))
+	s.st.addRuleExec(RuleExec{Loc: addr, RID: rid, Rule: f.Rule.Label, VIDs: svids, Next: m.Prev})
+	m.Prev = Ref{Loc: addr, RID: rid}
+	return m
+}
+
+// Output performs Stage 3 at the output tuple's node.
+func (s *AdvancedState) Output(out types.Tuple, m AdvMeta) {
+	vid := types.HashTuple(out)
+	if !m.Exist {
+		waiting := s.st.addHmapRef(m.Eq, out.Rel, m.EvID, m.Prev)
+		s.st.addProv(Prov{Loc: out.Loc(), VID: vid, Ref: m.Prev, EvID: m.EvID})
+		for _, w := range waiting {
+			s.st.addProv(Prov{Loc: out.Loc(), VID: w.vid, Ref: m.Prev, EvID: w.evid})
+		}
+		return
+	}
+	if refs := s.st.hmapRefs(m.Eq, out.Rel); len(refs) > 0 {
+		for _, ref := range refs {
+			s.st.addProv(Prov{Loc: out.Loc(), VID: vid, Ref: ref, EvID: m.EvID})
+		}
+		return
+	}
+	s.st.deferOutput(m.Eq, out.Rel, pendingOutput{vid: vid, evid: m.EvID})
+}
+
+// ClearEquiKeys handles a sig broadcast (Section 5.5).
+func (s *AdvancedState) ClearEquiKeys() { s.st.clearEquiKeys() }
+
+// RuleExec fetches a rule-execution row by RID.
+func (s *AdvancedState) RuleExec(rid types.ID) (RuleExec, bool) {
+	return s.st.getRuleExec(rid)
+}
+
+// ProvRows anchors a query at an output VID.
+func (s *AdvancedState) ProvRows(vid, evid types.ID) []Prov {
+	return s.st.provRows(vid, evid)
+}
+
+// Collect processes one walk reference.
+func (s *AdvancedState) Collect(ref Ref) (CollectedEntry, []types.ID, []Prov, []Ref, bool) {
+	entry, ok := s.st.getRuleExec(ref.RID)
+	if !ok {
+		return CollectedEntry{}, nil, nil, nil, false
+	}
+	nexts := s.st.nexts(ref.RID)
+	return CollectedEntry{Entry: entry, Nexts: nexts}, entry.VIDs, nil, liveRefs(nexts), true
+}
+
+// EventByEvID reports that leaf events resolve through EVID lookups.
+func (s *AdvancedState) EventByEvID() bool { return true }
+
+// Reconstruct runs TRANSFORM_TO_D.
+func (s *AdvancedState) Reconstruct(prog *ndlog.Program, funcs ndlog.FuncMap, root types.Tuple, rootProvs []Prov,
+	entries map[Ref]CollectedEntry, tuples map[types.ID]types.Tuple, _ map[types.ID][]Prov) []*Tree {
+	return AssembleChains(prog, funcs, root, rootProvs, entries, tuples, EvIDLeafEvent(tuples))
+}
+
+// StorageBytes returns the serialized size of the node's tables.
+func (s *AdvancedState) StorageBytes() int64 { return s.st.bytes() }
+
+// --- Basic ---
+
+// BasicState is the Basic scheme's per-node state machine (Section 4).
+type BasicState struct {
+	st *store
+}
+
+// NewBasicState builds the state for one node.
+func NewBasicState() *BasicState {
+	return &BasicState{st: newStore(true, false, false)}
+}
+
+// Scheme names the scheme.
+func (s *BasicState) Scheme() string { return SchemeBasic }
+
+// Inject starts a chain with a NULL previous reference.
+func (s *BasicState) Inject(ev types.Tuple) AdvMeta {
+	return AdvMeta{EvID: types.HashTuple(ev), Prev: NilRef}
+}
+
+// FireAt stores the optimized ruleExec row.
+func (s *BasicState) FireAt(addr types.NodeAddr, f engine.Firing, m AdvMeta) AdvMeta {
+	stored := slowVIDs(f)
+	allVids := append(append([]types.ID(nil), stored...), types.HashTuple(f.Event))
+	if m.Prev.IsNil() {
+		stored = allVids
+	}
+	rid := types.RuleExecID(f.Rule.Label, addr, allVids)
+	if !s.st.addRuleExec(RuleExec{Loc: addr, RID: rid, Rule: f.Rule.Label, VIDs: stored, Next: m.Prev}) {
+		if prev, ok := s.st.getRuleExec(rid); ok && prev.Next != m.Prev {
+			s.st.addLink(rid, m.Prev)
+		}
+	}
+	m.Prev = Ref{Loc: addr, RID: rid}
+	return m
+}
+
+// Output stores the single prov row of the optimized scheme.
+func (s *BasicState) Output(out types.Tuple, m AdvMeta) {
+	s.st.addProv(Prov{Loc: out.Loc(), VID: types.HashTuple(out), Ref: m.Prev})
+}
+
+// ClearEquiKeys is a no-op for Basic.
+func (s *BasicState) ClearEquiKeys() {}
+
+// ProvRows anchors a query at an output VID (no EVID column).
+func (s *BasicState) ProvRows(vid, _ types.ID) []Prov {
+	return s.st.provRows(vid, types.ZeroID)
+}
+
+// Collect processes one walk reference.
+func (s *BasicState) Collect(ref Ref) (CollectedEntry, []types.ID, []Prov, []Ref, bool) {
+	entry, ok := s.st.getRuleExec(ref.RID)
+	if !ok {
+		return CollectedEntry{}, nil, nil, nil, false
+	}
+	nexts := s.st.nexts(ref.RID)
+	return CollectedEntry{Entry: entry, Nexts: nexts}, entry.VIDs, nil, liveRefs(nexts), true
+}
+
+// EventByEvID reports that leaf events come from the recorded VIDs.
+func (s *BasicState) EventByEvID() bool { return false }
+
+// Reconstruct re-derives the chain bottom-up (Section 4 step 2).
+func (s *BasicState) Reconstruct(prog *ndlog.Program, funcs ndlog.FuncMap, root types.Tuple, rootProvs []Prov,
+	entries map[Ref]CollectedEntry, tuples map[types.ID]types.Tuple, _ map[types.ID][]Prov) []*Tree {
+	return AssembleChains(prog, funcs, root, rootProvs, entries, tuples, BasicLeafEvent(prog, tuples))
+}
+
+// StorageBytes returns the serialized size of the node's tables.
+func (s *BasicState) StorageBytes() int64 { return s.st.bytes() }
+
+// --- ExSPAN ---
+
+// ExSPANState is the uncompressed scheme's per-node state machine
+// (Section 2.2).
+type ExSPANState struct {
+	st *store
+}
+
+// NewExSPANState builds the state for one node.
+func NewExSPANState() *ExSPANState {
+	return &ExSPANState{st: newStore(false, false, false)}
+}
+
+// Scheme names the scheme.
+func (s *ExSPANState) Scheme() string { return SchemeExSPAN }
+
+// Inject starts an execution; the injected event's prov row carries NULL.
+func (s *ExSPANState) Inject(ev types.Tuple) AdvMeta {
+	return AdvMeta{EvID: types.HashTuple(ev), Prev: NilRef}
+}
+
+// FireAt stores the full ruleExec row plus prov rows for every body tuple.
+func (s *ExSPANState) FireAt(addr types.NodeAddr, f engine.Firing, m AdvMeta) AdvMeta {
+	evVID := types.HashTuple(f.Event)
+	s.st.addProv(Prov{Loc: addr, VID: evVID, Ref: m.Prev})
+	vids := slowVIDs(f)
+	for _, v := range vids {
+		s.st.addProv(Prov{Loc: addr, VID: v, Ref: NilRef})
+	}
+	vids = append(vids, evVID)
+	rid := types.RuleExecID(f.Rule.Label, addr, vids)
+	s.st.addRuleExec(RuleExec{Loc: addr, RID: rid, Rule: f.Rule.Label, VIDs: vids})
+	m.Prev = Ref{Loc: addr, RID: rid}
+	return m
+}
+
+// Output stores the output tuple's prov row.
+func (s *ExSPANState) Output(out types.Tuple, m AdvMeta) {
+	s.st.addProv(Prov{Loc: out.Loc(), VID: types.HashTuple(out), Ref: m.Prev})
+}
+
+// ClearEquiKeys is a no-op for ExSPAN.
+func (s *ExSPANState) ClearEquiKeys() {}
+
+// ProvRows anchors a query at an output VID (no EVID column).
+func (s *ExSPANState) ProvRows(vid, _ types.ID) []Prov {
+	return s.st.provRows(vid, types.ZeroID)
+}
+
+// Collect processes one walk reference: the entry, its body VIDs, the
+// local prov rows of those VIDs, and the next references (the event
+// tuple's deriving executions).
+func (s *ExSPANState) Collect(ref Ref) (CollectedEntry, []types.ID, []Prov, []Ref, bool) {
+	entry, ok := s.st.getRuleExec(ref.RID)
+	if !ok {
+		return CollectedEntry{}, nil, nil, nil, false
+	}
+	var provs []Prov
+	var nexts []Ref
+	for _, vid := range entry.VIDs {
+		for _, p := range s.st.provRows(vid, types.ZeroID) {
+			provs = append(provs, p)
+			if !p.Ref.IsNil() {
+				nexts = append(nexts, p.Ref)
+			}
+		}
+	}
+	return CollectedEntry{Entry: entry}, entry.VIDs, provs, nexts, true
+}
+
+// EventByEvID reports that leaf events come from the prov rows.
+func (s *ExSPANState) EventByEvID() bool { return false }
+
+// Reconstruct assembles the trees from the fully materialized data.
+func (s *ExSPANState) Reconstruct(prog *ndlog.Program, _ ndlog.FuncMap, root types.Tuple, rootProvs []Prov,
+	entries map[Ref]CollectedEntry, tuples map[types.ID]types.Tuple, provs map[types.ID][]Prov) []*Tree {
+	return AssembleExSPAN(prog, root, rootProvs, entries, tuples, provs)
+}
+
+// StorageBytes returns the serialized size of the node's tables.
+func (s *ExSPANState) StorageBytes() int64 { return s.st.bytes() }
+
+// liveRefs filters NULL references out of a next-list.
+func liveRefs(nexts []Ref) []Ref {
+	var out []Ref
+	for _, nx := range nexts {
+		if !nx.IsNil() {
+			out = append(out, nx)
+		}
+	}
+	return out
+}
+
+// EnumerateChains lists every root-to-leaf path through collected
+// rule-execution nodes — exported for transport implementations that run
+// the Section 5.6 query over their own protocol.
+func EnumerateChains(entries map[Ref]CollectedEntry, root Ref) [][]CollectedEntry {
+	return enumerateChains(entries, root)
+}
+
+// RebuildChain re-derives a full provenance tree from one chain, the input
+// event, and the referenced tuple contents (Section 4 step 2 /
+// TRANSFORM_TO_D) — exported for transport implementations.
+func RebuildChain(prog *ndlog.Program, funcs ndlog.FuncMap, chain []CollectedEntry, event types.Tuple, tuples map[types.ID]types.Tuple) []*Tree {
+	return rebuildChain(prog, funcs, chain, event, tuples)
+}

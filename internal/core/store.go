@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+
+	"provcompress/internal/types"
+)
+
+// Ref references a rule-execution provenance node: the (RLoc, RID) and
+// (NLoc, NRID) pairs of the paper's tables. The zero Ref is NULL.
+type Ref struct {
+	Loc types.NodeAddr
+	RID types.ID
+}
+
+// NilRef is the NULL reference.
+var NilRef Ref
+
+// IsNil reports whether the reference is NULL.
+func (r Ref) IsNil() bool { return r == NilRef }
+
+// String renders the reference as rid@loc or NULL.
+func (r Ref) String() string {
+	if r.IsNil() {
+		return "NULL"
+	}
+	return fmt.Sprintf("%s@%s", r.RID, r.Loc)
+}
+
+// WireSize returns the serialized size of the reference.
+func (r Ref) WireSize() int { return 2 + len(r.Loc) + len(r.RID) }
+
+// RuleExec is a row of the ruleExec table: a rule-execution provenance
+// node. VIDs holds the recorded body-tuple hashes (which bodies are
+// recorded differs per scheme); Next is the (NLoc, NRID) link towards the
+// event leaf used by the Basic and Advanced schemes (NULL for ExSPAN rows
+// and for leaf rows).
+type RuleExec struct {
+	Loc  types.NodeAddr
+	RID  types.ID
+	Rule string
+	VIDs []types.ID
+	Next Ref
+}
+
+// WireSize returns the serialized size of the row; withNext controls
+// whether the NLoc/NRID columns exist in this scheme's table.
+func (e RuleExec) WireSize(withNext bool) int {
+	n := 2 + len(e.Loc) + len(e.RID) + 1 + len(e.Rule) + 1 + len(e.VIDs)*len(types.ID{})
+	if withNext {
+		n += e.Next.WireSize()
+	}
+	return n
+}
+
+// Prov is a row of the prov table: it associates a tuple (by VID) with the
+// rule execution that derived it. EvID identifies the input event of the
+// execution under the Advanced scheme (zero otherwise); Ref is NULL for
+// base tuples (ExSPAN only stores those).
+type Prov struct {
+	Loc  types.NodeAddr
+	VID  types.ID
+	Ref  Ref
+	EvID types.ID
+}
+
+// WireSize returns the serialized size of the row; withEvID controls
+// whether the EVID column exists in this scheme's table.
+func (p Prov) WireSize(withEvID bool) int {
+	n := 2 + len(p.Loc) + len(p.VID) + p.Ref.WireSize()
+	if withEvID {
+		n += len(p.EvID)
+	}
+	return n
+}
+
+// pendingOutput is an output waiting for its equivalence class's shared
+// tree reference to be installed in hmap (Advanced scheme, out-of-order
+// arrival protection).
+type pendingOutput struct {
+	vid  types.ID
+	evid types.ID
+}
+
+// hmapKey addresses one equivalence class's shared chain for one output
+// relation.
+type hmapKey struct {
+	eq  types.ID
+	rel string
+}
+
+// hmapEntry holds the shared-chain references of one class/relation, and
+// the event (epoch) that installed them.
+type hmapEntry struct {
+	evid types.ID
+	refs []Ref
+}
+
+// store holds one node's provenance state for one maintenance scheme, with
+// running serialized-size accounting in the paper's measurement style
+// (Section 6: "we serialize the per-node provenance tables ... and measure
+// the size").
+type store struct {
+	withNext bool // scheme has NLoc/NRID columns
+	withEvID bool // scheme has an EVID column
+	useLinks bool // Section 5.4: next refs live in a separate ruleExecLink table
+
+	ruleExec map[types.ID]*RuleExec
+	// links holds additional next-references per RID for the
+	// inter-equivalence-class table split of Section 5.4 (ruleExecLink).
+	links map[types.ID][]Ref
+	prov  map[types.ID][]Prov
+
+	// Advanced runtime state (Section 5.3). hmap is keyed by (equivalence
+	// hash, output relation): one input event may complete several chains
+	// when multiple programs share its event stream (Section 8), each
+	// producing its own output relation. The epoch EVID lets a post-sig
+	// re-maintenance replace a class's references instead of accumulating
+	// stale ones.
+	htequi  map[types.ID]bool
+	hmap    map[hmapKey]*hmapEntry
+	pending map[hmapKey][]pendingOutput
+
+	ruleExecBytes int64
+	provBytes     int64
+	htequiBytes   int64
+	hmapBytes     int64
+}
+
+func newStore(withNext, withEvID, useLinks bool) *store {
+	return &store{
+		withNext: withNext,
+		withEvID: withEvID,
+		useLinks: useLinks,
+		ruleExec: make(map[types.ID]*RuleExec),
+		prov:     make(map[types.ID][]Prov),
+	}
+}
+
+// bytes returns the node's total provenance storage.
+func (s *store) bytes() int64 {
+	return s.ruleExecBytes + s.provBytes + s.htequiBytes + s.hmapBytes
+}
+
+// addRuleExec inserts a ruleExec row keyed by RID; duplicate RIDs are kept
+// once (set semantics). It reports whether the row was new.
+func (s *store) addRuleExec(e RuleExec) bool {
+	if _, ok := s.ruleExec[e.RID]; ok {
+		return false
+	}
+	cp := e
+	s.ruleExec[e.RID] = &cp
+	s.ruleExecBytes += int64(e.WireSize(s.withNext))
+	return true
+}
+
+// addLink records an extra (NLoc, NRID) link for a shared rule-execution
+// node (ruleExecLink table of Section 5.4). Duplicate links are ignored.
+func (s *store) addLink(rid types.ID, next Ref) bool {
+	for _, r := range s.links[rid] {
+		if r == next {
+			return false
+		}
+	}
+	if s.links == nil {
+		s.links = make(map[types.ID][]Ref)
+	}
+	s.links[rid] = append(s.links[rid], next)
+	// A link row carries (Loc, RID, NLoc, NRID).
+	s.ruleExecBytes += int64(2 + len(rid) + next.WireSize())
+	return true
+}
+
+// getRuleExec fetches a row by RID.
+func (s *store) getRuleExec(rid types.ID) (RuleExec, bool) {
+	e, ok := s.ruleExec[rid]
+	if !ok {
+		return RuleExec{}, false
+	}
+	return *e, true
+}
+
+// nexts returns every recorded next-reference of a rule-execution node.
+// Under the inter-class table split (Section 5.4) the references live in
+// the ruleExecLink table and one node may carry several; otherwise the
+// row's own Next column is the single reference. A leaf contributes NilRef.
+func (s *store) nexts(rid types.ID) []Ref {
+	e, ok := s.ruleExec[rid]
+	if !ok {
+		return nil
+	}
+	if s.useLinks {
+		return append([]Ref(nil), s.links[rid]...)
+	}
+	out := []Ref{e.Next}
+	for _, r := range s.links[rid] {
+		if r != e.Next {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// addProv inserts a prov row; exact duplicates are ignored. It reports
+// whether the row was new.
+func (s *store) addProv(p Prov) bool {
+	for _, q := range s.prov[p.VID] {
+		if q == p {
+			return false
+		}
+	}
+	s.prov[p.VID] = append(s.prov[p.VID], p)
+	s.provBytes += int64(p.WireSize(s.withEvID))
+	return true
+}
+
+// provRows returns the prov rows for a VID, optionally filtered by EvID.
+func (s *store) provRows(vid, evid types.ID) []Prov {
+	rows := s.prov[vid]
+	if evid.IsZero() {
+		return rows
+	}
+	var out []Prov
+	for _, p := range rows {
+		if p.EvID == evid {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// seenEquiKey implements Stage 1 of Section 5.3: it checks whether the
+// equivalence-key hash was seen at this node and records it if not,
+// returning the prior existence (the existFlag value).
+func (s *store) seenEquiKey(h types.ID) bool {
+	if s.htequi == nil {
+		s.htequi = make(map[types.ID]bool)
+	}
+	if s.htequi[h] {
+		return true
+	}
+	s.htequi[h] = true
+	s.htequiBytes += int64(len(h))
+	return false
+}
+
+// clearEquiKeys empties htequi on receipt of a sig broadcast (Section 5.5).
+func (s *store) clearEquiKeys() {
+	s.htequi = nil
+	s.htequiBytes = 0
+}
+
+// addHmapRef installs a shared-chain reference for (class, output
+// relation) and returns any outputs that were waiting for it. A reference
+// installed by a new event (fresh evid — e.g. after a sig reset) replaces
+// the previous epoch's references; references from the same event
+// accumulate (one event may complete several chains to the same output
+// relation).
+func (s *store) addHmapRef(eq types.ID, rel string, evid types.ID, ref Ref) []pendingOutput {
+	if s.hmap == nil {
+		s.hmap = make(map[hmapKey]*hmapEntry)
+	}
+	k := hmapKey{eq, rel}
+	e := s.hmap[k]
+	if e == nil {
+		e = &hmapEntry{evid: evid}
+		s.hmap[k] = e
+		s.hmapBytes += int64(len(eq) + len(rel) + len(evid))
+	} else if e.evid != evid {
+		for _, old := range e.refs {
+			s.hmapBytes -= int64(old.WireSize())
+		}
+		e.evid = evid
+		e.refs = e.refs[:0]
+	}
+	for _, r := range e.refs {
+		if r == ref {
+			waiting := s.pending[k]
+			delete(s.pending, k)
+			return waiting
+		}
+	}
+	e.refs = append(e.refs, ref)
+	s.hmapBytes += int64(ref.WireSize())
+	waiting := s.pending[k]
+	delete(s.pending, k)
+	return waiting
+}
+
+// hmapRefs returns the shared-chain references for (class, output
+// relation).
+func (s *store) hmapRefs(eq types.ID, rel string) []Ref {
+	e := s.hmap[hmapKey{eq, rel}]
+	if e == nil {
+		return nil
+	}
+	return e.refs
+}
+
+// deferOutput queues an output until the class's hmap entry arrives.
+func (s *store) deferOutput(eq types.ID, rel string, p pendingOutput) {
+	if s.pending == nil {
+		s.pending = make(map[hmapKey][]pendingOutput)
+	}
+	k := hmapKey{eq, rel}
+	s.pending[k] = append(s.pending[k], p)
+}
+
+// numRuleExec and numProv report row counts, for tests and table dumps.
+func (s *store) numRuleExec() int { return len(s.ruleExec) }
+func (s *store) numProv() int {
+	n := 0
+	for _, rows := range s.prov {
+		n += len(rows)
+	}
+	return n
+}

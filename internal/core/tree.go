@@ -1,0 +1,157 @@
+// Package core implements the paper's contribution: distributed provenance
+// maintenance and compression for DELPs. It provides the provenance tree
+// representation (Appendix A), the distributed storage model (prov and
+// ruleExec tables, Section 2.2), the three maintenance schemes evaluated in
+// Section 6 — ExSPAN (uncompressed), Basic (intermediate-node removal,
+// Section 4), and Advanced (equivalence-based compression, Section 5) — and
+// the distributed provenance query protocols (Sections 4 and 5.6).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"provcompress/internal/types"
+)
+
+// Tree is a provenance tree per Appendix A:
+//
+//	tr ::= <rID, P, ev, B1::...::Bn>   (base: triggered by the input event)
+//	     | <rID, P, tr, B1::...::Bn>   (recursive: triggered by a derived tuple)
+//
+// Output is the derived tuple P; Slow holds the slow-changing tuples
+// B1..Bn; exactly one of Event (base case) and Child (recursive case) is
+// set.
+type Tree struct {
+	Rule   string
+	Output types.Tuple
+	Event  *types.Tuple
+	Child  *Tree
+	Slow   []types.Tuple
+}
+
+// EventOf returns the input event tuple at the leaf of the tree (the
+// EVENTOF function used by Theorem 5).
+func (t *Tree) EventOf() types.Tuple {
+	cur := t
+	for cur.Child != nil {
+		cur = cur.Child
+	}
+	if cur.Event == nil {
+		panic("core: malformed tree: leaf without event")
+	}
+	return *cur.Event
+}
+
+// EvID returns the hash of the tree's input event tuple.
+func (t *Tree) EvID() types.ID { return types.HashTuple(t.EventOf()) }
+
+// Depth returns the number of rule executions in the tree.
+func (t *Tree) Depth() int {
+	d := 0
+	for cur := t; cur != nil; cur = cur.Child {
+		d++
+	}
+	return d
+}
+
+// Equal reports structural equality: same rules, same outputs, same event,
+// same slow tuples at every level.
+func (t *Tree) Equal(u *Tree) bool {
+	for {
+		switch {
+		case t == nil && u == nil:
+			return true
+		case t == nil || u == nil:
+			return false
+		case t.Rule != u.Rule,
+			!t.Output.Equal(u.Output),
+			len(t.Slow) != len(u.Slow),
+			(t.Event == nil) != (u.Event == nil):
+			return false
+		}
+		for i := range t.Slow {
+			if !t.Slow[i].Equal(u.Slow[i]) {
+				return false
+			}
+		}
+		if t.Event != nil {
+			return t.Event.Equal(*u.Event)
+		}
+		t, u = t.Child, u.Child
+	}
+}
+
+// Equivalent implements the ~ relation of Section 5.1 / Appendix A: the
+// trees share the identical rule sequence and identical slow-changing
+// tuples at every level, differing only in the output tuples and the input
+// event. (Appendix A's definition is additionally parameterized by event
+// equivalence w.r.t. keys; callers check event equivalence separately.)
+func (t *Tree) Equivalent(u *Tree) bool {
+	for {
+		switch {
+		case t == nil && u == nil:
+			return true
+		case t == nil || u == nil:
+			return false
+		case t.Rule != u.Rule,
+			len(t.Slow) != len(u.Slow),
+			(t.Event == nil) != (u.Event == nil):
+			return false
+		}
+		for i := range t.Slow {
+			if !t.Slow[i].Equal(u.Slow[i]) {
+				return false
+			}
+		}
+		if t.Event != nil {
+			return true // events may differ
+		}
+		t, u = t.Child, u.Child
+	}
+}
+
+// String renders the tree root-first with indentation, e.g.
+//
+//	recv(@n3, "n1", "n3", "data") <- r2
+//	  packet(@n3, "n1", "n3", "data") <- r1 [route(@n2, "n3", "n3")]
+//	  ...
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.format(&b, 0)
+	return b.String()
+}
+
+func (t *Tree) format(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s <- %s", indent, t.Output, t.Rule)
+	if len(t.Slow) > 0 {
+		parts := make([]string, len(t.Slow))
+		for i, s := range t.Slow {
+			parts[i] = s.String()
+		}
+		fmt.Fprintf(b, " [%s]", strings.Join(parts, ", "))
+	}
+	b.WriteByte('\n')
+	if t.Child != nil {
+		t.Child.format(b, depth+1)
+		return
+	}
+	fmt.Fprintf(b, "%sevent %s\n", strings.Repeat("  ", depth+1), t.Event)
+}
+
+// WireSize estimates the serialized size of the full tree: what a
+// centralized uncompressed store would pay per tree.
+func (t *Tree) WireSize() int {
+	n := 0
+	for cur := t; cur != nil; cur = cur.Child {
+		n += len(cur.Rule) + 1 + cur.Output.EncodedSize()
+		for _, s := range cur.Slow {
+			n += s.EncodedSize()
+		}
+		if cur.Event != nil {
+			n += cur.Event.EncodedSize()
+		}
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"provcompress/internal/types"
+)
+
+// chainTree builds a depth-n forwarding-style tree for tree unit tests.
+func chainTree(payload string, hops int) *Tree {
+	ev := packet("n1", "n1", "n3", payload)
+	cur := &Tree{
+		Rule:   "r1",
+		Output: packet("n2", "n1", "n3", payload),
+		Event:  &ev,
+		Slow:   []types.Tuple{routeTuple("n1", "n3", "n2")},
+	}
+	for i := 2; i < hops; i++ {
+		cur = &Tree{
+			Rule:   "r1",
+			Output: packet("nx", "n1", "n3", payload),
+			Child:  cur,
+			Slow:   []types.Tuple{routeTuple("n2", "n3", "n3")},
+		}
+	}
+	return &Tree{
+		Rule:   "r2",
+		Output: recvTuple("n3", "n1", "n3", payload),
+		Child:  cur,
+	}
+}
+
+func TestTreeEventOfAndDepth(t *testing.T) {
+	tr := chainTree("data", 3)
+	if got := tr.EventOf(); !got.Equal(packet("n1", "n1", "n3", "data")) {
+		t.Errorf("EventOf = %v", got)
+	}
+	if tr.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", tr.Depth())
+	}
+	if tr.EvID() != types.HashTuple(packet("n1", "n1", "n3", "data")) {
+		t.Error("EvID mismatch")
+	}
+}
+
+func TestTreeEventOfPanicsOnMalformed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EventOf on leafless tree should panic")
+		}
+	}()
+	(&Tree{Rule: "r1", Output: packet("n1", "n1", "n3", "x")}).EventOf()
+}
+
+func TestTreeEqual(t *testing.T) {
+	a := chainTree("data", 3)
+	b := chainTree("data", 3)
+	if !a.Equal(b) {
+		t.Error("identical trees not Equal")
+	}
+	if !a.Equal(a) {
+		t.Error("tree not Equal to itself")
+	}
+	if a.Equal(chainTree("url", 3)) {
+		t.Error("different payload trees Equal")
+	}
+	if a.Equal(chainTree("data", 4)) {
+		t.Error("different depth trees Equal")
+	}
+	if a.Equal(nil) {
+		t.Error("tree Equal nil")
+	}
+	// Different rule at root.
+	c := chainTree("data", 3)
+	c.Rule = "r9"
+	if a.Equal(c) {
+		t.Error("different rule trees Equal")
+	}
+	// Different slow tuples.
+	d := chainTree("data", 3)
+	d.Child.Slow = []types.Tuple{routeTuple("n9", "n3", "n3")}
+	if a.Equal(d) {
+		t.Error("different slow trees Equal")
+	}
+	// Slow arity difference.
+	e := chainTree("data", 3)
+	e.Child.Slow = append(e.Child.Slow, routeTuple("n8", "n3", "n3"))
+	if a.Equal(e) {
+		t.Error("different slow count trees Equal")
+	}
+}
+
+func TestTreeEquivalent(t *testing.T) {
+	// The Section 5.1 relation: equal modulo output tuples and event.
+	a := chainTree("data", 3)
+	b := chainTree("url", 3)
+	if !a.Equivalent(b) {
+		t.Error("same-class trees not Equivalent")
+	}
+	if !a.Equivalent(a) {
+		t.Error("tree not Equivalent to itself")
+	}
+	if a.Equivalent(chainTree("data", 4)) {
+		t.Error("different-structure trees Equivalent")
+	}
+	c := chainTree("x", 3)
+	c.Child.Slow = []types.Tuple{routeTuple("n9", "n3", "n3")}
+	if a.Equivalent(c) {
+		t.Error("different-slow trees Equivalent")
+	}
+	if a.Equivalent(nil) {
+		t.Error("tree Equivalent nil")
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	s := chainTree("data", 3).String()
+	for _, want := range []string{
+		"recv(@n3", "<- r2", "<- r1", "[route(@n1", "event packet(@n1",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+	// Leaf event is the most indented line.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[3], strings.Repeat("  ", 3)) {
+		t.Errorf("event line not indented: %q", lines[3])
+	}
+}
+
+func TestTreeWireSize(t *testing.T) {
+	small := chainTree("x", 2)
+	big := chainTree(strings.Repeat("x", 500), 2)
+	deep := chainTree("x", 6)
+	if small.WireSize() <= 0 {
+		t.Error("WireSize not positive")
+	}
+	if big.WireSize() <= small.WireSize() {
+		t.Error("payload size not reflected")
+	}
+	if deep.WireSize() <= small.WireSize() {
+		t.Error("depth not reflected")
+	}
+}
+
+func TestTreeDOT(t *testing.T) {
+	dot := chainTree("data", 3).DOT()
+	for _, want := range []string{
+		"digraph provenance {",
+		"shape=box",     // tuple nodes (including the leaf event)
+		"shape=ellipse", // rule nodes
+		"recv(@n3",
+		"route(@n1",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic, balanced braces.
+	if dot != chainTree("data", 3).DOT() {
+		t.Error("DOT not deterministic")
+	}
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+	// One rule node per level.
+	if got := strings.Count(dot, "shape=ellipse"); got != 3 {
+		t.Errorf("rule nodes = %d, want 3", got)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if NilRef.String() != "NULL" {
+		t.Errorf("NilRef = %q", NilRef.String())
+	}
+	r := Ref{Loc: "n1", RID: types.HashBytes([]byte("x"))}
+	if !strings.Contains(r.String(), "@n1") {
+		t.Errorf("Ref = %q", r.String())
+	}
+	if r.IsNil() || !NilRef.IsNil() {
+		t.Error("IsNil wrong")
+	}
+}
+
+func TestRowWireSizes(t *testing.T) {
+	rid := types.HashBytes([]byte("r"))
+	e := RuleExec{Loc: "n1", RID: rid, Rule: "r1",
+		VIDs: []types.ID{rid, rid}, Next: Ref{Loc: "n2", RID: rid}}
+	if e.WireSize(true) <= e.WireSize(false) {
+		t.Error("NLoc/NRID column not priced")
+	}
+	noVids := e
+	noVids.VIDs = nil
+	if e.WireSize(false) <= noVids.WireSize(false) {
+		t.Error("VIDs not priced")
+	}
+	p := Prov{Loc: "n1", VID: rid, Ref: Ref{Loc: "n2", RID: rid}, EvID: rid}
+	if p.WireSize(true) <= p.WireSize(false) {
+		t.Error("EVID column not priced")
+	}
+}

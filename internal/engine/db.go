@@ -1,0 +1,105 @@
+// Package engine executes DELPs over a distributed set of nodes following
+// the pipelined semi-naïve evaluation strategy of Section 3.1: an event
+// tuple arriving at a node joins the local slow-changing tables, fires
+// every rule it matches, and ships each head tuple to the node named by its
+// location specifier, where evaluation continues until the pipeline's output
+// relations are reached.
+//
+// The engine is provenance-agnostic: a Maintainer (internal/core) observes
+// injections, rule firings and outputs through hooks and threads its own
+// metadata along each shipped tuple, which is how the three provenance
+// schemes of the paper are realized without duplicating the evaluator.
+package engine
+
+import (
+	"fmt"
+
+	"provcompress/internal/types"
+)
+
+// Database is one node's local relational store of base (slow-changing)
+// tuples and locally derived tuples of interest.
+type Database struct {
+	tables map[string][]types.Tuple
+	byVID  map[types.ID]types.Tuple
+	// graveyard retains the contents of deleted tuples so provenance —
+	// which is monotone (Section 5.5: deletions do not affect stored
+	// provenance) — can still resolve the VIDs it recorded.
+	graveyard map[types.ID]types.Tuple
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		tables: make(map[string][]types.Tuple),
+		byVID:  make(map[types.ID]types.Tuple),
+	}
+}
+
+// Insert adds a tuple; duplicates (set semantics) are ignored.
+// It reports whether the tuple was newly added.
+func (db *Database) Insert(t types.Tuple) bool {
+	vid := types.HashTuple(t)
+	if _, ok := db.byVID[vid]; ok {
+		return false
+	}
+	db.byVID[vid] = t
+	db.tables[t.Rel] = append(db.tables[t.Rel], t)
+	return true
+}
+
+// Delete removes a tuple from its table; it reports whether the tuple was
+// present. The tuple's content stays resolvable through LookupVID so that
+// previously recorded provenance remains queryable.
+func (db *Database) Delete(t types.Tuple) bool {
+	vid := types.HashTuple(t)
+	if _, ok := db.byVID[vid]; !ok {
+		return false
+	}
+	delete(db.byVID, vid)
+	if db.graveyard == nil {
+		db.graveyard = make(map[types.ID]types.Tuple)
+	}
+	db.graveyard[vid] = t
+	rows := db.tables[t.Rel]
+	for i := range rows {
+		if rows[i].Equal(t) {
+			db.tables[t.Rel] = append(rows[:i:i], rows[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Scan returns the tuples of a relation in insertion order. The returned
+// slice must not be modified.
+func (db *Database) Scan(rel string) []types.Tuple { return db.tables[rel] }
+
+// LookupVID resolves a tuple by its content hash, used by the provenance
+// query protocols to fetch slow-changing tuple contents referenced by VIDs.
+// Deleted tuples remain resolvable (provenance is monotone).
+func (db *Database) LookupVID(vid types.ID) (types.Tuple, bool) {
+	if t, ok := db.byVID[vid]; ok {
+		return t, true
+	}
+	t, ok := db.graveyard[vid]
+	return t, ok
+}
+
+// Count returns the number of tuples in a relation.
+func (db *Database) Count(rel string) int { return len(db.tables[rel]) }
+
+// Node is one entity of the distributed system: an address plus its local
+// database.
+type Node struct {
+	Addr types.NodeAddr
+	DB   *Database
+}
+
+// NewNode returns a node with an empty database.
+func NewNode(addr types.NodeAddr) *Node {
+	return &Node{Addr: addr, DB: NewDatabase()}
+}
+
+// String identifies the node in logs.
+func (n *Node) String() string { return fmt.Sprintf("node(%s)", n.Addr) }

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"testing"
+
+	"provcompress/internal/types"
+)
+
+func rt3(loc, dst, next string) types.Tuple {
+	return types.NewTuple("route", types.String(loc), types.String(dst), types.String(next))
+}
+
+func TestDatabaseInsertScanDelete(t *testing.T) {
+	db := NewDatabase()
+	a := rt3("n1", "n3", "n2")
+	b := rt3("n1", "n4", "n2")
+	if !db.Insert(a) {
+		t.Error("first insert reported duplicate")
+	}
+	if db.Insert(a) {
+		t.Error("duplicate insert reported new")
+	}
+	db.Insert(b)
+	if db.Count("route") != 2 {
+		t.Errorf("count = %d, want 2", db.Count("route"))
+	}
+	rows := db.Scan("route")
+	if len(rows) != 2 || !rows[0].Equal(a) || !rows[1].Equal(b) {
+		t.Errorf("scan = %v", rows)
+	}
+	if !db.Delete(a) {
+		t.Error("delete reported missing")
+	}
+	if db.Delete(a) {
+		t.Error("second delete reported present")
+	}
+	if db.Count("route") != 1 {
+		t.Errorf("count after delete = %d", db.Count("route"))
+	}
+	if len(db.Scan("nosuch")) != 0 {
+		t.Error("scan of unknown relation non-empty")
+	}
+}
+
+func TestDatabaseLookupVIDAndGraveyard(t *testing.T) {
+	db := NewDatabase()
+	a := rt3("n1", "n3", "n2")
+	vid := types.HashTuple(a)
+	if _, ok := db.LookupVID(vid); ok {
+		t.Error("lookup before insert succeeded")
+	}
+	db.Insert(a)
+	if got, ok := db.LookupVID(vid); !ok || !got.Equal(a) {
+		t.Errorf("lookup = %v, %v", got, ok)
+	}
+	db.Delete(a)
+	// Deleted tuples stay resolvable (provenance is monotone) but leave the
+	// table.
+	if got, ok := db.LookupVID(vid); !ok || !got.Equal(a) {
+		t.Error("deleted tuple no longer resolvable by VID")
+	}
+	if db.Count("route") != 0 {
+		t.Error("deleted tuple still scanned")
+	}
+	// Re-insert after delete works.
+	if !db.Insert(a) {
+		t.Error("re-insert after delete rejected")
+	}
+	if db.Count("route") != 1 {
+		t.Error("re-inserted tuple not scanned")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := NewNode("n1")
+	if n.String() != "node(n1)" {
+		t.Errorf("String = %q", n.String())
+	}
+	if n.DB == nil {
+		t.Error("node without database")
+	}
+}

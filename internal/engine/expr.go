@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+
+	"provcompress/internal/ndlog"
+	"provcompress/internal/types"
+)
+
+// Binding maps variable names to values during rule evaluation.
+type Binding map[string]types.Value
+
+// clone returns an independent copy of the binding.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// EvalExpr evaluates an expression under a binding with the given
+// user-defined function registry.
+func EvalExpr(e ndlog.Expr, b Binding, funcs ndlog.FuncMap) (types.Value, error) {
+	switch e := e.(type) {
+	case ndlog.ConstExpr:
+		return e.Val, nil
+	case ndlog.VarExpr:
+		v, ok := b[e.Name]
+		if !ok {
+			return types.Value{}, fmt.Errorf("engine: unbound variable %s", e.Name)
+		}
+		return v, nil
+	case ndlog.BinExpr:
+		l, err := EvalExpr(e.L, b, funcs)
+		if err != nil {
+			return types.Value{}, err
+		}
+		r, err := EvalExpr(e.R, b, funcs)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return evalArith(e.Op, l, r)
+	case ndlog.CallExpr:
+		fn, ok := funcs[e.Fn]
+		if !ok {
+			return types.Value{}, fmt.Errorf("engine: unknown function %s", e.Fn)
+		}
+		args := make([]types.Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := EvalExpr(a, b, funcs)
+			if err != nil {
+				return types.Value{}, err
+			}
+			args[i] = v
+		}
+		out, err := fn(args)
+		if err != nil {
+			return types.Value{}, fmt.Errorf("engine: %s: %w", e.Fn, err)
+		}
+		return out, nil
+	default:
+		return types.Value{}, fmt.Errorf("engine: unknown expression %T", e)
+	}
+}
+
+func evalArith(op ndlog.BinOp, l, r types.Value) (types.Value, error) {
+	// String concatenation via +.
+	if op == ndlog.OpAdd && l.Kind() == types.KindString && r.Kind() == types.KindString {
+		return types.String(l.AsString() + r.AsString()), nil
+	}
+	if l.Kind() != types.KindInt || r.Kind() != types.KindInt {
+		return types.Value{}, fmt.Errorf("engine: arithmetic %s on %s and %s values", op, l.Kind(), r.Kind())
+	}
+	a, b := l.AsInt(), r.AsInt()
+	switch op {
+	case ndlog.OpAdd:
+		return types.Int(a + b), nil
+	case ndlog.OpSub:
+		return types.Int(a - b), nil
+	case ndlog.OpMul:
+		return types.Int(a * b), nil
+	case ndlog.OpDiv:
+		if b == 0 {
+			return types.Value{}, fmt.Errorf("engine: division by zero")
+		}
+		return types.Int(a / b), nil
+	case ndlog.OpMod:
+		if b == 0 {
+			return types.Value{}, fmt.Errorf("engine: modulo by zero")
+		}
+		return types.Int(a % b), nil
+	default:
+		return types.Value{}, fmt.Errorf("engine: unknown operator %s", op)
+	}
+}
+
+// EvalConstraint evaluates a comparison under a binding.
+func EvalConstraint(c ndlog.Constraint, b Binding, funcs ndlog.FuncMap) (bool, error) {
+	l, err := EvalExpr(c.L, b, funcs)
+	if err != nil {
+		return false, err
+	}
+	r, err := EvalExpr(c.R, b, funcs)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case ndlog.OpEq:
+		return l.Equal(r), nil
+	case ndlog.OpNe:
+		return !l.Equal(r), nil
+	}
+	if l.Kind() != r.Kind() {
+		return false, fmt.Errorf("engine: ordered comparison %s between %s and %s", c.Op, l.Kind(), r.Kind())
+	}
+	cmp := l.Compare(r)
+	switch c.Op {
+	case ndlog.OpLt:
+		return cmp < 0, nil
+	case ndlog.OpLe:
+		return cmp <= 0, nil
+	case ndlog.OpGt:
+		return cmp > 0, nil
+	case ndlog.OpGe:
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("engine: unknown comparison %s", c.Op)
+	}
+}

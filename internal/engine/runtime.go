@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"provcompress/internal/ndlog"
+	"provcompress/internal/netsim"
+	"provcompress/internal/types"
+)
+
+// Meta is opaque provenance metadata a Maintainer threads along each
+// shipped tuple (the paper's existFlag "tagged along with ev throughout the
+// execution", rule-execution references, event hashes, ...).
+type Meta any
+
+// Maintainer observes the execution to maintain provenance. The engine
+// calls the hooks at well-defined points; the maintainer decides what to
+// store and what metadata to attach to each message.
+type Maintainer interface {
+	// Name identifies the scheme (ExSPAN, Basic, Advanced).
+	Name() string
+	// Attach wires the maintainer to the runtime before execution starts.
+	Attach(rt *Runtime)
+	// OnInject runs at the origin node when a fresh input event enters the
+	// system; the returned metadata accompanies the event's execution.
+	OnInject(n *Node, ev types.Tuple) Meta
+	// OnFire runs at the node where a rule fired; the returned metadata is
+	// attached to the shipped head tuple.
+	OnFire(n *Node, f Firing, in Meta) Meta
+	// OnOutput runs at the node where an output tuple (a tuple no rule
+	// consumes) lands.
+	OnOutput(n *Node, out types.Tuple, in Meta)
+	// OnSlowUpdate runs after a slow-changing table changed at a node
+	// (Section 5.5); inserted distinguishes insertion from deletion.
+	OnSlowUpdate(n *Node, t types.Tuple, inserted bool)
+	// HandleMessage processes maintainer-specific messages (sig broadcasts,
+	// provenance query protocol); it reports whether the kind was handled.
+	HandleMessage(n *Node, msg netsim.Message) bool
+	// MetaSize returns the wire size of metadata, for bandwidth accounting.
+	MetaSize(m Meta) int
+	// StorageBytes returns the serialized size of the provenance state the
+	// scheme maintains at one node; TotalStorageBytes sums over all nodes.
+	StorageBytes(addr types.NodeAddr) int64
+	TotalStorageBytes() int64
+}
+
+// MsgTuple is the message kind used for tuple shipment.
+const MsgTuple = "tuple"
+
+// DefaultHeaderSize approximates the fixed per-message envelope (addresses,
+// kind, length framing) counted towards bandwidth.
+const DefaultHeaderSize = 28
+
+// TupleMsg is the payload of a MsgTuple message.
+type TupleMsg struct {
+	Tuple types.Tuple
+	Meta  Meta
+}
+
+// Output records an output tuple arrival: what, where implicit in the
+// tuple, and when.
+type Output struct {
+	Tuple types.Tuple
+	Time  time.Duration
+	Meta  Meta
+}
+
+// Runtime couples a DELP, a simulated network, and a provenance maintainer.
+type Runtime struct {
+	Prog  *ndlog.Program
+	Net   *netsim.Network
+	Funcs ndlog.FuncMap
+	Maint Maintainer
+
+	// HeaderSize is the fixed per-message envelope size in bytes.
+	HeaderSize int
+	// KeepOutputs controls whether every output tuple is recorded in
+	// Outputs; experiments that only need counters disable it to bound
+	// memory.
+	KeepOutputs bool
+	// MaterializeDeliveries controls whether delivered tuples are inserted
+	// into node databases (semi-naïve materialization). Provenance querying
+	// needs it on; storage/bandwidth experiments that never query disable
+	// it to bound memory on long runs.
+	MaterializeDeliveries bool
+
+	progs    []*ndlog.Program
+	nodes    map[types.NodeAddr]*Node
+	outputs  []Output
+	nOutputs int64
+	injected int64
+	fired    int64
+	errs     []error
+}
+
+// NewRuntime builds a runtime over the network's topology: one node (with
+// an empty database) per topology node, handlers installed.
+func NewRuntime(net *netsim.Network, prog *ndlog.Program, funcs ndlog.FuncMap, maint Maintainer) *Runtime {
+	return newRuntime(net, prog, []*ndlog.Program{prog}, funcs, maint)
+}
+
+// NewMultiRuntime deploys several DELPs jointly (the Section 8 future-work
+// scenario): the rule sets are merged (identical rules shared), every
+// program's rules fire on the shared event streams, and provenance chains
+// may interleave rules of different programs.
+func NewMultiRuntime(net *netsim.Network, progs []*ndlog.Program, funcs ndlog.FuncMap, maint Maintainer) (*Runtime, error) {
+	merged, err := ndlog.MergePrograms(progs...)
+	if err != nil {
+		return nil, err
+	}
+	return newRuntime(net, merged, progs, funcs, maint), nil
+}
+
+func newRuntime(net *netsim.Network, prog *ndlog.Program, progs []*ndlog.Program, funcs ndlog.FuncMap, maint Maintainer) *Runtime {
+	rt := &Runtime{
+		Prog:                  prog,
+		progs:                 progs,
+		Net:                   net,
+		Funcs:                 funcs,
+		Maint:                 maint,
+		HeaderSize:            DefaultHeaderSize,
+		KeepOutputs:           true,
+		MaterializeDeliveries: true,
+		nodes:                 make(map[types.NodeAddr]*Node),
+	}
+	for _, addr := range net.Graph().Nodes() {
+		n := NewNode(addr)
+		rt.nodes[addr] = n
+		addr := addr
+		net.SetHandler(addr, func(msg netsim.Message) { rt.dispatch(rt.nodes[addr], msg) })
+	}
+	maint.Attach(rt)
+	return rt
+}
+
+// SourcePrograms returns the original programs deployed on the runtime
+// (one for NewRuntime; the merge inputs for NewMultiRuntime).
+func (rt *Runtime) SourcePrograms() []*ndlog.Program { return rt.progs }
+
+// Node returns the node at addr, or nil.
+func (rt *Runtime) Node(addr types.NodeAddr) *Node { return rt.nodes[addr] }
+
+// Nodes returns all nodes keyed by address. Callers must not modify the map.
+func (rt *Runtime) Nodes() map[types.NodeAddr]*Node { return rt.nodes }
+
+// Outputs returns the recorded output tuples (if KeepOutputs).
+func (rt *Runtime) Outputs() []Output { return rt.outputs }
+
+// NumOutputs returns the number of output tuples produced.
+func (rt *Runtime) NumOutputs() int64 { return rt.nOutputs }
+
+// Injected returns the number of injected input events.
+func (rt *Runtime) Injected() int64 { return rt.injected }
+
+// Fired returns the number of rule firings.
+func (rt *Runtime) Fired() int64 { return rt.fired }
+
+// Errors returns evaluation errors encountered (bad programs or databases).
+func (rt *Runtime) Errors() []error { return rt.errs }
+
+// LoadBase inserts base (slow-changing) tuples into the databases of the
+// nodes named by their location specifiers. It is the initial configuration
+// step and does not trigger sig broadcasts.
+func (rt *Runtime) LoadBase(tuples []types.Tuple) error {
+	for _, t := range tuples {
+		n := rt.nodes[t.Loc()]
+		if n == nil {
+			return fmt.Errorf("engine: base tuple %s at unknown node", t)
+		}
+		n.DB.Insert(t)
+	}
+	return nil
+}
+
+// InjectAt schedules the injection of an input event tuple at virtual time
+// t at the node named by its location specifier.
+func (rt *Runtime) InjectAt(t time.Duration, ev types.Tuple) {
+	if rt.nodes[ev.Loc()] == nil {
+		panic(fmt.Sprintf("engine: inject %s at unknown node", ev))
+	}
+	rt.Net.Scheduler().At(t, func() {
+		n := rt.nodes[ev.Loc()]
+		rt.injected++
+		meta := rt.Maint.OnInject(n, ev)
+		rt.deliver(n, ev, meta)
+	})
+}
+
+// Inject schedules the injection at the current virtual time.
+func (rt *Runtime) Inject(ev types.Tuple) { rt.InjectAt(rt.Net.Scheduler().Now(), ev) }
+
+// InsertSlow inserts a tuple into a slow-changing table at runtime and
+// notifies the maintainer (Section 5.5: insertion triggers a sig broadcast
+// under the Advanced scheme).
+func (rt *Runtime) InsertSlow(t types.Tuple) {
+	n := rt.nodes[t.Loc()]
+	if n == nil {
+		panic(fmt.Sprintf("engine: slow insert %s at unknown node", t))
+	}
+	if n.DB.Insert(t) {
+		rt.Maint.OnSlowUpdate(n, t, true)
+	}
+}
+
+// DeleteSlow removes a tuple from a slow-changing table at runtime.
+// Deletion does not invalidate stored provenance (provenance is monotone).
+func (rt *Runtime) DeleteSlow(t types.Tuple) {
+	n := rt.nodes[t.Loc()]
+	if n == nil {
+		panic(fmt.Sprintf("engine: slow delete %s at unknown node", t))
+	}
+	if n.DB.Delete(t) {
+		rt.Maint.OnSlowUpdate(n, t, false)
+	}
+}
+
+// dispatch routes an arriving message to tuple delivery or the maintainer.
+func (rt *Runtime) dispatch(n *Node, msg netsim.Message) {
+	if msg.Kind == MsgTuple {
+		tm := msg.Payload.(TupleMsg)
+		rt.deliver(n, tm.Tuple, tm.Meta)
+		return
+	}
+	if !rt.Maint.HandleMessage(n, msg) {
+		rt.errs = append(rt.errs, fmt.Errorf("engine: %s: unhandled message kind %q", n.Addr, msg.Kind))
+	}
+}
+
+// deliver evaluates an event tuple at a node, or records it as an output if
+// no rule consumes its relation. The tuple is materialized in the node's
+// database first — semi-naïve evaluation stores every derivation as
+// application state, which is also what the provenance query protocols
+// resolve VIDs against.
+func (rt *Runtime) deliver(n *Node, t types.Tuple, meta Meta) {
+	if rt.MaterializeDeliveries {
+		n.DB.Insert(t)
+	}
+	rules := rt.Prog.RulesForEvent(t.Rel)
+	if len(rules) == 0 {
+		rt.Maint.OnOutput(n, t, meta)
+		rt.nOutputs++
+		if rt.KeepOutputs {
+			rt.outputs = append(rt.outputs, Output{Tuple: t, Time: rt.Net.Scheduler().Now(), Meta: meta})
+		}
+		return
+	}
+	for _, r := range rules {
+		firings, err := EvalRule(r, n.DB, t, rt.Funcs)
+		if err != nil {
+			rt.errs = append(rt.errs, err)
+			continue
+		}
+		for _, f := range firings {
+			rt.fired++
+			out := rt.Maint.OnFire(n, f, meta)
+			rt.SendTuple(n.Addr, f.Head, out)
+		}
+	}
+}
+
+// SendTuple ships a tuple (with provenance metadata) to the node named by
+// its location specifier, paying for the tuple encoding, the metadata, and
+// the message envelope on the wire.
+func (rt *Runtime) SendTuple(from types.NodeAddr, t types.Tuple, meta Meta) {
+	size := t.EncodedSize() + rt.Maint.MetaSize(meta) + rt.HeaderSize
+	rt.Net.Send(netsim.Message{
+		From:    from,
+		To:      t.Loc(),
+		Kind:    MsgTuple,
+		Payload: TupleMsg{Tuple: t, Meta: meta},
+		Size:    size,
+	})
+}
+
+// Run executes the simulation until no events remain.
+func (rt *Runtime) Run() { rt.Net.Scheduler().Run() }
+
+// RunFor executes the simulation for d of virtual time.
+func (rt *Runtime) RunFor(d time.Duration) { rt.Net.Scheduler().RunFor(d) }

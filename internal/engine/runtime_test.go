@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/ndlog"
+	"provcompress/internal/netsim"
+	"provcompress/internal/sim"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+)
+
+// countingMaintainer is a no-op maintainer that counts hook invocations.
+type countingMaintainer struct {
+	rt          *Runtime
+	injects     int
+	fires       int
+	outputs     int
+	slowUpdates int
+	metaSize    int
+}
+
+func (c *countingMaintainer) Name() string       { return "counting" }
+func (c *countingMaintainer) Attach(rt *Runtime) { c.rt = rt }
+func (c *countingMaintainer) OnInject(*Node, types.Tuple) Meta {
+	c.injects++
+	return nil
+}
+func (c *countingMaintainer) OnFire(_ *Node, f Firing, in Meta) Meta {
+	c.fires++
+	return in
+}
+func (c *countingMaintainer) OnOutput(*Node, types.Tuple, Meta) { c.outputs++ }
+func (c *countingMaintainer) OnSlowUpdate(*Node, types.Tuple, bool) {
+	c.slowUpdates++
+}
+func (c *countingMaintainer) HandleMessage(*Node, netsim.Message) bool { return false }
+func (c *countingMaintainer) MetaSize(Meta) int                        { return c.metaSize }
+func (c *countingMaintainer) StorageBytes(types.NodeAddr) int64        { return 0 }
+func (c *countingMaintainer) TotalStorageBytes() int64                 { return 0 }
+
+func newTestRuntime(t *testing.T, n int, maint Maintainer) *Runtime {
+	t.Helper()
+	var sched sim.Scheduler
+	g := topo.Line(n, "n")
+	net := netsim.New(&sched, g)
+	rt := NewRuntime(net, apps.Forwarding(), apps.Funcs(), maint)
+	if err := rt.LoadBase(g.ShortestPaths().RouteTuples()); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRuntimeForwardingPipeline(t *testing.T) {
+	c := &countingMaintainer{}
+	rt := newTestRuntime(t, 4, c)
+	rt.Inject(pktT("n0", "n0", "n3", "data"))
+	rt.Run()
+
+	if len(rt.Errors()) != 0 {
+		t.Fatalf("errors: %v", rt.Errors())
+	}
+	if c.injects != 1 {
+		t.Errorf("injects = %d", c.injects)
+	}
+	// 3 r1 firings (n0, n1, n2) + 1 r2 firing (n3).
+	if c.fires != 4 || rt.Fired() != 4 {
+		t.Errorf("fires = %d / %d, want 4", c.fires, rt.Fired())
+	}
+	if c.outputs != 1 || rt.NumOutputs() != 1 {
+		t.Errorf("outputs = %d / %d, want 1", c.outputs, rt.NumOutputs())
+	}
+	outs := rt.Outputs()
+	if len(outs) != 1 || !outs[0].Tuple.Equal(types.NewTuple("recv",
+		types.String("n3"), types.String("n0"), types.String("n3"), types.String("data"))) {
+		t.Fatalf("outputs = %v", outs)
+	}
+	// Delivery time: 3 hops of latency plus serialization.
+	if outs[0].Time < 3*topo.SimpleLatency {
+		t.Errorf("delivery time = %v, want >= %v", outs[0].Time, 3*topo.SimpleLatency)
+	}
+	if rt.Injected() != 1 {
+		t.Errorf("Injected = %d", rt.Injected())
+	}
+	// The intermediate packet tuples are materialized at each hop.
+	if _, ok := rt.Node("n1").DB.LookupVID(types.HashTuple(pktT("n1", "n0", "n3", "data"))); !ok {
+		t.Error("intermediate packet not materialized at n1")
+	}
+}
+
+func TestRuntimeMetaSizeCountsOnWire(t *testing.T) {
+	run := func(metaSize int) int64 {
+		c := &countingMaintainer{metaSize: metaSize}
+		rt := newTestRuntime(t, 3, c)
+		rt.Inject(pktT("n0", "n0", "n2", "data"))
+		rt.Run()
+		return rt.Net.TotalBytes()
+	}
+	small, big := run(0), run(100)
+	if big <= small {
+		t.Errorf("metadata not counted: bytes %d vs %d", small, big)
+	}
+}
+
+func TestRuntimeLoadBaseErrors(t *testing.T) {
+	rt := newTestRuntime(t, 2, &countingMaintainer{})
+	err := rt.LoadBase([]types.Tuple{rt3("ghost", "n1", "n1")})
+	if err == nil {
+		t.Error("LoadBase at unknown node accepted")
+	}
+}
+
+func TestRuntimeInjectUnknownNodePanics(t *testing.T) {
+	rt := newTestRuntime(t, 2, &countingMaintainer{})
+	defer func() {
+		if recover() == nil {
+			t.Error("inject at unknown node should panic")
+		}
+	}()
+	rt.Inject(pktT("ghost", "g", "n1", "x"))
+}
+
+func TestRuntimeSlowUpdates(t *testing.T) {
+	c := &countingMaintainer{}
+	rt := newTestRuntime(t, 3, c)
+	rt.InsertSlow(rt3("n0", "n9", "n1"))
+	if c.slowUpdates != 1 {
+		t.Errorf("slowUpdates = %d", c.slowUpdates)
+	}
+	// Duplicate insert: no notification.
+	rt.InsertSlow(rt3("n0", "n9", "n1"))
+	if c.slowUpdates != 1 {
+		t.Errorf("duplicate insert notified: %d", c.slowUpdates)
+	}
+	rt.DeleteSlow(rt3("n0", "n9", "n1"))
+	if c.slowUpdates != 2 {
+		t.Errorf("delete not notified: %d", c.slowUpdates)
+	}
+	// Deleting a missing tuple: no notification.
+	rt.DeleteSlow(rt3("n0", "n9", "n1"))
+	if c.slowUpdates != 2 {
+		t.Errorf("missing delete notified: %d", c.slowUpdates)
+	}
+}
+
+func TestRuntimeUnhandledMessageRecorded(t *testing.T) {
+	c := &countingMaintainer{}
+	rt := newTestRuntime(t, 2, c)
+	rt.Net.Send(netsim.Message{From: "n0", To: "n1", Kind: "mystery", Size: 1})
+	rt.Run()
+	if len(rt.Errors()) != 1 {
+		t.Errorf("errors = %v, want one unhandled-kind error", rt.Errors())
+	}
+}
+
+func TestRuntimeEvalErrorRecordedAndIsolated(t *testing.T) {
+	// One rule's UDF fails at runtime; the error is recorded and the other
+	// rule on the same event still fires.
+	prog, err := ndlog.ParseDELP(`
+b1 boom(@L, X) :- ev(@L, X), Y := f_boom(X), Y == 1.
+b2 fine(@L, X) :- boom(@L, X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := ndlog.FuncMap{
+		"f_boom": func(args []types.Value) (types.Value, error) {
+			if args[0].AsInt() == 13 {
+				return types.Value{}, fmt.Errorf("unlucky")
+			}
+			return types.Int(1), nil
+		},
+	}
+	var sched sim.Scheduler
+	g := topo.Line(2, "n")
+	net := netsim.New(&sched, g)
+	c := &countingMaintainer{}
+	rt := NewRuntime(net, prog, funcs, c)
+	rt.Inject(types.NewTuple("ev", types.String("n0"), types.Int(13))) // errors
+	rt.Inject(types.NewTuple("ev", types.String("n0"), types.Int(7)))  // fine
+	rt.Run()
+	if len(rt.Errors()) != 1 {
+		t.Fatalf("errors = %v, want exactly the UDF failure", rt.Errors())
+	}
+	if !strings.Contains(rt.Errors()[0].Error(), "unlucky") {
+		t.Errorf("error = %v", rt.Errors()[0])
+	}
+	// The non-failing event still completed its chain.
+	if rt.NumOutputs() != 1 {
+		t.Errorf("outputs = %d, want 1", rt.NumOutputs())
+	}
+}
+
+func TestRuntimeKeepOutputsDisabled(t *testing.T) {
+	c := &countingMaintainer{}
+	rt := newTestRuntime(t, 3, c)
+	rt.KeepOutputs = false
+	rt.Inject(pktT("n0", "n0", "n2", "a"))
+	rt.Inject(pktT("n0", "n0", "n2", "b"))
+	rt.Run()
+	if rt.NumOutputs() != 2 {
+		t.Errorf("NumOutputs = %d", rt.NumOutputs())
+	}
+	if len(rt.Outputs()) != 0 {
+		t.Errorf("Outputs kept despite KeepOutputs=false")
+	}
+}
+
+func TestRuntimeDeadEndPacketStops(t *testing.T) {
+	// A packet whose destination has no route simply stops deriving.
+	c := &countingMaintainer{}
+	rt := newTestRuntime(t, 3, c)
+	rt.Inject(pktT("n1", "n1", "nowhere", "data"))
+	rt.Run()
+	if c.outputs != 0 {
+		t.Errorf("outputs = %d, want 0", c.outputs)
+	}
+	if len(rt.Errors()) != 0 {
+		t.Errorf("errors: %v", rt.Errors())
+	}
+}
+
+func TestRuntimeRunFor(t *testing.T) {
+	c := &countingMaintainer{}
+	rt := newTestRuntime(t, 5, c)
+	rt.InjectAt(0, pktT("n0", "n0", "n4", "x"))
+	rt.RunFor(time.Millisecond) // not enough virtual time to finish
+	if c.outputs != 0 {
+		t.Error("pipeline finished too early")
+	}
+	rt.RunFor(time.Second)
+	if c.outputs != 1 {
+		t.Errorf("outputs = %d after full run", c.outputs)
+	}
+}

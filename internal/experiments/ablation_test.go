@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"provcompress/internal/core"
+)
+
+func TestAblationInterClass(t *testing.T) {
+	res, err := AblationInterClass(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convergent classes share suffixes: the split stores fewer bytes and
+	// fewer rule-execution node rows.
+	if res.InterClass >= res.Chained {
+		t.Errorf("inter-class %d >= chained %d", res.InterClass, res.Chained)
+	}
+	if res.ICNodes >= res.ChainedNodes {
+		t.Errorf("inter-class rows %d >= chained rows %d", res.ICNodes, res.ChainedNodes)
+	}
+	// Chained mode on an n-node chain with classes from every source:
+	// class i contributes i+1 fresh rows (suffixes differ by chained RIDs),
+	// so sum = n(n+1)/2 - 1... at least quadratic-ish; the split stores
+	// ~2 rows per node (r1 and the shared r2).
+	if res.ICNodes > 2*res.Nodes {
+		t.Errorf("inter-class rows = %d, want <= %d", res.ICNodes, 2*res.Nodes)
+	}
+	if !strings.Contains(Format(res), "inter-class") {
+		t.Error("format missing title")
+	}
+}
+
+func TestAblationMetaOverhead(t *testing.T) {
+	res, err := AblationMetaOverhead([]int{0, 64, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OverheadPct) != 3 {
+		t.Fatalf("overheads = %v", res.OverheadPct)
+	}
+	// Overhead shrinks monotonically as payloads grow (Fig. 15 vs Fig. 11).
+	if !(res.OverheadPct[0] > res.OverheadPct[1] && res.OverheadPct[1] > res.OverheadPct[2]) {
+		t.Errorf("overhead not decreasing with payload: %v", res.OverheadPct)
+	}
+	if res.OverheadPct[0] < 5 {
+		t.Errorf("zero-payload overhead = %.1f%%, want substantial", res.OverheadPct[0])
+	}
+	if res.OverheadPct[2] > 10 {
+		t.Errorf("500-byte payload overhead = %.1f%%, want small", res.OverheadPct[2])
+	}
+}
+
+func TestAblationGzip(t *testing.T) {
+	res, err := AblationGzip(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gzip helps ExSPAN but the structural compression still wins while
+	// staying queryable in place (Section 2.3's argument).
+	if res.ExSPANGzip >= res.ExSPANRaw {
+		t.Errorf("gzip did not shrink ExSPAN: %d -> %d", res.ExSPANRaw, res.ExSPANGzip)
+	}
+	if res.AdvancedRaw >= res.ExSPANGzip {
+		t.Errorf("Advanced raw %d not below gzipped ExSPAN %d", res.AdvancedRaw, res.ExSPANGzip)
+	}
+	if len(res.Rows()) != 4 {
+		t.Errorf("rows = %d", len(res.Rows()))
+	}
+}
+
+func TestAblationQueryScaling(t *testing.T) {
+	res, err := AblationQueryScaling([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range core.SchemeNames() {
+		lats := res.LatencyMS[scheme]
+		if len(lats) != 3 {
+			t.Fatalf("%s: lats = %v", scheme, lats)
+		}
+		// Latency grows with path length.
+		if !(lats[0] < lats[1] && lats[1] < lats[2]) {
+			t.Errorf("%s: latency not increasing: %v", scheme, lats)
+		}
+	}
+	// ExSPAN pays more at every length.
+	for i := range res.PathLengths {
+		if res.LatencyMS[core.SchemeExSPAN][i] <= res.LatencyMS[core.SchemeBasic][i] {
+			t.Errorf("hops=%d: ExSPAN %.1f <= Basic %.1f", res.PathLengths[i],
+				res.LatencyMS[core.SchemeExSPAN][i], res.LatencyMS[core.SchemeBasic][i])
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 6): Figures 8-12 for packet forwarding and Figures 13-16 for DNS
+// resolution. Each FigN function runs the corresponding experiment for the
+// compared maintenance schemes and returns a typed result that formats the
+// same rows/series the paper plots.
+//
+// Default configurations are scaled down so the whole suite runs in
+// seconds; Paper* configurations reproduce the paper's parameters (100
+// communicating pairs at 100 packets/second for 100 seconds, 1000 DNS
+// requests/second, ...) for full-scale runs from cmd/provsim.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/core"
+	"provcompress/internal/engine"
+	"provcompress/internal/netsim"
+	"provcompress/internal/sim"
+	"provcompress/internal/topo"
+	"provcompress/internal/workload"
+)
+
+// ForwardingConfig parameterizes the packet-forwarding experiments
+// (Section 6.1).
+type ForwardingConfig struct {
+	Topo         topo.TransitStubConfig
+	Pairs        int
+	Rate         float64 // packets per second per pair
+	PayloadBytes int
+	Duration     time.Duration
+	PerPairCount int // alternative to Duration when > 0
+	Snapshots    int
+	Seed         int64
+	// Schemes lists the maintenance schemes to compare; empty means the
+	// paper's three (ExSPAN, Basic, Advanced). Append
+	// core.SchemeAdvancedInterClass to add the Section 5.4 variant as a
+	// fourth series.
+	Schemes []string
+	// LANLatency, when positive, replaces every link's parameters with a
+	// uniform LAN-class link (latency LANLatency, 1 Gbps), emulating the
+	// paper's physical 25-machine testbed of Section 6.1.3. Storage and
+	// bandwidth experiments leave it zero (ns-3 WAN links).
+	LANLatency time.Duration
+}
+
+// DefaultForwardingConfig is the scaled-down configuration used by tests
+// and benchmarks.
+func DefaultForwardingConfig() ForwardingConfig {
+	return ForwardingConfig{
+		Topo:         topo.DefaultTransitStub(),
+		Pairs:        20,
+		Rate:         20,
+		PayloadBytes: 500,
+		Duration:     5 * time.Second,
+		Snapshots:    10,
+		Seed:         1,
+	}
+}
+
+// PaperForwardingConfig reproduces Section 6.1: 100 random pairs of a
+// 100-node transit-stub topology at 100 packets/second each, payloads of
+// 500 characters, measured over 100 seconds.
+func PaperForwardingConfig() ForwardingConfig {
+	cfg := DefaultForwardingConfig()
+	cfg.Pairs = 100
+	cfg.Rate = 100
+	cfg.Duration = 100 * time.Second
+	return cfg
+}
+
+// DNSConfig parameterizes the DNS resolution experiments (Section 6.2).
+type DNSConfig struct {
+	Tree      topo.DNSTreeConfig
+	URLs      int
+	Clients   int
+	Rate      float64 // requests per second, aggregate
+	Alpha     float64 // Zipf exponent
+	Duration  time.Duration
+	Count     int // alternative to Duration when > 0
+	Snapshots int
+	Seed      int64
+	// Schemes lists the maintenance schemes to compare; empty means the
+	// paper's three.
+	Schemes []string
+}
+
+// DefaultDNSConfig is the scaled-down configuration used by tests and
+// benchmarks.
+func DefaultDNSConfig() DNSConfig {
+	return DNSConfig{
+		Tree:      topo.DNSTreeConfig{NumServers: 40, MaxDepth: 12, Seed: 1},
+		URLs:      38,
+		Clients:   4,
+		Rate:      200,
+		Alpha:     0.9,
+		Duration:  5 * time.Second,
+		Snapshots: 10,
+		Seed:      1,
+	}
+}
+
+// PaperDNSConfig reproduces Section 6.2: 100 nameservers with tree depth
+// 27, 38 distinct URLs requested Zipfian at 1000 requests/second over 100
+// seconds.
+func PaperDNSConfig() DNSConfig {
+	cfg := DefaultDNSConfig()
+	cfg.Tree = topo.DefaultDNSTree()
+	cfg.Rate = 1000
+	cfg.Duration = 100 * time.Second
+	return cfg
+}
+
+// forwardingRun is one scheme's instantiated forwarding experiment.
+type forwardingRun struct {
+	rt    *engine.Runtime
+	maint core.Maintainer
+	ts    *topo.TransitStub
+	pairs []workload.Pair
+}
+
+// buildForwarding constructs the topology, runtime, routes and traffic for
+// one scheme. Traffic is scheduled but not yet run.
+func buildForwarding(cfg ForwardingConfig, scheme string, materialize bool) (*forwardingRun, error) {
+	maint, err := core.NewScheme(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return buildForwardingMaint(cfg, maint, materialize)
+}
+
+// buildForwardingMaint is buildForwarding with an explicit maintainer,
+// letting tests tune scheme parameters (e.g. the query cost model) before
+// the run.
+func buildForwardingMaint(cfg ForwardingConfig, maint core.Maintainer, materialize bool) (*forwardingRun, error) {
+	ts := topo.GenTransitStub(cfg.Topo)
+	if cfg.LANLatency > 0 {
+		ts.Graph = ts.Graph.WithUniformLinks(cfg.LANLatency, 1_000_000_000)
+	}
+	var sched sim.Scheduler
+	net := netsim.New(&sched, ts.Graph)
+	rt := engine.NewRuntime(net, apps.Forwarding(), apps.Funcs(), maint)
+	rt.KeepOutputs = materialize
+	rt.MaterializeDeliveries = materialize
+	if err := rt.LoadBase(ts.Graph.ShortestPaths().RouteTuples()); err != nil {
+		return nil, err
+	}
+	pairs := workload.ChoosePairs(ts.Stubs, cfg.Pairs, cfg.Seed)
+	w := workload.PairTraffic{
+		Pairs:        pairs,
+		Rate:         cfg.Rate,
+		PayloadBytes: cfg.PayloadBytes,
+		Duration:     cfg.Duration,
+		PerPairCount: cfg.PerPairCount,
+	}
+	w.Schedule(rt, 0)
+	return &forwardingRun{rt: rt, maint: maint, ts: ts, pairs: pairs}, nil
+}
+
+// schemesOrDefault returns the configured scheme list or the paper's three.
+func schemesOrDefault(schemes []string) []string {
+	if len(schemes) == 0 {
+		return core.SchemeNames()
+	}
+	return append([]string(nil), schemes...)
+}
+
+// dnsRun is one scheme's instantiated DNS experiment.
+type dnsRun struct {
+	rt      *engine.Runtime
+	maint   core.Maintainer
+	tree    *topo.DNSTree
+	urls    []topo.URLRecord
+	clients []string
+}
+
+// buildDNS constructs the DNS hierarchy, runtime, and request stream for
+// one scheme.
+func buildDNS(cfg DNSConfig, scheme string, materialize bool) (*dnsRun, error) {
+	maint, err := core.NewScheme(scheme)
+	if err != nil {
+		return nil, err
+	}
+	tree := topo.GenDNSTree(cfg.Tree)
+	clients := tree.AttachClients(cfg.Clients)
+	urls := tree.PickURLs(cfg.URLs)
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("experiments: no resolvable URLs in tree config %+v", cfg.Tree)
+	}
+	var sched sim.Scheduler
+	net := netsim.New(&sched, tree.Graph)
+	rt := engine.NewRuntime(net, apps.DNS(), apps.Funcs(), maint)
+	rt.KeepOutputs = materialize
+	rt.MaterializeDeliveries = materialize
+	if err := rt.LoadBase(tree.NameServerTuples(clients)); err != nil {
+		return nil, err
+	}
+	if err := rt.LoadBase(topo.AddressRecordTuples(urls)); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(urls))
+	for i, u := range urls {
+		names[i] = u.URL
+	}
+	w := workload.DNSTraffic{
+		URLs:     names,
+		Clients:  clients,
+		Rate:     cfg.Rate,
+		Alpha:    cfg.Alpha,
+		Seed:     cfg.Seed,
+		Duration: cfg.Duration,
+		Count:    cfg.Count,
+	}
+	w.Schedule(rt, 0)
+	run := &dnsRun{rt: rt, maint: maint, tree: tree, urls: urls}
+	for _, c := range clients {
+		run.clients = append(run.clients, string(c))
+	}
+	return run, nil
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"provcompress/internal/core"
+	"provcompress/internal/metrics"
+)
+
+// Fig13Result holds the per-nameserver storage growth distribution for DNS
+// resolution (Figure 13).
+type Fig13Result struct {
+	Cfg       DNSConfig
+	PerScheme map[string]*metrics.CDF // bits per second per nameserver
+	order     []string
+}
+
+// Fig13 runs the per-nameserver storage growth experiment.
+func Fig13(cfg DNSConfig) (*Fig13Result, error) {
+	res := &Fig13Result{Cfg: cfg, PerScheme: make(map[string]*metrics.CDF), order: schemesOrDefault(cfg.Schemes)}
+	for _, scheme := range res.order {
+		run, err := buildDNS(cfg, scheme, false)
+		if err != nil {
+			return nil, err
+		}
+		run.rt.Run()
+		dur := cfg.Duration.Seconds()
+		if dur <= 0 {
+			dur = run.rt.Net.Scheduler().Now().Seconds()
+		}
+		var rates []float64
+		for _, srv := range run.tree.Servers {
+			rates = append(rates, float64(run.maint.StorageBytes(srv))*8/dur)
+		}
+		res.PerScheme[scheme] = metrics.NewCDF(rates)
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig13Result) Title() string {
+	return fmt.Sprintf("Figure 13: CDF of per-nameserver storage growth rate (DNS, %.0f req/s, %d URLs)",
+		r.Cfg.Rate, r.Cfg.URLs)
+}
+
+// Headers returns the table header.
+func (r *Fig13Result) Headers() []string {
+	return append([]string{"percentile"}, r.order...)
+}
+
+// Rows returns growth-rate percentiles per scheme (the paper highlights
+// the 80th percentile: 476 Kbps for ExSPAN vs 121 Kbps for Advanced).
+func (r *Fig13Result) Rows() [][]string {
+	var rows [][]string
+	for _, p := range []float64{0.25, 0.50, 0.80, 0.96, 1.00} {
+		row := []string{fmt.Sprintf("p%.0f", p*100)}
+		for _, s := range r.order {
+			row = append(row, metrics.HumanRate(r.PerScheme[s].Percentile(p)))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig14Result holds DNS storage versus the number of distinct URLs at a
+// fixed request count (Figure 14).
+type Fig14Result struct {
+	Cfg           DNSConfig
+	TotalRequests int
+	URLCounts     []int
+	Storage       map[string][]int64
+	order         []string
+}
+
+// Fig14 runs the storage-vs-URLs experiment: TotalRequests requests spread
+// over an increasing URL population.
+func Fig14(cfg DNSConfig, totalRequests int, urlCounts []int) (*Fig14Result, error) {
+	res := &Fig14Result{
+		Cfg: cfg, TotalRequests: totalRequests, URLCounts: urlCounts,
+		Storage: make(map[string][]int64), order: schemesOrDefault(cfg.Schemes),
+	}
+	for _, scheme := range res.order {
+		for _, urls := range urlCounts {
+			c := cfg
+			c.URLs = urls
+			c.Duration = 0
+			c.Count = totalRequests
+			run, err := buildDNS(c, scheme, false)
+			if err != nil {
+				return nil, err
+			}
+			run.rt.Run()
+			res.Storage[scheme] = append(res.Storage[scheme], run.maint.TotalStorageBytes())
+		}
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig14Result) Title() string {
+	return fmt.Sprintf("Figure 14: DNS provenance storage vs. distinct URLs (%d requests total)", r.TotalRequests)
+}
+
+// Headers returns the table header.
+func (r *Fig14Result) Headers() []string {
+	return append([]string{"urls"}, r.order...)
+}
+
+// Rows returns one row per URL count.
+func (r *Fig14Result) Rows() [][]string {
+	var rows [][]string
+	for i, urls := range r.URLCounts {
+		row := []string{fmt.Sprint(urls)}
+		for _, s := range r.order {
+			row = append(row, metrics.HumanBytes(r.Storage[s][i]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig15Result holds the DNS bandwidth consumption over time (Figure 15).
+type Fig15Result struct {
+	Cfg       DNSConfig
+	Requests  int
+	PerScheme map[string]*metrics.Series // cumulative bytes on the wire
+	order     []string
+}
+
+// Fig15 runs the DNS bandwidth experiment with a fixed request count.
+func Fig15(cfg DNSConfig, requests int) (*Fig15Result, error) {
+	res := &Fig15Result{Cfg: cfg, Requests: requests,
+		PerScheme: make(map[string]*metrics.Series), order: schemesOrDefault(cfg.Schemes)}
+	c := cfg
+	c.Count = requests
+	// Duration implied by rate and count; size snapshots to cover it.
+	span := c.Duration
+	if span == 0 {
+		span = timeForRequests(c.Rate, requests)
+	}
+	for _, scheme := range res.order {
+		run, err := buildDNS(c, scheme, false)
+		if err != nil {
+			return nil, err
+		}
+		net := run.rt.Net
+		res.PerScheme[scheme] = snapshotSeries(run.rt, span, cfg.Snapshots,
+			func() float64 { return float64(net.TotalBytes()) })
+		run.rt.Run()
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig15Result) Title() string {
+	return fmt.Sprintf("Figure 15: bandwidth consumption for DNS resolution (%d requests)", r.Requests)
+}
+
+// Headers returns the table header.
+func (r *Fig15Result) Headers() []string {
+	return append([]string{"t (s)"}, r.order...)
+}
+
+// Rows returns cumulative traffic per snapshot plus the Advanced overhead
+// summary (the paper reports about 25% over ExSPAN/Basic, since DNS
+// requests carry no payload to amortize the compression metadata).
+func (r *Fig15Result) Rows() [][]string {
+	var rows [][]string
+	ref := r.PerScheme[r.order[0]]
+	for i := 0; i < ref.Len(); i++ {
+		row := []string{fseconds(ref.Times[i])}
+		for _, s := range r.order {
+			row = append(row, fbytes(r.PerScheme[s].Values[i]))
+		}
+		rows = append(rows, row)
+	}
+	base := r.PerScheme[core.SchemeExSPAN].Last()
+	over := []string{"vs ExSPAN"}
+	for _, s := range r.order {
+		if base > 0 {
+			over = append(over, fmt.Sprintf("%+.1f%%", (r.PerScheme[s].Last()-base)/base*100))
+		} else {
+			over = append(over, "n/a")
+		}
+	}
+	rows = append(rows, over)
+	return rows
+}
+
+// Fig16Result holds the DNS total storage over time (Figure 16).
+type Fig16Result struct {
+	Cfg       DNSConfig
+	PerScheme map[string]*metrics.Series
+	order     []string
+}
+
+// Fig16 runs the DNS total-storage-growth experiment.
+func Fig16(cfg DNSConfig) (*Fig16Result, error) {
+	res := &Fig16Result{Cfg: cfg, PerScheme: make(map[string]*metrics.Series), order: schemesOrDefault(cfg.Schemes)}
+	for _, scheme := range res.order {
+		run, err := buildDNS(cfg, scheme, false)
+		if err != nil {
+			return nil, err
+		}
+		maint := run.maint
+		res.PerScheme[scheme] = snapshotSeries(run.rt, cfg.Duration, cfg.Snapshots,
+			func() float64 { return float64(maint.TotalStorageBytes()) })
+		run.rt.Run()
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig16Result) Title() string {
+	return fmt.Sprintf("Figure 16: DNS provenance storage vs. time (%.0f req/s)", r.Cfg.Rate)
+}
+
+// Headers returns the table header.
+func (r *Fig16Result) Headers() []string {
+	return append([]string{"t (s)"}, r.order...)
+}
+
+// Rows returns one row per snapshot plus a growth-rate summary (the paper
+// reports 13.15 / 11.57 / 3.81 Mbps).
+func (r *Fig16Result) Rows() [][]string {
+	var rows [][]string
+	ref := r.PerScheme[r.order[0]]
+	for i := 0; i < ref.Len(); i++ {
+		row := []string{fseconds(ref.Times[i])}
+		for _, s := range r.order {
+			row = append(row, fbytes(r.PerScheme[s].Values[i]))
+		}
+		rows = append(rows, row)
+	}
+	rate := []string{"growth"}
+	for _, s := range r.order {
+		rate = append(rate, metrics.HumanRate(r.PerScheme[s].GrowthRate()*8))
+	}
+	rows = append(rows, rate)
+	return rows
+}
+
+// timeForRequests returns how long a request stream of the given rate and
+// count spans.
+func timeForRequests(rate float64, count int) time.Duration {
+	return time.Duration(float64(time.Second) * float64(count) / rate)
+}

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"provcompress/internal/core"
+	"provcompress/internal/metrics"
+	"provcompress/internal/types"
+)
+
+// Fig8Result holds, per scheme, the distribution of per-node provenance
+// storage growth rates (bits per second) for the packet-forwarding
+// workload — the CDF of the paper's Figure 8.
+type Fig8Result struct {
+	Cfg       ForwardingConfig
+	PerScheme map[string]*metrics.CDF
+	order     []string
+}
+
+// Fig8 runs the per-node storage growth experiment.
+func Fig8(cfg ForwardingConfig) (*Fig8Result, error) {
+	res := &Fig8Result{Cfg: cfg, PerScheme: make(map[string]*metrics.CDF), order: schemesOrDefault(cfg.Schemes)}
+	for _, scheme := range res.order {
+		run, err := buildForwarding(cfg, scheme, false)
+		if err != nil {
+			return nil, err
+		}
+		run.rt.Run()
+		dur := cfg.Duration.Seconds()
+		if dur <= 0 {
+			dur = run.rt.Net.Scheduler().Now().Seconds()
+		}
+		var rates []float64
+		for _, addr := range run.ts.Graph.Nodes() {
+			rates = append(rates, float64(run.maint.StorageBytes(addr))*8/dur)
+		}
+		res.PerScheme[scheme] = metrics.NewCDF(rates)
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig8Result) Title() string {
+	return fmt.Sprintf("Figure 8: CDF of per-node provenance storage growth rate (packet forwarding, %d pairs, %.0f pkt/s each)",
+		r.Cfg.Pairs, r.Cfg.Rate)
+}
+
+// Headers returns the table header.
+func (r *Fig8Result) Headers() []string {
+	return append([]string{"percentile"}, r.order...)
+}
+
+// Rows returns growth-rate percentiles per scheme.
+func (r *Fig8Result) Rows() [][]string {
+	var rows [][]string
+	for _, p := range []float64{0.10, 0.25, 0.50, 0.80, 0.96, 1.00} {
+		row := []string{fmt.Sprintf("p%.0f", p*100)}
+		for _, s := range r.order {
+			row = append(row, metrics.HumanRate(r.PerScheme[s].Percentile(p)))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig9Result holds the total provenance storage over time per scheme
+// (Figure 9), sampled at snapshot intervals.
+type Fig9Result struct {
+	Cfg       ForwardingConfig
+	PerScheme map[string]*metrics.Series
+	order     []string
+}
+
+// Fig9 runs the total-storage-growth experiment.
+func Fig9(cfg ForwardingConfig) (*Fig9Result, error) {
+	res := &Fig9Result{Cfg: cfg, PerScheme: make(map[string]*metrics.Series), order: schemesOrDefault(cfg.Schemes)}
+	for _, scheme := range res.order {
+		run, err := buildForwarding(cfg, scheme, false)
+		if err != nil {
+			return nil, err
+		}
+		maint := run.maint
+		res.PerScheme[scheme] = snapshotSeries(run.rt, cfg.Duration, cfg.Snapshots,
+			func() float64 { return float64(maint.TotalStorageBytes()) })
+		run.rt.Run()
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig9Result) Title() string {
+	return fmt.Sprintf("Figure 9: total provenance storage vs. time (packet forwarding, %d pairs at %.0f pkt/s)",
+		r.Cfg.Pairs, r.Cfg.Rate)
+}
+
+// Headers returns the table header.
+func (r *Fig9Result) Headers() []string {
+	return append([]string{"t (s)"}, r.order...)
+}
+
+// Rows returns one row per snapshot plus a growth-rate summary row.
+func (r *Fig9Result) Rows() [][]string {
+	var rows [][]string
+	ref := r.PerScheme[r.order[0]]
+	for i := 0; i < ref.Len(); i++ {
+		row := []string{fseconds(ref.Times[i])}
+		for _, s := range r.order {
+			row = append(row, fbytes(r.PerScheme[s].Values[i]))
+		}
+		rows = append(rows, row)
+	}
+	rate := []string{"growth"}
+	for _, s := range r.order {
+		rate = append(rate, metrics.HumanBytes(int64(r.PerScheme[s].GrowthRate()))+"/s")
+	}
+	rows = append(rows, rate)
+	return rows
+}
+
+// Fig10Result holds total storage versus the number of communicating pairs
+// at a fixed total packet count (Figure 10).
+type Fig10Result struct {
+	Cfg          ForwardingConfig
+	TotalPackets int
+	PairCounts   []int
+	// Storage[scheme][i] is the total storage with PairCounts[i] pairs.
+	Storage map[string][]int64
+	order   []string
+}
+
+// Fig10 runs the storage-vs-pairs experiment: TotalPackets packets evenly
+// divided among an increasing number of pairs.
+func Fig10(cfg ForwardingConfig, totalPackets int, pairCounts []int) (*Fig10Result, error) {
+	res := &Fig10Result{
+		Cfg: cfg, TotalPackets: totalPackets, PairCounts: pairCounts,
+		Storage: make(map[string][]int64), order: schemesOrDefault(cfg.Schemes),
+	}
+	for _, scheme := range res.order {
+		for _, pairs := range pairCounts {
+			c := cfg
+			c.Pairs = pairs
+			c.Duration = 0
+			c.PerPairCount = totalPackets / pairs
+			if c.PerPairCount == 0 {
+				c.PerPairCount = 1
+			}
+			run, err := buildForwarding(c, scheme, false)
+			if err != nil {
+				return nil, err
+			}
+			run.rt.Run()
+			res.Storage[scheme] = append(res.Storage[scheme], run.maint.TotalStorageBytes())
+		}
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig10Result) Title() string {
+	return fmt.Sprintf("Figure 10: total provenance storage vs. communicating pairs (%d packets total)", r.TotalPackets)
+}
+
+// Headers returns the table header.
+func (r *Fig10Result) Headers() []string {
+	return append([]string{"pairs"}, r.order...)
+}
+
+// Rows returns one row per pair count.
+func (r *Fig10Result) Rows() [][]string {
+	var rows [][]string
+	for i, pairs := range r.PairCounts {
+		row := []string{fmt.Sprint(pairs)}
+		for _, s := range r.order {
+			row = append(row, metrics.HumanBytes(r.Storage[s][i]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig11Result holds the network bandwidth consumption over time per scheme
+// (Figure 11), plus the Advanced variant with periodic route updates
+// (Section 6.1.2's 0.6% overhead experiment).
+type Fig11Result struct {
+	Cfg       ForwardingConfig
+	PerScheme map[string]*metrics.Series // cumulative bytes on the wire
+	// UpdateOverheadPct is the relative extra bandwidth of Advanced when a
+	// route is updated every UpdateEvery.
+	UpdateOverheadPct float64
+	UpdateEvery       time.Duration
+	order             []string
+}
+
+// Fig11 runs the bandwidth experiment; updateEvery > 0 additionally runs
+// Advanced with periodic route insertions to measure the sig-broadcast
+// overhead.
+func Fig11(cfg ForwardingConfig, updateEvery time.Duration) (*Fig11Result, error) {
+	res := &Fig11Result{
+		Cfg: cfg, PerScheme: make(map[string]*metrics.Series),
+		UpdateEvery: updateEvery, order: schemesOrDefault(cfg.Schemes),
+	}
+	for _, scheme := range res.order {
+		run, err := buildForwarding(cfg, scheme, false)
+		if err != nil {
+			return nil, err
+		}
+		net := run.rt.Net
+		res.PerScheme[scheme] = snapshotSeries(run.rt, cfg.Duration, cfg.Snapshots,
+			func() float64 { return float64(net.TotalBytes()) })
+		run.rt.Run()
+	}
+	if updateEvery > 0 {
+		run, err := buildForwarding(cfg, core.SchemeAdvanced, false)
+		if err != nil {
+			return nil, err
+		}
+		// Insert a fresh route entry periodically at pseudo-random transit
+		// nodes: each insertion triggers a sig broadcast.
+		r := rand.New(rand.NewSource(cfg.Seed + 99))
+		nodes := run.ts.Transit
+		var ticks int
+		for at := updateEvery; at <= cfg.Duration; at += updateEvery {
+			ticks++
+			tick := ticks
+			rt := run.rt
+			rt.Net.Scheduler().At(at, func() {
+				n := nodes[r.Intn(len(nodes))]
+				dst := fmt.Sprintf("upd-dst-%d", tick)
+				next := run.ts.Graph.Neighbors(n)[0]
+				rt.InsertSlow(types.NewTuple("route",
+					types.String(string(n)), types.String(dst), types.String(string(next))))
+			})
+		}
+		run.rt.Run()
+		withUpdates := float64(run.rt.Net.TotalBytes())
+		baseline := res.PerScheme[core.SchemeAdvanced].Last()
+		if baseline > 0 {
+			res.UpdateOverheadPct = (withUpdates - baseline) / baseline * 100
+		}
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig11Result) Title() string {
+	return fmt.Sprintf("Figure 11: bandwidth consumption during packet forwarding (%d pairs, %d-byte payloads)",
+		r.Cfg.Pairs, r.Cfg.PayloadBytes)
+}
+
+// Headers returns the table header.
+func (r *Fig11Result) Headers() []string {
+	return append([]string{"t (s)"}, r.order...)
+}
+
+// Rows returns cumulative megabytes on the wire per snapshot plus summary
+// rows for relative overhead.
+func (r *Fig11Result) Rows() [][]string {
+	var rows [][]string
+	ref := r.PerScheme[r.order[0]]
+	for i := 0; i < ref.Len(); i++ {
+		row := []string{fseconds(ref.Times[i])}
+		for _, s := range r.order {
+			row = append(row, fbytes(r.PerScheme[s].Values[i]))
+		}
+		rows = append(rows, row)
+	}
+	base := r.PerScheme[core.SchemeExSPAN].Last()
+	over := []string{"vs ExSPAN"}
+	for _, s := range r.order {
+		if base > 0 {
+			over = append(over, fmt.Sprintf("%+.1f%%", (r.PerScheme[s].Last()-base)/base*100))
+		} else {
+			over = append(over, "n/a")
+		}
+	}
+	rows = append(rows, over)
+	if r.UpdateEvery > 0 {
+		rows = append(rows, []string{
+			fmt.Sprintf("route update every %s", r.UpdateEvery),
+			"", "", fmt.Sprintf("%+.2f%%", r.UpdateOverheadPct),
+		})
+	}
+	return rows
+}
+
+// Fig12Result holds the distributed query latency distribution per scheme
+// (Figure 12).
+type Fig12Result struct {
+	Cfg       ForwardingConfig
+	Queries   int
+	PerScheme map[string]*metrics.CDF // latencies in milliseconds
+	order     []string
+}
+
+// Fig12 runs the query-latency experiment: after the workload completes,
+// it issues queries for randomly selected recv tuples and measures the
+// distributed query latency under each scheme. Following Section 6.1.3,
+// the topology is deployed with uniform LAN links (the paper's physical
+// 25-machine testbed with real sockets) rather than the simulated WAN
+// links, so processing cost — not propagation — dominates.
+func Fig12(cfg ForwardingConfig, queries int) (*Fig12Result, error) {
+	if cfg.LANLatency == 0 {
+		cfg.LANLatency = 200 * time.Microsecond
+	}
+	res := &Fig12Result{Cfg: cfg, Queries: queries,
+		PerScheme: make(map[string]*metrics.CDF), order: schemesOrDefault(cfg.Schemes)}
+	for _, scheme := range res.order {
+		run, err := buildForwarding(cfg, scheme, true)
+		if err != nil {
+			return nil, err
+		}
+		run.rt.Run()
+		outs := run.rt.Outputs()
+		if len(outs) == 0 {
+			return nil, fmt.Errorf("experiments: no outputs to query")
+		}
+		r := rand.New(rand.NewSource(cfg.Seed + 7))
+		var lats []float64
+		for i := 0; i < queries; i++ {
+			out := outs[r.Intn(len(outs))].Tuple
+			var got *core.QueryResult
+			run.maint.QueryProvenance(out, types.ZeroID, func(qr core.QueryResult) { got = &qr })
+			run.rt.Run()
+			if got == nil {
+				return nil, fmt.Errorf("experiments: query %d did not complete", i)
+			}
+			if len(got.Trees) == 0 {
+				return nil, fmt.Errorf("experiments: query %d returned no trees for %v", i, out)
+			}
+			lats = append(lats, float64(got.Latency)/float64(time.Millisecond))
+		}
+		res.PerScheme[scheme] = metrics.NewCDF(lats)
+	}
+	return res, nil
+}
+
+// Title describes the figure.
+func (r *Fig12Result) Title() string {
+	return fmt.Sprintf("Figure 12: CDF of provenance query latency (%d random queries)", r.Queries)
+}
+
+// Headers returns the table header.
+func (r *Fig12Result) Headers() []string {
+	return append([]string{"statistic"}, r.order...)
+}
+
+// Rows returns latency statistics per scheme (the paper reports mean and
+// median).
+func (r *Fig12Result) Rows() [][]string {
+	stat := func(name string, f func(*metrics.CDF) float64) []string {
+		row := []string{name}
+		for _, s := range r.order {
+			row = append(row, fmt.Sprintf("%.1f ms", f(r.PerScheme[s])))
+		}
+		return row
+	}
+	return [][]string{
+		stat("mean", func(c *metrics.CDF) float64 {
+			xs, _ := c.Points()
+			return metrics.Mean(xs)
+		}),
+		stat("median", func(c *metrics.CDF) float64 { return c.Percentile(0.5) }),
+		stat("p90", func(c *metrics.CDF) float64 { return c.Percentile(0.9) }),
+		stat("max", func(c *metrics.CDF) float64 { return c.Percentile(1) }),
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+
+	"provcompress/internal/engine"
+	"provcompress/internal/metrics"
+)
+
+// Result is the common surface of every experiment outcome: a title and
+// the table the paper's figure corresponds to.
+type Result interface {
+	Title() string
+	Headers() []string
+	Rows() [][]string
+}
+
+// Format renders a result as an aligned text table with its title.
+func Format(r Result) string {
+	return r.Title() + "\n" + metrics.FormatTable(r.Headers(), r.Rows())
+}
+
+// WriteCSV writes a result as CSV (header row first), the plot-ready
+// format for regenerating the paper's figures with external tooling.
+func WriteCSV(w io.Writer, r Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Headers()); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(r.Rows()); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// snapshotSeries schedules periodic measurements of measure() on the
+// runtime's clock: one sample every duration/snapshots, plus the sample at
+// t=0. Call before rt.Run().
+func snapshotSeries(rt *engine.Runtime, duration time.Duration, snapshots int, measure func() float64) *metrics.Series {
+	s := &metrics.Series{}
+	if snapshots < 1 {
+		snapshots = 1
+	}
+	interval := duration / time.Duration(snapshots)
+	for i := 0; i <= snapshots; i++ {
+		at := time.Duration(i) * interval
+		rt.Net.Scheduler().At(at, func() { s.Add(rt.Net.Scheduler().Now(), measure()) })
+	}
+	return s
+}
+
+func fseconds(d time.Duration) string {
+	return fmt.Sprintf("%.1f", d.Seconds())
+}
+
+func fbytes(v float64) string {
+	return metrics.HumanBytes(int64(v))
+}

@@ -1,0 +1,123 @@
+package ndlog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValidateDELP checks that the program is a distributed event-driven linear
+// program per Definition 1 of the paper:
+//
+//  1. each rule is event-driven (head :- event, conditions) — the parser
+//     guarantees the structural part; validation additionally checks rule
+//     safety (every head variable is bound by the body);
+//  2. consecutive rules are dependent: the head relation of rule i is the
+//     event relation of rule i+1;
+//  3. head relations only appear as event relations in rule bodies, never
+//     as slow-changing atoms.
+//
+// All violations found are reported, joined into one error.
+func (p *Program) ValidateDELP() error {
+	var errs []error
+	if len(p.Rules) == 0 {
+		return errors.New("ndlog: delp: empty program")
+	}
+
+	// Condition 2: consecutive dependence.
+	for i := 0; i+1 < len(p.Rules); i++ {
+		cur, next := p.Rules[i], p.Rules[i+1]
+		if cur.Head.Rel != next.Event.Rel {
+			errs = append(errs, fmt.Errorf(
+				"ndlog: delp: rules %s and %s are not dependent: head relation %s of %s is not the event relation %s of %s",
+				cur.Label, next.Label, cur.Head.Rel, cur.Label, next.Event.Rel, next.Label))
+		}
+	}
+
+	// Condition 3: head relations never appear as non-event body atoms.
+	heads := p.HeadRelations()
+	for _, r := range p.Rules {
+		for _, s := range r.Slow {
+			if heads[s.Rel] {
+				errs = append(errs, fmt.Errorf(
+					"ndlog: delp: head relation %s appears as a non-event atom in rule %s",
+					s.Rel, r.Label))
+			}
+		}
+	}
+
+	// The input event relation is a stream, not state: it must not be used
+	// as a slow-changing atom.
+	input := p.InputEvent()
+	for _, r := range p.Rules {
+		for _, s := range r.Slow {
+			if s.Rel == input {
+				errs = append(errs, fmt.Errorf(
+					"ndlog: delp: input event relation %s used as a slow-changing atom in rule %s",
+					input, r.Label))
+			}
+		}
+	}
+
+	// Duplicate rule labels would break provenance RIDs.
+	seen := make(map[string]bool, len(p.Rules))
+	for _, r := range p.Rules {
+		if seen[r.Label] {
+			errs = append(errs, fmt.Errorf("ndlog: delp: duplicate rule label %s", r.Label))
+		}
+		seen[r.Label] = true
+	}
+
+	// Safety per rule.
+	for _, r := range p.Rules {
+		if err := r.checkSafety(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+// checkSafety verifies that every variable consumed by the rule (in the
+// head, constraints, and assignment right-hand sides) is bound by the event
+// atom, a slow-changing atom, or a preceding assignment, and that no
+// assignment rebinds an already-bound variable.
+func (r *Rule) checkSafety() error {
+	bound := make(map[string]bool)
+	for v := range r.Event.Vars() {
+		bound[v] = true
+	}
+	for _, s := range r.Slow {
+		for v := range s.Vars() {
+			bound[v] = true
+		}
+	}
+	var errs []error
+	for _, a := range r.Assigns {
+		for _, v := range a.Expr.FreeVars(nil) {
+			if !bound[v] {
+				errs = append(errs, fmt.Errorf(
+					"ndlog: delp: rule %s: assignment %s uses unbound variable %s", r.Label, a, v))
+			}
+		}
+		if bound[a.Var] {
+			errs = append(errs, fmt.Errorf(
+				"ndlog: delp: rule %s: assignment rebinds variable %s", r.Label, a.Var))
+		}
+		bound[a.Var] = true
+	}
+	for _, c := range r.Constraints {
+		for _, v := range c.R.FreeVars(c.L.FreeVars(nil)) {
+			if !bound[v] {
+				errs = append(errs, fmt.Errorf(
+					"ndlog: delp: rule %s: constraint %s uses unbound variable %s", r.Label, c, v))
+			}
+		}
+	}
+	for v := range r.Head.Vars() {
+		if !bound[v] {
+			errs = append(errs, fmt.Errorf(
+				"ndlog: delp: rule %s: head variable %s is unbound", r.Label, v))
+		}
+	}
+	return errors.Join(errs...)
+}

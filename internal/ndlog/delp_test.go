@@ -1,0 +1,107 @@
+package ndlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateDELPAccepts(t *testing.T) {
+	for _, src := range []string{forwardingSrc, dnsSrc} {
+		p := MustParse(src)
+		if err := p.ValidateDELP(); err != nil {
+			t.Errorf("ValidateDELP rejected valid program: %v", err)
+		}
+	}
+}
+
+func TestParseDELP(t *testing.T) {
+	if _, err := ParseDELP(forwardingSrc); err != nil {
+		t.Errorf("ParseDELP(forwarding) = %v", err)
+	}
+	if _, err := ParseDELP(`r1 a(@L, X) :- b(@L, X). r2 c(@L, X) :- d(@L, X).`); err == nil {
+		t.Error("ParseDELP accepted non-dependent rules")
+	}
+	if _, err := ParseDELP(`r1 a(@L, X :- b(@L, X).`); err == nil {
+		t.Error("ParseDELP accepted syntax error")
+	}
+}
+
+func TestValidateDELPRejections(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			"non-consecutive",
+			"r1 a(@L, X) :- e(@L, X).\nr2 c(@L, X) :- d(@L, X).",
+			"not dependent",
+		},
+		{
+			"head as slow atom",
+			"r1 a(@L, X) :- e(@L, X).\nr2 c(@L, X) :- a(@L, X), a(@L, X).",
+			"non-event atom",
+		},
+		{
+			"input event as slow atom",
+			"r1 a(@L, X) :- e(@L, X), e(@L, X).",
+			"input event relation",
+		},
+		{
+			"duplicate labels",
+			"r1 a(@L, X) :- e(@L, X).\nr1 c(@L, X) :- a(@L, X).",
+			"duplicate rule label",
+		},
+		{
+			"unbound head var",
+			"r1 a(@L, X, Y) :- e(@L, X).",
+			"head variable Y is unbound",
+		},
+		{
+			"unbound constraint var",
+			"r1 a(@L, X) :- e(@L, X), Z == 2.",
+			"unbound variable Z",
+		},
+		{
+			"unbound assign rhs",
+			"r1 a(@L, X, N) :- e(@L, X), N := M + 1.",
+			"unbound variable M",
+		},
+		{
+			"assign rebinds",
+			"r1 a(@L, X) :- e(@L, X), X := 2.",
+			"rebinds",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = p.ValidateDELP()
+			if err == nil {
+				t.Fatalf("ValidateDELP accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateDELPAllowsAssignedHeadVars(t *testing.T) {
+	src := `r1 a(@L, N) :- e(@L, X), N := X + 1.`
+	p := MustParse(src)
+	if err := p.ValidateDELP(); err != nil {
+		t.Errorf("assignment-bound head var rejected: %v", err)
+	}
+}
+
+func TestValidateDELPRecursiveFirstRule(t *testing.T) {
+	// Figure 1: r1's head relation equals its own event relation; this is the
+	// recursive forwarding rule and must be accepted.
+	src := `r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).`
+	p := MustParse(src)
+	if err := p.ValidateDELP(); err != nil {
+		t.Errorf("recursive rule rejected: %v", err)
+	}
+}

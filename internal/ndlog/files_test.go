@@ -1,0 +1,40 @@
+package ndlog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplePrograms parses and DELP-validates every .dlog file shipped
+// under examples/programs (the inputs the delpc tool documents).
+func TestExamplePrograms(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("examples/programs missing: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".dlog" {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := ParseDELP(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(prog.Rules) == 0 {
+				t.Error("no rules")
+			}
+		})
+	}
+	if found < 3 {
+		t.Errorf("only %d .dlog example programs found", found)
+	}
+}

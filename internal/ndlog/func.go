@@ -1,0 +1,12 @@
+package ndlog
+
+import "provcompress/internal/types"
+
+// Func is the implementation of a user-defined function callable from rule
+// bodies (e.g. f_isSubDomain in the DNS program of Figure 19). A Func must
+// be pure and deterministic: rule re-execution during provenance querying
+// (Section 4, step 2) relies on replaying the exact same derivations.
+type Func func(args []types.Value) (types.Value, error)
+
+// FuncMap is a registry of user-defined functions by name.
+type FuncMap map[string]Func

@@ -1,0 +1,42 @@
+package ndlog
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that accepted programs
+// survive a print/reparse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		forwardingSrc,
+		dnsSrc,
+		`r1 a(@L, X) :- b(@L, X), X == 1.`,
+		`r1 a(@L, N) :- b(@L, X), N := X * 2 + 1.`,
+		`r1 a(@L, B) :- b(@L, X), B := f_check(X, "s"), B == true.`,
+		`r1 a(@L) :- b(@L). // comment`,
+		`r1 a(@L) :- b(@L). /* block */`,
+		`r1 a(@"quoted loc") :- b(@L).`,
+		"r1 a(@L, -5) :- b(@L).",
+		"", "r1", "r1 a(@L :-", `r1 a(@L, "unterminated) :- b(@L).`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must print and reparse to the same text.
+		printed := prog.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed program failed: %v\nprinted:\n%s", err, printed)
+		}
+		if again.String() != printed {
+			t.Fatalf("print/parse not a fixpoint:\n%q\nvs\n%q", printed, again.String())
+		}
+		// DELP validation must not panic either way.
+		_ = prog.ValidateDELP()
+	})
+}

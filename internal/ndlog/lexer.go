@@ -1,0 +1,263 @@
+package ndlog
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota
+	tokIdent            // packet, f_isSubDomain, n1
+	tokVar              // N, S, D, DT (uppercase-initial)
+	tokInt              // 42, -7 handled by parser via unary minus
+	tokString           // "data"
+	tokLParen           // (
+	tokRParen           // )
+	tokComma            // ,
+	tokPeriod           // .
+	tokAt               // @
+	tokDerive           // :-
+	tokAssign           // :=
+	tokOp               // == != <= >= < > + - * / %
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokAt:
+		return "'@'"
+	case tokDerive:
+		return "':-'"
+	case tokAssign:
+		return "':='"
+	case tokOp:
+		return "operator"
+	default:
+		return "unknown"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer turns NDlog source into a token stream. It supports // line
+// comments and /* */ block comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// errorf formats a lexical error with position information.
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("ndlog: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 <= len(l.src) {
+				if l.pos+1 < len(l.src) && l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				if l.pos >= len(l.src) {
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case c == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case c == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case c == '.':
+		l.advance()
+		return token{tokPeriod, ".", line, col}, nil
+	case c == '@':
+		l.advance()
+		return token{tokAt, "@", line, col}, nil
+	case c == ':':
+		l.advance()
+		switch l.peekByte() {
+		case '-':
+			l.advance()
+			return token{tokDerive, ":-", line, col}, nil
+		case '=':
+			l.advance()
+			return token{tokAssign, ":=", line, col}, nil
+		}
+		return token{}, l.errorf(line, col, "expected ':-' or ':=' after ':'")
+	case c == '=':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{tokOp, "==", line, col}, nil
+		}
+		return token{}, l.errorf(line, col, "expected '==' (single '=' is not an operator)")
+	case c == '!':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{tokOp, "!=", line, col}, nil
+		}
+		return token{}, l.errorf(line, col, "expected '!='")
+	case c == '<' || c == '>':
+		l.advance()
+		op := string(c)
+		if l.peekByte() == '=' {
+			l.advance()
+			op += "="
+		}
+		return token{tokOp, op, line, col}, nil
+	case c == '+' || c == '-' || c == '*' || c == '/' || c == '%':
+		l.advance()
+		return token{tokOp, string(c), line, col}, nil
+	case c == '"':
+		return l.lexString(line, col)
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+			l.advance()
+		}
+		return token{tokInt, l.src[start:l.pos], line, col}, nil
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		r, _ := utf8.DecodeRuneInString(text)
+		if unicode.IsUpper(r) {
+			return token{tokVar, text, line, col}, nil
+		}
+		return token{tokIdent, text, line, col}, nil
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", c)
+	}
+}
+
+// lexString scans a double-quoted literal and decodes it with the full
+// Go escape syntax (strconv.Unquote), the inverse of how values print
+// (strconv.Quote), so print/parse round trips for any string content.
+func (l *lexer) lexString(line, col int) (token, error) {
+	start := l.pos
+	l.advance() // opening quote
+	for l.pos < len(l.src) {
+		c := l.advance()
+		switch c {
+		case '"':
+			raw := l.src[start:l.pos]
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{}, l.errorf(line, col, "bad string literal %s: %v", raw, err)
+			}
+			return token{tokString, s, line, col}, nil
+		case '\\':
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string")
+			}
+			l.advance() // skip the escaped character (may be '"')
+		case '\n':
+			return token{}, l.errorf(line, col, "newline in string")
+		}
+	}
+	return token{}, l.errorf(line, col, "unterminated string")
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

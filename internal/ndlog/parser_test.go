@@ -1,0 +1,263 @@
+package ndlog
+
+import (
+	"strings"
+	"testing"
+
+	"provcompress/internal/types"
+)
+
+// forwardingSrc is the packet-forwarding program of Figure 1.
+const forwardingSrc = `
+r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+`
+
+// dnsSrc is the recursive DNS resolution program of Figure 19.
+const dnsSrc = `
+r1 request(@RT, URL, HST, RQID) :- url(@HST, URL, RQID), rootServer(@HST, RT).
+r2 request(@SV, URL, HST, RQID) :- request(@X, URL, HST, RQID),
+                                   nameServer(@X, DM, SV),
+                                   f_isSubDomain(DM, URL) == true.
+r3 dnsResult(@X, URL, IPADDR, HST, RQID) :- request(@X, URL, HST, RQID),
+                                            addressRecord(@X, URL, IPADDR).
+r4 reply(@HST, URL, IPADDR, RQID) :- dnsResult(@X, URL, IPADDR, HST, RQID).
+`
+
+func TestParseForwarding(t *testing.T) {
+	p, err := Parse(forwardingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(p.Rules))
+	}
+	r1 := p.Rules[0]
+	if r1.Label != "r1" || r1.Head.Rel != "packet" || r1.Event.Rel != "packet" {
+		t.Errorf("r1 structure wrong: %v", r1)
+	}
+	if len(r1.Slow) != 1 || r1.Slow[0].Rel != "route" {
+		t.Errorf("r1 slow atoms = %v, want [route]", r1.Slow)
+	}
+	r2 := p.Rules[1]
+	if r2.Head.Rel != "recv" || len(r2.Constraints) != 1 {
+		t.Errorf("r2 structure wrong: %v", r2)
+	}
+	c := r2.Constraints[0]
+	if c.Op != OpEq {
+		t.Errorf("r2 constraint op = %s, want ==", c.Op)
+	}
+	if v, ok := c.L.(VarExpr); !ok || v.Name != "D" {
+		t.Errorf("r2 constraint lhs = %v, want D", c.L)
+	}
+	if p.InputEvent() != "packet" {
+		t.Errorf("InputEvent = %q, want packet", p.InputEvent())
+	}
+	slow := p.SlowRelations()
+	if !slow["route"] || len(slow) != 1 {
+		t.Errorf("SlowRelations = %v, want {route}", slow)
+	}
+	outs := p.OutputRelations()
+	if !outs["recv"] || len(outs) != 1 {
+		t.Errorf("OutputRelations = %v, want {recv}", outs)
+	}
+}
+
+func TestParseDNS(t *testing.T) {
+	p, err := Parse(dnsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(p.Rules))
+	}
+	r2 := p.Rule("r2")
+	if r2 == nil {
+		t.Fatal("rule r2 missing")
+	}
+	if len(r2.Slow) != 1 || r2.Slow[0].Rel != "nameServer" {
+		t.Errorf("r2 slow = %v", r2.Slow)
+	}
+	if len(r2.Constraints) != 1 {
+		t.Fatalf("r2 constraints = %v", r2.Constraints)
+	}
+	call, ok := r2.Constraints[0].L.(CallExpr)
+	if !ok || call.Fn != "f_isSubDomain" || len(call.Args) != 2 {
+		t.Errorf("r2 constraint lhs = %v, want f_isSubDomain(DM, URL)", r2.Constraints[0].L)
+	}
+	rhs, ok := r2.Constraints[0].R.(ConstExpr)
+	if !ok || !rhs.Val.Equal(types.Bool(true)) {
+		t.Errorf("r2 constraint rhs = %v, want true", r2.Constraints[0].R)
+	}
+	if p.InputEvent() != "url" {
+		t.Errorf("InputEvent = %q, want url", p.InputEvent())
+	}
+	r4 := p.Rule("r4")
+	if len(r4.Slow) != 0 || len(r4.Constraints) != 0 {
+		t.Errorf("r4 should have only an event atom: %v", r4)
+	}
+}
+
+func TestParseAssignmentAndArith(t *testing.T) {
+	src := `r1 out(@L, N, M) :- in(@L, X, Y), N := X + 2 * Y, M := N - 1, X < 10, Y != 0.`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if len(r.Assigns) != 2 {
+		t.Fatalf("assigns = %v", r.Assigns)
+	}
+	if r.Assigns[0].Var != "N" {
+		t.Errorf("assign var = %s", r.Assigns[0].Var)
+	}
+	be, ok := r.Assigns[0].Expr.(BinExpr)
+	if !ok || be.Op != OpAdd {
+		t.Fatalf("assign expr = %v, want X + (2*Y)", r.Assigns[0].Expr)
+	}
+	inner, ok := be.R.(BinExpr)
+	if !ok || inner.Op != OpMul {
+		t.Errorf("precedence wrong: rhs of + is %v, want 2 * Y", be.R)
+	}
+	if len(r.Constraints) != 2 || r.Constraints[0].Op != OpLt || r.Constraints[1].Op != OpNe {
+		t.Errorf("constraints = %v", r.Constraints)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	src := `r1 out(@L, A, B, C, D, E) :- in(@L, Z), A := -5, B := "hello", C := true, D := false, E := 3 % 2, Z == n1.`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	// Z == n1 : bare lowercase ident is a string constant.
+	rhs := r.Constraints[0].R.(ConstExpr)
+	if !rhs.Val.Equal(types.String("n1")) {
+		t.Errorf("n1 parsed as %v, want string const", rhs.Val)
+	}
+	if !r.Assigns[0].Expr.(BinExpr).R.(ConstExpr).Val.Equal(types.Int(5)) {
+		t.Errorf("unary minus: %v", r.Assigns[0].Expr)
+	}
+	if !r.Assigns[2].Expr.(ConstExpr).Val.Equal(types.Bool(true)) {
+		t.Errorf("true literal: %v", r.Assigns[2].Expr)
+	}
+}
+
+func TestParseAtomArgumentLiterals(t *testing.T) {
+	src := `r1 out(@L, 7, "x", true, -3, n9) :- in(@L, A).`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := p.Rules[0].Head.Args
+	want := []types.Value{
+		{}, // position 0 is the variable L
+		types.Int(7), types.String("x"), types.Bool(true), types.Int(-3), types.String("n9"),
+	}
+	if _, ok := args[0].(Var); !ok {
+		t.Errorf("arg0 = %v, want Var", args[0])
+	}
+	for i := 1; i < len(want); i++ {
+		c, ok := args[i].(Const)
+		if !ok || !c.Val.Equal(want[i]) {
+			t.Errorf("arg%d = %v, want %v", i, args[i], want[i])
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+r1 a(@L, X) :- b(@L, X). /* block
+comment */ r2 c(@L, X) :- a(@L, X).
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Errorf("rules = %d, want 2", len(p.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "empty program"},
+		{"no label", `packet(@L) :- x(@L).`, ""},
+		{"missing period", `r1 a(@L, X) :- b(@L, X)`, "'.'"},
+		{"missing derive", `r1 a(@L, X) b(@L, X).`, "':-'"},
+		{"no event", `r1 a(@L, X) :- X == 2.`, "no event atom"},
+		{"no location", `r1 a(L, X) :- b(@L, X).`, "location"},
+		{"bad char", `r1 a(@L) :- b(@L) & c(@L).`, "unexpected character"},
+		{"unterminated string", `r1 a(@L, X) :- b(@L, X), X == "oops.`, "string"},
+		{"unterminated comment", `r1 a(@L, X) :- b(@L, X). /* dangling`, "comment"},
+		{"single equals", `r1 a(@L, X) :- b(@L, X), X = 2.`, "'=='"},
+		{"bad bang", `r1 a(@L, X) :- b(@L, X), X ! 2.`, "'!='"},
+		{"lone colon", `r1 a(@L, X) :- b(@L, X), X : 2.`, "':-' or ':='"},
+		{"arity clash", "r1 a(@L, X) :- b(@L, X).\nr2 c(@L) :- a(@L).", "arity"},
+		{"newline in string", "r1 a(@L, X) :- b(@L, X), X == \"a\nb\".", "string"},
+		{"bad escape", `r1 a(@L, X) :- b(@L, X), X == "a\q".`, "bad string literal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tc.src)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	p := MustParse(forwardingSrc)
+	again, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\nsource:\n%s", err, p.String())
+	}
+	if again.String() != p.String() {
+		t.Errorf("print/parse not a fixpoint:\n%s\nvs\n%s", p.String(), again.String())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad source should panic")
+		}
+	}()
+	MustParse("not a program")
+}
+
+func TestRulesForEvent(t *testing.T) {
+	p := MustParse(forwardingSrc)
+	rs := p.RulesForEvent("packet")
+	if len(rs) != 2 || rs[0].Label != "r1" || rs[1].Label != "r2" {
+		t.Errorf("RulesForEvent(packet) = %v", rs)
+	}
+	if got := p.RulesForEvent("nosuch"); len(got) != 0 {
+		t.Errorf("RulesForEvent(nosuch) = %v", got)
+	}
+}
+
+func TestArities(t *testing.T) {
+	p := MustParse(dnsSrc)
+	ar, err := p.Arities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"url": 3, "rootServer": 2, "request": 4, "nameServer": 3,
+		"dnsResult": 5, "addressRecord": 3, "reply": 4,
+	}
+	for rel, n := range want {
+		if ar[rel] != n {
+			t.Errorf("arity(%s) = %d, want %d", rel, ar[rel], n)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package netsim is the simulated network substrate standing in for ns-3
+// in the paper's evaluation (Section 6): nodes exchange messages over the
+// links of a topology, each transmission paying the link's serialization
+// delay (size / bandwidth) plus its propagation latency, with per-link FIFO
+// ordering. Multi-hop delivery follows precomputed shortest paths, and every
+// traversed link accounts the bytes carried, which is how the bandwidth
+// figures (Figures 11 and 15) are measured.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"provcompress/internal/sim"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+)
+
+// Message is a network-layer datagram. Kind discriminates the protocol
+// (tuple shipment, provenance query, sig broadcast, ...); Payload is
+// interpreted by the receiving handler; Size is the on-the-wire size in
+// bytes used for serialization delay and bandwidth accounting.
+type Message struct {
+	From, To types.NodeAddr
+	Kind     string
+	Payload  any
+	Size     int
+}
+
+// Handler receives messages addressed to a node.
+type Handler func(msg Message)
+
+type dirKey struct {
+	a, b types.NodeAddr
+}
+
+// LinkStats accumulates traffic counters for one undirected link.
+type LinkStats struct {
+	Bytes    int64
+	Messages int64
+}
+
+// Network simulates message exchange over a topology.
+type Network struct {
+	sched    *sim.Scheduler
+	graph    *topo.Graph
+	routes   *topo.Routes
+	handlers map[types.NodeAddr]Handler
+
+	busyUntil map[dirKey]time.Duration
+	linkStats map[dirKey]*LinkStats
+
+	totalBytes int64
+	totalMsgs  int64
+	dropped    int64
+
+	lossRate float64
+	lossRNG  *rand.Rand
+}
+
+// New builds a network over g with shortest-path routing.
+func New(sched *sim.Scheduler, g *topo.Graph) *Network {
+	return &Network{
+		sched:     sched,
+		graph:     g,
+		routes:    g.ShortestPaths(),
+		handlers:  make(map[types.NodeAddr]Handler),
+		busyUntil: make(map[dirKey]time.Duration),
+		linkStats: make(map[dirKey]*LinkStats),
+	}
+}
+
+// Scheduler returns the underlying discrete-event scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Graph returns the topology.
+func (n *Network) Graph() *topo.Graph { return n.graph }
+
+// Routes returns the shortest-path routing tables.
+func (n *Network) Routes() *topo.Routes { return n.routes }
+
+// SetHandler installs the receive handler for a node.
+func (n *Network) SetHandler(addr types.NodeAddr, h Handler) {
+	if !n.graph.HasNode(addr) {
+		panic(fmt.Sprintf("netsim: handler for unknown node %s", addr))
+	}
+	n.handlers[addr] = h
+}
+
+// TotalBytes returns the bytes carried across all links so far (a message
+// traversing k links is counted k times, as it occupies each link).
+func (n *Network) TotalBytes() int64 { return n.totalBytes }
+
+// TotalMessages returns the number of end-to-end messages sent.
+func (n *Network) TotalMessages() int64 { return n.totalMsgs }
+
+// Dropped returns messages abandoned for lack of a route or handler, or
+// lost to injected faults.
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// SetLossRate enables fault injection: each end-to-end message is dropped
+// with the given probability (deterministically, from the seed). Loss is
+// applied at send time — a lost message consumes no link bandwidth, like a
+// payload corrupted at its first hop and discarded.
+func (n *Network) SetLossRate(rate float64, seed int64) {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("netsim: loss rate %v out of [0,1]", rate))
+	}
+	n.lossRate = rate
+	n.lossRNG = rand.New(rand.NewSource(seed))
+}
+
+// LinkStats returns the traffic counters of the undirected link a--b.
+func (n *Network) LinkStats(a, b types.NodeAddr) LinkStats {
+	k := linkKeyOf(a, b)
+	if s := n.linkStats[k]; s != nil {
+		return *s
+	}
+	return LinkStats{}
+}
+
+func linkKeyOf(a, b types.NodeAddr) dirKey {
+	if b < a {
+		a, b = b, a
+	}
+	return dirKey{a, b}
+}
+
+// Send routes a message from msg.From to msg.To along the shortest path,
+// scheduling its delivery to the destination handler. Local messages
+// (From == To) are delivered at the current time plus zero delay. Unknown
+// destinations panic (a programming error); unreachable ones are counted
+// as dropped.
+func (n *Network) Send(msg Message) {
+	if !n.graph.HasNode(msg.From) || !n.graph.HasNode(msg.To) {
+		panic(fmt.Sprintf("netsim: send %s -> %s: unknown node", msg.From, msg.To))
+	}
+	n.totalMsgs++
+	if n.lossRate > 0 && msg.From != msg.To && n.lossRNG.Float64() < n.lossRate {
+		n.dropped++
+		return
+	}
+	if msg.From == msg.To {
+		n.sched.After(0, func() { n.deliver(msg) })
+		return
+	}
+	path := n.routes.Path(msg.From, msg.To)
+	if path == nil {
+		n.dropped++
+		return
+	}
+	n.hop(msg, path, 0, n.sched.Now())
+}
+
+// hop transmits the message over path[i] -> path[i+1], arriving at
+// readyAt' = serialization + latency past the link becoming free.
+func (n *Network) hop(msg Message, path []types.NodeAddr, i int, readyAt time.Duration) {
+	u, v := path[i], path[i+1]
+	link, ok := n.graph.FindLink(u, v)
+	if !ok {
+		// Routing produced a non-adjacent hop; cannot happen with a
+		// consistent Routes table.
+		panic(fmt.Sprintf("netsim: no link %s -- %s on routed path", u, v))
+	}
+	dk := dirKey{u, v}
+	start := readyAt
+	if n.busyUntil[dk] > start {
+		start = n.busyUntil[dk]
+	}
+	tx := serializationDelay(msg.Size, link.Bandwidth)
+	done := start + tx
+	n.busyUntil[dk] = done
+	arrive := done + link.Latency
+
+	lk := linkKeyOf(u, v)
+	st := n.linkStats[lk]
+	if st == nil {
+		st = &LinkStats{}
+		n.linkStats[lk] = st
+	}
+	st.Bytes += int64(msg.Size)
+	st.Messages++
+	n.totalBytes += int64(msg.Size)
+
+	n.sched.At(arrive, func() {
+		if i+2 < len(path) {
+			n.hop(msg, path, i+1, arrive)
+			return
+		}
+		n.deliver(msg)
+	})
+}
+
+func (n *Network) deliver(msg Message) {
+	h := n.handlers[msg.To]
+	if h == nil {
+		n.dropped++
+		return
+	}
+	h(msg)
+}
+
+// Broadcast sends a copy of the message to every node in the topology
+// (including the sender), the primitive used for the sig control message of
+// Section 5.5.
+func (n *Network) Broadcast(from types.NodeAddr, kind string, size int, payload any) {
+	for _, node := range n.graph.Nodes() {
+		n.Send(Message{From: from, To: node, Kind: kind, Payload: payload, Size: size})
+	}
+}
+
+// serializationDelay returns size bytes / bandwidth bits-per-second.
+func serializationDelay(size int, bandwidthBps int64) time.Duration {
+	if bandwidthBps <= 0 {
+		return 0
+	}
+	bits := int64(size) * 8
+	return time.Duration(bits * int64(time.Second) / bandwidthBps)
+}

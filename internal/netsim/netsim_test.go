@@ -1,0 +1,246 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"provcompress/internal/sim"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+)
+
+func lineNet(t *testing.T, n int) (*sim.Scheduler, *Network) {
+	t.Helper()
+	var s sim.Scheduler
+	return &s, New(&s, topo.Line(n, "n"))
+}
+
+func TestDirectDelivery(t *testing.T) {
+	s, nw := lineNet(t, 2)
+	var got []Message
+	var at time.Duration
+	nw.SetHandler("n1", func(m Message) { got = append(got, m); at = s.Now() })
+	nw.Send(Message{From: "n0", To: "n1", Kind: "tuple", Payload: "hi", Size: 1000})
+	s.Run()
+	if len(got) != 1 || got[0].Payload != "hi" {
+		t.Fatalf("got = %v", got)
+	}
+	// 1000 bytes at 50 Mbps = 160us serialization + 2ms latency.
+	want := 160*time.Microsecond + topo.SimpleLatency
+	if at != want {
+		t.Errorf("delivery at %v, want %v", at, want)
+	}
+	if nw.TotalBytes() != 1000 || nw.TotalMessages() != 1 {
+		t.Errorf("bytes = %d, msgs = %d", nw.TotalBytes(), nw.TotalMessages())
+	}
+}
+
+func TestMultiHopDelivery(t *testing.T) {
+	s, nw := lineNet(t, 4)
+	var at time.Duration
+	delivered := false
+	nw.SetHandler("n3", func(m Message) { delivered = true; at = s.Now() })
+	nw.Send(Message{From: "n0", To: "n3", Kind: "x", Size: 0})
+	s.Run()
+	if !delivered {
+		t.Fatal("not delivered")
+	}
+	if at != 3*topo.SimpleLatency {
+		t.Errorf("3-hop zero-size delivery at %v, want %v", at, 3*topo.SimpleLatency)
+	}
+	// Bytes counted per traversed link: 0 here, but message count is 1.
+	if nw.TotalMessages() != 1 {
+		t.Errorf("msgs = %d", nw.TotalMessages())
+	}
+	// Each intermediate link carried the message.
+	if nw.LinkStats("n1", "n2").Messages != 1 {
+		t.Errorf("intermediate link stats = %+v", nw.LinkStats("n1", "n2"))
+	}
+}
+
+func TestPerLinkByteAccounting(t *testing.T) {
+	s, nw := lineNet(t, 3)
+	nw.SetHandler("n2", func(Message) {})
+	nw.Send(Message{From: "n0", To: "n2", Kind: "x", Size: 500})
+	s.Run()
+	if got := nw.LinkStats("n0", "n1").Bytes; got != 500 {
+		t.Errorf("link n0-n1 bytes = %d, want 500", got)
+	}
+	if got := nw.LinkStats("n1", "n2").Bytes; got != 500 {
+		t.Errorf("link n1-n2 bytes = %d, want 500", got)
+	}
+	if nw.TotalBytes() != 1000 {
+		t.Errorf("total bytes = %d, want 1000 (500 per hop)", nw.TotalBytes())
+	}
+}
+
+func TestSerializationQueueing(t *testing.T) {
+	// Two back-to-back messages must serialize one after the other on the
+	// same directed link.
+	s, nw := lineNet(t, 2)
+	var times []time.Duration
+	nw.SetHandler("n1", func(m Message) { times = append(times, s.Now()) })
+	nw.Send(Message{From: "n0", To: "n1", Size: 62500}) // 10ms at 50Mbps
+	nw.Send(Message{From: "n0", To: "n1", Size: 62500})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("deliveries = %d", len(times))
+	}
+	if times[1]-times[0] != 10*time.Millisecond {
+		t.Errorf("spacing = %v, want 10ms serialization gap", times[1]-times[0])
+	}
+}
+
+func TestFIFOOrderingPerLink(t *testing.T) {
+	s, nw := lineNet(t, 2)
+	var got []int
+	nw.SetHandler("n1", func(m Message) { got = append(got, m.Payload.(int)) })
+	for i := 0; i < 10; i++ {
+		nw.Send(Message{From: "n0", To: "n1", Payload: i, Size: 100})
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order delivery: %v", got)
+		}
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	s, nw := lineNet(t, 2)
+	var at time.Duration
+	fired := false
+	nw.SetHandler("n0", func(m Message) { fired = true; at = s.Now() })
+	nw.Send(Message{From: "n0", To: "n0", Size: 99999})
+	s.Run()
+	if !fired || at != 0 {
+		t.Errorf("local delivery fired=%v at %v", fired, at)
+	}
+	if nw.TotalBytes() != 0 {
+		t.Errorf("local messages should not consume link bytes, got %d", nw.TotalBytes())
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	_, nw := lineNet(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("send to unknown node should panic")
+		}
+	}()
+	nw.Send(Message{From: "n0", To: "ghost"})
+}
+
+func TestUnknownHandlerCountsDropped(t *testing.T) {
+	s, nw := lineNet(t, 2)
+	nw.Send(Message{From: "n0", To: "n1", Size: 10})
+	s.Run()
+	if nw.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", nw.Dropped())
+	}
+}
+
+func TestUnreachableCountsDropped(t *testing.T) {
+	var s sim.Scheduler
+	g := topo.Line(2, "n")
+	g.AddNode("island")
+	nw := New(&s, g)
+	nw.SetHandler("island", func(Message) {})
+	nw.Send(Message{From: "n0", To: "island", Size: 10})
+	s.Run()
+	if nw.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", nw.Dropped())
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	s, nw := lineNet(t, 5)
+	got := make(map[types.NodeAddr]bool)
+	for _, n := range nw.Graph().Nodes() {
+		n := n
+		nw.SetHandler(n, func(m Message) {
+			if m.Kind != "sig" {
+				t.Errorf("kind = %s", m.Kind)
+			}
+			got[n] = true
+		})
+	}
+	nw.Broadcast("n2", "sig", 20, nil)
+	s.Run()
+	if len(got) != 5 {
+		t.Errorf("broadcast reached %d of 5 nodes", len(got))
+	}
+}
+
+func TestSetHandlerUnknownNodePanics(t *testing.T) {
+	_, nw := lineNet(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetHandler on unknown node should panic")
+		}
+	}()
+	nw.SetHandler("ghost", func(Message) {})
+}
+
+func TestLossInjection(t *testing.T) {
+	s, nw := lineNet(t, 2)
+	nw.SetLossRate(0.5, 7)
+	var delivered int
+	nw.SetHandler("n1", func(Message) { delivered++ })
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		nw.Send(Message{From: "n0", To: "n1", Size: 10})
+	}
+	s.Run()
+	if delivered == 0 || delivered == sent {
+		t.Fatalf("delivered = %d of %d at 50%% loss", delivered, sent)
+	}
+	if nw.Dropped() != int64(sent-delivered) {
+		t.Errorf("dropped = %d, want %d", nw.Dropped(), sent-delivered)
+	}
+	// Roughly half (binomial, generous bounds).
+	if delivered < sent/4 || delivered > sent*3/4 {
+		t.Errorf("delivered = %d, expected near %d", delivered, sent/2)
+	}
+	// Local messages are never lost.
+	nw.SetHandler("n0", func(Message) { delivered++ })
+	before := delivered
+	for i := 0; i < 10; i++ {
+		nw.Send(Message{From: "n0", To: "n0", Size: 1})
+	}
+	s.Run()
+	if delivered != before+10 {
+		t.Errorf("local deliveries = %d, want %d", delivered-before, 10)
+	}
+	// Determinism: the same seed drops the same messages.
+	s2, nw2 := lineNet(t, 2)
+	nw2.SetLossRate(0.5, 7)
+	var delivered2 int
+	nw2.SetHandler("n1", func(Message) { delivered2++ })
+	for i := 0; i < sent; i++ {
+		nw2.Send(Message{From: "n0", To: "n1", Size: 10})
+	}
+	s2.Run()
+	if delivered2 != delivered-10 { // minus the local ones counted above
+		t.Errorf("loss not deterministic: %d vs %d", delivered2, delivered-10)
+	}
+}
+
+func TestLossRateValidation(t *testing.T) {
+	_, nw := lineNet(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range loss rate accepted")
+		}
+	}()
+	nw.SetLossRate(1.5, 1)
+}
+
+func TestSerializationDelay(t *testing.T) {
+	if d := serializationDelay(1_000_000, 8_000_000); d != time.Second {
+		t.Errorf("1MB at 8Mbps = %v, want 1s", d)
+	}
+	if d := serializationDelay(100, 0); d != 0 {
+		t.Errorf("zero bandwidth should mean no delay, got %v", d)
+	}
+}

@@ -1,0 +1,212 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"provcompress/internal/types"
+)
+
+// Nameserver link parameters (parent-child delegation links) and client
+// uplinks for the DNS experiments.
+const (
+	NSLinkLatency       = 10 * time.Millisecond
+	NSLinkBandwidth     = 100_000_000
+	ClientLinkLatency   = 5 * time.Millisecond
+	ClientLinkBandwidth = 100_000_000
+)
+
+// DNSTreeConfig parameterizes the synthetic nameserver hierarchy of
+// Section 6.2.
+type DNSTreeConfig struct {
+	NumServers int // total nameservers including the root
+	MaxDepth   int // deepest delegation chain (paper: 27)
+	Seed       int64
+}
+
+// DefaultDNSTree reproduces the evaluation setup: 100 nameservers with a
+// maximum tree depth of 27.
+func DefaultDNSTree() DNSTreeConfig {
+	return DNSTreeConfig{NumServers: 100, MaxDepth: 27, Seed: 1}
+}
+
+// DNSTree is a synthetic DNS delegation hierarchy: a tree of nameservers,
+// each authoritative for a domain, with parent-child delegation links.
+type DNSTree struct {
+	Graph    *Graph
+	Root     types.NodeAddr
+	Servers  []types.NodeAddr
+	Parent   map[types.NodeAddr]types.NodeAddr
+	Children map[types.NodeAddr][]types.NodeAddr
+	Domain   map[types.NodeAddr]string // "" for the root
+	Depth    map[types.NodeAddr]int
+}
+
+// URLRecord associates a resolvable URL with the authoritative server that
+// holds its address record.
+type URLRecord struct {
+	URL    string
+	Server types.NodeAddr
+	IP     string
+}
+
+// GenDNSTree builds the hierarchy: first a spine of MaxDepth servers so the
+// deepest chain has exactly the configured depth (when NumServers allows),
+// then the remaining servers attach to random existing servers above
+// MaxDepth-1. Each child is delegated a fresh label under its parent's
+// domain.
+func GenDNSTree(cfg DNSTreeConfig) *DNSTree {
+	if cfg.NumServers < 1 || cfg.MaxDepth < 1 {
+		panic(fmt.Sprintf("topo: bad dns config %+v", cfg))
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	t := &DNSTree{
+		Graph:    NewGraph(),
+		Parent:   make(map[types.NodeAddr]types.NodeAddr),
+		Children: make(map[types.NodeAddr][]types.NodeAddr),
+		Domain:   make(map[types.NodeAddr]string),
+		Depth:    make(map[types.NodeAddr]int),
+	}
+	addr := func(i int) types.NodeAddr { return types.NodeAddr(fmt.Sprintf("ns%d", i)) }
+
+	t.Root = addr(0)
+	t.Graph.AddNode(t.Root)
+	t.Servers = append(t.Servers, t.Root)
+	t.Domain[t.Root] = ""
+	t.Depth[t.Root] = 0
+
+	attach := func(i int, parent types.NodeAddr) types.NodeAddr {
+		n := addr(i)
+		t.Graph.MustAddLink(parent, n, NSLinkLatency, NSLinkBandwidth)
+		t.Servers = append(t.Servers, n)
+		t.Parent[n] = parent
+		t.Children[parent] = append(t.Children[parent], n)
+		t.Depth[n] = t.Depth[parent] + 1
+		label := fmt.Sprintf("d%d", i)
+		if t.Domain[parent] == "" {
+			t.Domain[n] = label
+		} else {
+			t.Domain[n] = label + "." + t.Domain[parent]
+		}
+		return n
+	}
+
+	// Spine: one chain reaching MaxDepth.
+	spineLen := cfg.MaxDepth
+	if spineLen > cfg.NumServers-1 {
+		spineLen = cfg.NumServers - 1
+	}
+	prev := t.Root
+	i := 1
+	for ; i <= spineLen; i++ {
+		prev = attach(i, prev)
+	}
+	// Remaining servers attach to random servers with spare depth.
+	for ; i < cfg.NumServers; i++ {
+		for {
+			parent := t.Servers[r.Intn(len(t.Servers))]
+			if t.Depth[parent] < cfg.MaxDepth {
+				attach(i, parent)
+				break
+			}
+		}
+	}
+	return t
+}
+
+// MaxObservedDepth returns the deepest server depth in the tree.
+func (t *DNSTree) MaxObservedDepth() int {
+	max := 0
+	for _, d := range t.Depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NameServerTuples materializes the delegations as nameServer(@parent,
+// childDomain, child) base tuples for rule r2 of the DNS program, plus
+// rootServer(@host, root) entries for every client host passed in.
+func (t *DNSTree) NameServerTuples(clients []types.NodeAddr) []types.Tuple {
+	var out []types.Tuple
+	srv := append([]types.NodeAddr(nil), t.Servers...)
+	sort.Slice(srv, func(i, j int) bool { return srv[i] < srv[j] })
+	for _, p := range srv {
+		kids := append([]types.NodeAddr(nil), t.Children[p]...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, c := range kids {
+			out = append(out, types.NewTuple("nameServer",
+				types.String(string(p)), types.String(t.Domain[c]), types.String(string(c))))
+		}
+	}
+	for _, h := range clients {
+		out = append(out, types.NewTuple("rootServer",
+			types.String(string(h)), types.String(string(t.Root))))
+	}
+	return out
+}
+
+// PickURLs deterministically selects n distinct resolvable URLs, spread
+// over the non-root servers round-robin by depth so the workload mixes
+// shallow and deep resolutions (the paper uses 38 distinct URLs). Each URL
+// is www.<server domain> and resolves at that server.
+func (t *DNSTree) PickURLs(n int) []URLRecord {
+	nonRoot := make([]types.NodeAddr, 0, len(t.Servers)-1)
+	for _, s := range t.Servers {
+		if s != t.Root {
+			nonRoot = append(nonRoot, s)
+		}
+	}
+	// Sort by (depth, name) then stride through so depths interleave.
+	sort.Slice(nonRoot, func(i, j int) bool {
+		if t.Depth[nonRoot[i]] != t.Depth[nonRoot[j]] {
+			return t.Depth[nonRoot[i]] < t.Depth[nonRoot[j]]
+		}
+		return nonRoot[i] < nonRoot[j]
+	})
+	if n > len(nonRoot) {
+		n = len(nonRoot)
+	}
+	out := make([]URLRecord, 0, n)
+	if n == 0 {
+		return out
+	}
+	stride := len(nonRoot) / n
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; len(out) < n; i++ {
+		s := nonRoot[(i*stride)%len(nonRoot)]
+		out = append(out, URLRecord{
+			URL:    "www." + t.Domain[s],
+			Server: s,
+			IP:     fmt.Sprintf("10.%d.%d.%d", (i/250)%250, i%250, 1),
+		})
+	}
+	return out
+}
+
+// AddressRecordTuples materializes addressRecord(@server, url, ip) base
+// tuples for rule r3 of the DNS program.
+func AddressRecordTuples(urls []URLRecord) []types.Tuple {
+	out := make([]types.Tuple, 0, len(urls))
+	for _, u := range urls {
+		out = append(out, types.NewTuple("addressRecord",
+			types.String(string(u.Server)), types.String(u.URL), types.String(u.IP)))
+	}
+	return out
+}
+
+// AttachClients adds client hosts linked to the root nameserver and returns
+// their addresses.
+func (t *DNSTree) AttachClients(n int) []types.NodeAddr {
+	clients := make([]types.NodeAddr, n)
+	for i := range clients {
+		clients[i] = types.NodeAddr(fmt.Sprintf("host%d", i))
+		t.Graph.MustAddLink(clients[i], t.Root, ClientLinkLatency, ClientLinkBandwidth)
+	}
+	return clients
+}

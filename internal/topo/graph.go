@@ -1,0 +1,201 @@
+// Package topo models network topologies: the undirected graph of
+// Section 3's system model, generators for the evaluation topologies (the
+// GT-ITM-style transit-stub graph of Section 6.1 and the DNS nameserver
+// tree of Section 6.2), and shortest-path routing used to precompute the
+// route tables that the forwarding application consumes.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"provcompress/internal/types"
+)
+
+// Link is an undirected edge with ns-3-style parameters: propagation
+// latency and bandwidth in bits per second.
+type Link struct {
+	A, B      types.NodeAddr
+	Latency   time.Duration
+	Bandwidth int64 // bits per second
+}
+
+// Standard link classes of the paper's transit-stub topology (Section 6.1).
+const (
+	TransitTransitLatency = 50 * time.Millisecond
+	TransitStubLatency    = 10 * time.Millisecond
+	StubStubLatency       = 2 * time.Millisecond
+
+	TransitTransitBandwidth = 1_000_000_000 // 1 Gbps
+	TransitStubBandwidth    = 100_000_000   // 100 Mbps
+	StubStubBandwidth       = 50_000_000    // 50 Mbps
+)
+
+// Graph is an undirected multigraph-free network topology.
+type Graph struct {
+	nodes []types.NodeAddr
+	index map[types.NodeAddr]int
+	links []Link
+	adj   map[types.NodeAddr][]int // node -> indexes into links
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{
+		index: make(map[types.NodeAddr]int),
+		adj:   make(map[types.NodeAddr][]int),
+	}
+}
+
+// AddNode adds a node if not already present.
+func (g *Graph) AddNode(n types.NodeAddr) {
+	if _, ok := g.index[n]; ok {
+		return
+	}
+	g.index[n] = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+}
+
+// AddLink connects a and b (adding the nodes if needed). Duplicate and
+// self links are rejected.
+func (g *Graph) AddLink(a, b types.NodeAddr, latency time.Duration, bandwidth int64) error {
+	if a == b {
+		return fmt.Errorf("topo: self link at %s", a)
+	}
+	if _, ok := g.FindLink(a, b); ok {
+		return fmt.Errorf("topo: duplicate link %s -- %s", a, b)
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.links = append(g.links, Link{A: a, B: b, Latency: latency, Bandwidth: bandwidth})
+	idx := len(g.links) - 1
+	g.adj[a] = append(g.adj[a], idx)
+	g.adj[b] = append(g.adj[b], idx)
+	return nil
+}
+
+// MustAddLink is AddLink that panics on error; for generators.
+func (g *Graph) MustAddLink(a, b types.NodeAddr, latency time.Duration, bandwidth int64) {
+	if err := g.AddLink(a, b, latency, bandwidth); err != nil {
+		panic(err)
+	}
+}
+
+// HasNode reports whether n is in the topology.
+func (g *Graph) HasNode(n types.NodeAddr) bool {
+	_, ok := g.index[n]
+	return ok
+}
+
+// Nodes returns the nodes in insertion order. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Nodes() []types.NodeAddr { return g.nodes }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Links returns all links. The returned slice is shared; callers must not
+// modify it.
+func (g *Graph) Links() []Link { return g.links }
+
+// FindLink returns the link between a and b, if any.
+func (g *Graph) FindLink(a, b types.NodeAddr) (Link, bool) {
+	for _, idx := range g.adj[a] {
+		l := g.links[idx]
+		if l.A == a && l.B == b || l.A == b && l.B == a {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// Neighbors returns the nodes adjacent to n, sorted for determinism.
+func (g *Graph) Neighbors(n types.NodeAddr) []types.NodeAddr {
+	var out []types.NodeAddr
+	for _, idx := range g.adj[n] {
+		l := g.links[idx]
+		if l.A == n {
+			out = append(out, l.B)
+		} else {
+			out = append(out, l.A)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Connected reports whether the topology is a single connected component.
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make(map[types.NodeAddr]bool, len(g.nodes))
+	stack := []types.NodeAddr{g.nodes[0]}
+	seen[g.nodes[0]] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range g.Neighbors(n) {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return len(seen) == len(g.nodes)
+}
+
+// HopStats returns the hop-count diameter and the mean hop distance over
+// all ordered node pairs, computed by BFS from every node.
+func (g *Graph) HopStats() (diameter int, mean float64) {
+	var total, pairs int
+	for _, src := range g.nodes {
+		dist := g.bfs(src)
+		for _, d := range dist {
+			if d > diameter {
+				diameter = d
+			}
+			total += d
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		mean = float64(total) / float64(pairs)
+	}
+	return diameter, mean
+}
+
+// WithUniformLinks returns a copy of the topology in which every link has
+// the given latency and bandwidth. The query-latency experiment uses it to
+// emulate the paper's physical testbed (Section 6.1.3): the logical
+// transit-stub topology deployed over a LAN of real machines, where
+// per-hop latency is uniform and small.
+func (g *Graph) WithUniformLinks(latency time.Duration, bandwidth int64) *Graph {
+	out := NewGraph()
+	for _, n := range g.nodes {
+		out.AddNode(n)
+	}
+	for _, l := range g.links {
+		out.MustAddLink(l.A, l.B, latency, bandwidth)
+	}
+	return out
+}
+
+// bfs returns hop distances from src to every other reachable node.
+func (g *Graph) bfs(src types.NodeAddr) map[types.NodeAddr]int {
+	dist := map[types.NodeAddr]int{src: 0}
+	queue := []types.NodeAddr{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range g.Neighbors(n) {
+			if _, ok := dist[m]; !ok {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	delete(dist, src)
+	return dist
+}

@@ -1,0 +1,98 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"provcompress/internal/types"
+)
+
+// Default link parameters for the small hand-built topologies.
+const (
+	SimpleLatency   = 2 * time.Millisecond
+	SimpleBandwidth = 50_000_000
+)
+
+// Line builds a chain prefix0 -- prefix1 -- ... -- prefix(n-1).
+func Line(n int, prefix string) *Graph {
+	g := NewGraph()
+	var prev types.NodeAddr
+	for i := 0; i < n; i++ {
+		cur := types.NodeAddr(fmt.Sprintf("%s%d", prefix, i))
+		g.AddNode(cur)
+		if i > 0 {
+			g.MustAddLink(prev, cur, SimpleLatency, SimpleBandwidth)
+		}
+		prev = cur
+	}
+	return g
+}
+
+// Star builds a hub with n-1 leaves: prefix0 is the hub.
+func Star(n int, prefix string) *Graph {
+	g := NewGraph()
+	hub := types.NodeAddr(prefix + "0")
+	g.AddNode(hub)
+	for i := 1; i < n; i++ {
+		g.MustAddLink(hub, types.NodeAddr(fmt.Sprintf("%s%d", prefix, i)), SimpleLatency, SimpleBandwidth)
+	}
+	return g
+}
+
+// Fig2 builds the running example of the paper's Figure 2: n1 -- n2 -- n3.
+// The forwarding route tables of the figure (route(@n1,n3,n2) and
+// route(@n2,n3,n3)) are returned by Fig2Routes.
+func Fig2() *Graph {
+	g := NewGraph()
+	g.MustAddLink("n1", "n2", SimpleLatency, SimpleBandwidth)
+	g.MustAddLink("n2", "n3", SimpleLatency, SimpleBandwidth)
+	return g
+}
+
+// Fig2Routes returns the route base tuples of Figure 2, directing n1's and
+// n2's traffic for destination n3.
+func Fig2Routes() []types.Tuple {
+	return []types.Tuple{
+		types.NewTuple("route", types.String("n1"), types.String("n3"), types.String("n2")),
+		types.NewTuple("route", types.String("n2"), types.String("n3"), types.String("n3")),
+	}
+}
+
+// Fig7 builds the updated topology of Figure 7: Fig2 plus a new node n4
+// connected to both n1 and n3, providing the alternative path n1-n4-n3.
+func Fig7() *Graph {
+	g := Fig2()
+	g.MustAddLink("n1", "n4", SimpleLatency, SimpleBandwidth)
+	g.MustAddLink("n4", "n3", SimpleLatency, SimpleBandwidth)
+	return g
+}
+
+// Random builds a connected random graph: a random spanning tree plus extra
+// cross edges.
+func Random(n, extraEdges int, seed int64, prefix string) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	nodes := make([]types.NodeAddr, n)
+	for i := range nodes {
+		nodes[i] = types.NodeAddr(fmt.Sprintf("%s%d", prefix, i))
+		g.AddNode(nodes[i])
+		if i > 0 {
+			g.MustAddLink(nodes[r.Intn(i)], nodes[i], SimpleLatency, SimpleBandwidth)
+		}
+	}
+	for e := 0; e < extraEdges; e++ {
+		for tries := 0; tries < 32; tries++ {
+			a, b := nodes[r.Intn(n)], nodes[r.Intn(n)]
+			if a == b {
+				continue
+			}
+			if _, ok := g.FindLink(a, b); ok {
+				continue
+			}
+			g.MustAddLink(a, b, SimpleLatency, SimpleBandwidth)
+			break
+		}
+	}
+	return g
+}

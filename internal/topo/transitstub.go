@@ -1,0 +1,109 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"provcompress/internal/types"
+)
+
+// TransitStubConfig parameterizes the GT-ITM-style transit-stub generator.
+// The zero value is not useful; start from DefaultTransitStub.
+type TransitStubConfig struct {
+	NumTransit        int   // transit (backbone) nodes, connected in a ring
+	DomainsPerTransit int   // stub domains hanging off each transit node
+	NodesPerDomain    int   // stub nodes per stub domain
+	Seed              int64 // deterministic stub-domain wiring
+}
+
+// DefaultTransitStub reproduces the evaluation topology of Section 6.1:
+// 4 transit nodes, 3 stub domains each, 8 stub nodes per domain — 100 nodes
+// in total — with the paper's three link classes.
+func DefaultTransitStub() TransitStubConfig {
+	return TransitStubConfig{
+		NumTransit:        4,
+		DomainsPerTransit: 3,
+		NodesPerDomain:    8,
+		Seed:              1,
+	}
+}
+
+// TransitStub holds the generated topology plus the node classification the
+// experiments need ("nodes where traffic only originates or terminates").
+type TransitStub struct {
+	Graph   *Graph
+	Transit []types.NodeAddr
+	Stubs   []types.NodeAddr
+}
+
+// GenTransitStub builds a transit-stub topology:
+//
+//   - transit nodes t0..t(k-1) form a ring (plus all links for k <= 3) with
+//     transit-transit link parameters (50 ms, 1 Gbps);
+//   - each transit node connects to DomainsPerTransit stub-domain gateways
+//     with transit-stub parameters (10 ms, 100 Mbps);
+//   - each stub domain is a random near-tree of NodesPerDomain nodes with
+//     one extra cross edge, using stub-stub parameters (2 ms, 50 Mbps).
+//
+// With the default configuration the hop diameter lands near the paper's 12
+// and the mean hop distance near 5.3.
+func GenTransitStub(cfg TransitStubConfig) *TransitStub {
+	if cfg.NumTransit < 1 || cfg.DomainsPerTransit < 1 || cfg.NodesPerDomain < 1 {
+		panic(fmt.Sprintf("topo: bad transit-stub config %+v", cfg))
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := NewGraph()
+	ts := &TransitStub{Graph: g}
+
+	for i := 0; i < cfg.NumTransit; i++ {
+		n := types.NodeAddr(fmt.Sprintf("t%d", i))
+		g.AddNode(n)
+		ts.Transit = append(ts.Transit, n)
+	}
+	for i := 0; i < cfg.NumTransit; i++ {
+		j := (i + 1) % cfg.NumTransit
+		if i != j {
+			if _, ok := g.FindLink(ts.Transit[i], ts.Transit[j]); !ok {
+				g.MustAddLink(ts.Transit[i], ts.Transit[j], TransitTransitLatency, TransitTransitBandwidth)
+			}
+		}
+	}
+
+	for t := 0; t < cfg.NumTransit; t++ {
+		for d := 0; d < cfg.DomainsPerTransit; d++ {
+			nodes := make([]types.NodeAddr, cfg.NodesPerDomain)
+			for i := range nodes {
+				nodes[i] = types.NodeAddr(fmt.Sprintf("s%d-%d-%d", t, d, i))
+				g.AddNode(nodes[i])
+				ts.Stubs = append(ts.Stubs, nodes[i])
+			}
+			// Random near-tree biased towards depth: node i attaches to one
+			// of its three most recent predecessors.
+			for i := 1; i < len(nodes); i++ {
+				lo := i - 3
+				if lo < 0 {
+					lo = 0
+				}
+				parent := nodes[lo+r.Intn(i-lo)]
+				g.MustAddLink(parent, nodes[i], StubStubLatency, StubStubBandwidth)
+			}
+			// One extra intra-domain edge for redundancy, as GT-ITM stubs have.
+			if len(nodes) >= 4 {
+				for tries := 0; tries < 16; tries++ {
+					a, b := nodes[r.Intn(len(nodes))], nodes[r.Intn(len(nodes))]
+					if a == b {
+						continue
+					}
+					if _, ok := g.FindLink(a, b); ok {
+						continue
+					}
+					g.MustAddLink(a, b, StubStubLatency, StubStubBandwidth)
+					break
+				}
+			}
+			// Gateway: the domain's first node uplinks to its transit node.
+			g.MustAddLink(ts.Transit[t], nodes[0], TransitStubLatency, TransitStubBandwidth)
+		}
+	}
+	return ts
+}

@@ -1,0 +1,70 @@
+package types
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+)
+
+// ID is a 160-bit content identifier, the "sha1(...)" values of the paper's
+// provenance tables. VIDs identify tuples, RIDs identify rule executions,
+// and EVIDs identify input event tuples; all three are IDs computed over
+// different canonical encodings.
+type ID [sha1.Size]byte
+
+// ZeroID is the invalid/absent identifier, rendered as NULL in tables.
+var ZeroID ID
+
+// IsZero reports whether the ID is the absent value (NULL in the paper).
+func (id ID) IsZero() bool { return id == ZeroID }
+
+// String returns a short hex prefix for logs and table dumps, or "NULL" for
+// the zero ID.
+func (id ID) String() string {
+	if id.IsZero() {
+		return "NULL"
+	}
+	return hex.EncodeToString(id[:8])
+}
+
+// Hex returns the full 40-character hex form of the ID.
+func (id ID) Hex() string { return hex.EncodeToString(id[:]) }
+
+// HashTuple computes the VID of a tuple: sha1 over its canonical encoding,
+// matching the sha1(recv(@n3, n1, n3, "data")) entries of Table 1.
+func HashTuple(t Tuple) ID {
+	return sha1.Sum(t.Encode())
+}
+
+// HashBytes computes the ID of an arbitrary byte string.
+func HashBytes(b []byte) ID { return sha1.Sum(b) }
+
+// RuleExecID computes the RID of a rule execution from the rule name, the
+// executing node, and the VIDs of the body tuples recorded for it, matching
+// the sha1(r1+n1+vid1+vid2) entries of Table 1. Advanced compression calls
+// it without the location (loc == "") and with only the slow-changing VIDs,
+// matching the sha1(r1, vid1) entries of Table 3, so that equivalent rule
+// executions at the same node collapse to one RID.
+func RuleExecID(rule string, loc NodeAddr, vids []ID) ID {
+	h := sha1.New()
+	h.Write([]byte(rule))
+	h.Write([]byte{0})
+	h.Write([]byte(loc))
+	h.Write([]byte{0})
+	for _, v := range vids {
+		h.Write(v[:])
+	}
+	var id ID
+	h.Sum(id[:0])
+	return id
+}
+
+// HashValues computes the hash of an ordered list of attribute values; the
+// Advanced scheme uses it to key the htequi and hmap hash tables by the
+// valuation of the equivalence keys.
+func HashValues(vals []Value) ID {
+	buf := make([]byte, 0, 64)
+	for _, v := range vals {
+		buf = v.AppendEncode(buf)
+	}
+	return sha1.Sum(buf)
+}

@@ -1,0 +1,114 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDZeroAndString(t *testing.T) {
+	var id ID
+	if !id.IsZero() {
+		t.Error("zero ID not IsZero")
+	}
+	if id.String() != "NULL" {
+		t.Errorf("zero ID String = %q, want NULL", id.String())
+	}
+	h := HashTuple(pkt("n1", "n1", "n3", "data"))
+	if h.IsZero() {
+		t.Error("hash of a tuple is zero")
+	}
+	if len(h.Hex()) != 40 {
+		t.Errorf("Hex length = %d, want 40", len(h.Hex()))
+	}
+	if len(h.String()) != 16 {
+		t.Errorf("short String length = %d, want 16", len(h.String()))
+	}
+}
+
+func TestHashTupleDeterministicAndDiscriminating(t *testing.T) {
+	a := HashTuple(pkt("n1", "n1", "n3", "data"))
+	b := HashTuple(pkt("n1", "n1", "n3", "data"))
+	if a != b {
+		t.Error("same tuple hashed to different IDs")
+	}
+	diff := []Tuple{
+		pkt("n2", "n1", "n3", "data"), // location
+		pkt("n1", "n1", "n3", "url"),  // payload
+		NewTuple("recv", String("n1"), String("n1"), String("n3"), String("data")), // relation
+	}
+	for _, tp := range diff {
+		if HashTuple(tp) == a {
+			t.Errorf("distinct tuple %v collides", tp)
+		}
+	}
+	// Kind matters: Int(1) vs String("1") vs Bool(true) must differ.
+	x := HashTuple(NewTuple("r", String("n"), Int(1)))
+	y := HashTuple(NewTuple("r", String("n"), String("1")))
+	z := HashTuple(NewTuple("r", String("n"), Bool(true)))
+	if x == y || y == z || x == z {
+		t.Error("values of different kinds collide")
+	}
+}
+
+func TestRuleExecID(t *testing.T) {
+	v1 := HashTuple(NewTuple("route", String("n1"), String("n3"), String("n2")))
+	v2 := HashTuple(pkt("n1", "n1", "n3", "data"))
+	a := RuleExecID("r1", "n1", []ID{v1, v2})
+	b := RuleExecID("r1", "n1", []ID{v1, v2})
+	if a != b {
+		t.Error("RuleExecID not deterministic")
+	}
+	if RuleExecID("r2", "n1", []ID{v1, v2}) == a {
+		t.Error("rule name ignored")
+	}
+	if RuleExecID("r1", "n2", []ID{v1, v2}) == a {
+		t.Error("location ignored")
+	}
+	if RuleExecID("r1", "n1", []ID{v2, v1}) == a {
+		t.Error("vid order ignored")
+	}
+	if RuleExecID("r1", "n1", nil) == a {
+		t.Error("vids ignored")
+	}
+	// Advanced form: no location.
+	if RuleExecID("r1", "", []ID{v1}) == RuleExecID("r1", "n1", []ID{v1}) {
+		t.Error("empty and non-empty location collide")
+	}
+}
+
+func TestHashValues(t *testing.T) {
+	a := HashValues([]Value{String("n1"), String("n3")})
+	b := HashValues([]Value{String("n1"), String("n3")})
+	if a != b {
+		t.Error("HashValues not deterministic")
+	}
+	if HashValues([]Value{String("n3"), String("n1")}) == a {
+		t.Error("order ignored")
+	}
+	if HashValues([]Value{String("n1")}) == a {
+		t.Error("length ignored")
+	}
+}
+
+// Property: hashing is injective on distinct random tuples with overwhelming
+// probability; equal tuples always hash equal.
+func TestHashTupleQuick(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomTuple(r))
+			vals[1] = reflect.ValueOf(randomTuple(r))
+		},
+	}
+	f := func(a, b Tuple) bool {
+		ha, hb := HashTuple(a), HashTuple(b)
+		if a.Equal(b) {
+			return ha == hb
+		}
+		return ha != hb
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame checks the frame reader against arbitrary input.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte("hello"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully read frame must round trip.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, payload); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:4+len(payload)]) {
+			t.Fatal("frame round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecoderTuple checks the buffer decoder against arbitrary bytes.
+func FuzzDecoderTuple(f *testing.F) {
+	e := NewEncoder(0)
+	e.Str("hello")
+	e.U32(7)
+	f.Add(e.Bytes())
+	f.Add([]byte{0, 0, 0, 3, 'a'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.Str()
+		_ = d.U32()
+		_ = d.Tuple()
+		_ = d.ID()
+		_ = d.Bool()
+		_ = d.Err() // must never panic
+	})
+}

@@ -1,0 +1,204 @@
+// Package wire provides the binary serialization used by the real-socket
+// cluster runtime (internal/cluster) and the framing for its TCP protocol.
+// It plays the role boost::serialization plays in the paper's prototype:
+// a compact, deterministic encoding of tuples, identifiers, and provenance
+// table rows.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"provcompress/internal/types"
+)
+
+// MaxFrameSize bounds a single frame; larger frames indicate corruption.
+const MaxFrameSize = 64 << 20
+
+// Encoder appends primitive values to a growing buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with an optional initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a big-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// ID appends a fixed-size identifier.
+func (e *Encoder) ID(id types.ID) { e.buf = append(e.buf, id[:]...) }
+
+// Bool appends a boolean byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Tuple appends a tuple in its canonical encoding, length-prefixed.
+func (e *Encoder) Tuple(t types.Tuple) {
+	enc := t.Encode()
+	e.U32(uint32(len(enc)))
+	e.buf = append(e.buf, enc...)
+}
+
+// Decoder consumes primitive values from a buffer. The first error sticks;
+// check Err after decoding.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a buffer.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated %s at offset %d", what, d.off)
+	}
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// ID reads a fixed-size identifier.
+func (d *Decoder) ID() types.ID {
+	var id types.ID
+	if d.err != nil || d.off+len(id) > len(d.buf) {
+		d.fail("id")
+		return id
+	}
+	copy(id[:], d.buf[d.off:])
+	d.off += len(id)
+	return id
+}
+
+// Bool reads a boolean byte.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// Tuple reads a length-prefixed tuple.
+func (d *Decoder) Tuple() types.Tuple {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail("tuple")
+		return types.Tuple{}
+	}
+	t, used, err := types.DecodeTuple(d.buf[d.off : d.off+n])
+	if err != nil || used != n {
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: bad tuple at offset %d: %v", d.off, err)
+		}
+		return types.Tuple{}
+	}
+	d.off += n
+	return t
+}
+
+// WriteFrame writes a 4-byte big-endian length prefix followed by the
+// payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

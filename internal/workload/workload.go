@@ -1,0 +1,119 @@
+// Package workload generates the traffic of the paper's evaluation
+// (Section 6): packet streams between random node pairs for the forwarding
+// application, and Zipfian DNS request streams for the resolution
+// application. All generators are deterministic given their seeds and
+// schedule themselves incrementally on the simulator (each injection
+// schedules the next), so arbitrarily long runs keep a bounded event queue.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"provcompress/internal/engine"
+	"provcompress/internal/types"
+)
+
+// Pair is a communicating (source, destination) node pair.
+type Pair struct {
+	Src, Dst types.NodeAddr
+}
+
+// ChoosePairs deterministically selects n distinct ordered pairs with
+// src != dst from the candidate nodes.
+func ChoosePairs(nodes []types.NodeAddr, n int, seed int64) []Pair {
+	if len(nodes) < 2 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	seen := make(map[Pair]bool)
+	var out []Pair
+	maxPairs := len(nodes) * (len(nodes) - 1)
+	if n > maxPairs {
+		n = maxPairs
+	}
+	for len(out) < n {
+		p := Pair{nodes[r.Intn(len(nodes))], nodes[r.Intn(len(nodes))]}
+		if p.Src == p.Dst || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// Payload builds a deterministic packet payload of the given size whose
+// first bytes encode the sequence number, so every packet tuple is unique.
+func Payload(seq int64, size int) string {
+	head := fmt.Sprintf("p%d-", seq)
+	if len(head) >= size {
+		return head
+	}
+	return head + strings.Repeat("x", size-len(head))
+}
+
+// PacketEvent builds the packet(@src, src, dst, payload) input event.
+func PacketEvent(p Pair, seq int64, payloadSize int) types.Tuple {
+	return types.NewTuple("packet",
+		types.String(string(p.Src)), types.String(string(p.Src)),
+		types.String(string(p.Dst)), types.String(Payload(seq, payloadSize)))
+}
+
+// PairTraffic streams packets on each pair at a fixed rate.
+type PairTraffic struct {
+	Pairs        []Pair
+	Rate         float64 // packets per second per pair
+	PayloadBytes int     // payload size (the paper uses 500 characters)
+	// Exactly one of Duration and PerPairCount bounds the stream.
+	Duration     time.Duration
+	PerPairCount int
+}
+
+// Schedule installs the traffic on the runtime starting at virtual time
+// start and returns the total number of packets that will be injected.
+// Injections self-schedule: each one enqueues the pair's next packet.
+func (w PairTraffic) Schedule(rt *engine.Runtime, start time.Duration) int64 {
+	if w.Rate <= 0 {
+		panic("workload: PairTraffic.Rate must be positive")
+	}
+	interval := time.Duration(float64(time.Second) / w.Rate)
+	var perPair int64
+	if w.PerPairCount > 0 {
+		perPair = int64(w.PerPairCount)
+	} else {
+		perPair = int64(w.Duration / interval)
+		if w.Duration%interval != 0 || perPair == 0 {
+			perPair++ // the packet at t=start counts
+		}
+	}
+	var seq int64
+	for i, p := range w.Pairs {
+		p := p
+		// Stagger pair start times within one interval so the aggregate
+		// stream is smooth rather than bursty.
+		offset := time.Duration(int64(interval) * int64(i) / int64(max(1, len(w.Pairs))))
+		var inject func(k int64)
+		inject = func(k int64) {
+			if k >= perPair {
+				return
+			}
+			mySeq := seq
+			seq++
+			rt.Inject(PacketEvent(p, mySeq, w.PayloadBytes))
+			rt.Net.Scheduler().After(interval, func() { inject(k + 1) })
+		}
+		k0 := start + offset
+		rt.Net.Scheduler().At(k0, func() { inject(0) })
+	}
+	return perPair * int64(len(w.Pairs))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/engine"
+	"provcompress/internal/netsim"
+	"provcompress/internal/sim"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+)
+
+func TestChoosePairs(t *testing.T) {
+	nodes := []types.NodeAddr{"a", "b", "c", "d", "e"}
+	pairs := ChoosePairs(nodes, 10, 1)
+	if len(pairs) != 10 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	seen := make(map[Pair]bool)
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			t.Errorf("self pair %v", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	// Deterministic.
+	again := ChoosePairs(nodes, 10, 1)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatal("ChoosePairs not deterministic")
+		}
+	}
+	// Capped at n*(n-1).
+	if got := ChoosePairs([]types.NodeAddr{"a", "b"}, 99, 1); len(got) != 2 {
+		t.Errorf("capped pairs = %d, want 2", len(got))
+	}
+	if got := ChoosePairs([]types.NodeAddr{"a"}, 5, 1); got != nil {
+		t.Errorf("single-node pairs = %v", got)
+	}
+}
+
+func TestPayload(t *testing.T) {
+	p := Payload(42, 500)
+	if len(p) != 500 {
+		t.Errorf("payload length = %d", len(p))
+	}
+	if !strings.HasPrefix(p, "p42-") {
+		t.Errorf("payload prefix = %q", p[:8])
+	}
+	// Tiny sizes still embed the sequence number.
+	if got := Payload(123456, 3); !strings.HasPrefix(got, "p123456") {
+		t.Errorf("tiny payload = %q", got)
+	}
+	if Payload(1, 100) == Payload(2, 100) {
+		t.Error("payloads not unique per sequence")
+	}
+}
+
+type nopMaint struct{ rt *engine.Runtime }
+
+func (n *nopMaint) Name() string                                   { return "nop" }
+func (n *nopMaint) Attach(rt *engine.Runtime)                      { n.rt = rt }
+func (n *nopMaint) OnInject(*engine.Node, types.Tuple) engine.Meta { return nil }
+func (n *nopMaint) OnFire(_ *engine.Node, f engine.Firing, m engine.Meta) engine.Meta {
+	return m
+}
+func (n *nopMaint) OnOutput(*engine.Node, types.Tuple, engine.Meta) {}
+func (n *nopMaint) OnSlowUpdate(*engine.Node, types.Tuple, bool)    {}
+func (n *nopMaint) HandleMessage(*engine.Node, netsim.Message) bool { return false }
+func (n *nopMaint) MetaSize(engine.Meta) int                        { return 0 }
+func (n *nopMaint) StorageBytes(types.NodeAddr) int64               { return 0 }
+func (n *nopMaint) TotalStorageBytes() int64                        { return 0 }
+
+func lineRT(t *testing.T, n int) *engine.Runtime {
+	t.Helper()
+	var sched sim.Scheduler
+	g := topo.Line(n, "n")
+	net := netsim.New(&sched, g)
+	rt := engine.NewRuntime(net, apps.Forwarding(), apps.Funcs(), &nopMaint{})
+	if err := rt.LoadBase(g.ShortestPaths().RouteTuples()); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestPairTrafficByDuration(t *testing.T) {
+	rt := lineRT(t, 4)
+	w := PairTraffic{
+		Pairs:        []Pair{{"n0", "n3"}, {"n3", "n0"}},
+		Rate:         10,
+		PayloadBytes: 50,
+		Duration:     time.Second,
+	}
+	n := w.Schedule(rt, 0)
+	if n != 20 {
+		t.Fatalf("scheduled = %d, want 20", n)
+	}
+	rt.Run()
+	if rt.Injected() != 20 {
+		t.Errorf("injected = %d, want 20", rt.Injected())
+	}
+	if rt.NumOutputs() != 20 {
+		t.Errorf("outputs = %d, want 20 (all packets delivered)", rt.NumOutputs())
+	}
+}
+
+func TestPairTrafficByCount(t *testing.T) {
+	rt := lineRT(t, 3)
+	w := PairTraffic{
+		Pairs:        []Pair{{"n0", "n2"}},
+		Rate:         100,
+		PayloadBytes: 20,
+		PerPairCount: 7,
+	}
+	if n := w.Schedule(rt, 0); n != 7 {
+		t.Fatalf("scheduled = %d, want 7", n)
+	}
+	rt.Run()
+	if rt.NumOutputs() != 7 {
+		t.Errorf("outputs = %d, want 7", rt.NumOutputs())
+	}
+}
+
+func TestPairTrafficUniquePayloads(t *testing.T) {
+	rt := lineRT(t, 3)
+	w := PairTraffic{
+		Pairs:        []Pair{{"n0", "n2"}, {"n1", "n2"}},
+		Rate:         50,
+		PayloadBytes: 30,
+		PerPairCount: 5,
+	}
+	w.Schedule(rt, 0)
+	rt.Run()
+	seen := make(map[string]bool)
+	for _, o := range rt.Outputs() {
+		pl := o.Tuple.Args[3].AsString()
+		if seen[pl] {
+			t.Errorf("duplicate payload %q", pl)
+		}
+		seen[pl] = true
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	z := NewZipf(r, 38, 0.9)
+	if z.N() != 38 {
+		t.Fatalf("N = %d", z.N())
+	}
+	counts := make([]int, 38)
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		k := z.Next()
+		if k < 0 || k >= 38 {
+			t.Fatalf("rank out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Rank 0 must dominate and the tail must still be hit.
+	if counts[0] <= counts[1] || counts[1] <= counts[5] {
+		t.Errorf("head not dominant: %v", counts[:6])
+	}
+	if counts[37] == 0 {
+		t.Error("tail rank never sampled")
+	}
+	// Empirical ratio count[0]/count[1] should approximate 2^0.9.
+	ratio := float64(counts[0]) / float64(counts[1])
+	want := math.Pow(2, 0.9)
+	if ratio < want*0.8 || ratio > want*1.2 {
+		t.Errorf("rank0/rank1 = %.2f, want about %.2f", ratio, want)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(0) should panic")
+		}
+	}()
+	NewZipf(rand.New(rand.NewSource(1)), 0, 1)
+}
+
+func dnsRT(t *testing.T) (*engine.Runtime, []topo.URLRecord, []types.NodeAddr) {
+	t.Helper()
+	tree := topo.GenDNSTree(topo.DNSTreeConfig{NumServers: 10, MaxDepth: 4, Seed: 1})
+	clients := tree.AttachClients(2)
+	urls := tree.PickURLs(5)
+	var sched sim.Scheduler
+	net := netsim.New(&sched, tree.Graph)
+	rt := engine.NewRuntime(net, apps.DNS(), apps.Funcs(), &nopMaint{})
+	if err := rt.LoadBase(tree.NameServerTuples(clients)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.LoadBase(topo.AddressRecordTuples(urls)); err != nil {
+		t.Fatal(err)
+	}
+	return rt, urls, clients
+}
+
+func TestDNSTraffic(t *testing.T) {
+	rt, urls, clients := dnsRT(t)
+	var urlNames []string
+	for _, u := range urls {
+		urlNames = append(urlNames, u.URL)
+	}
+	w := DNSTraffic{
+		URLs:    urlNames,
+		Clients: clients,
+		Rate:    100,
+		Alpha:   0.9,
+		Seed:    2,
+		Count:   50,
+	}
+	if n := w.Schedule(rt, 0); n != 50 {
+		t.Fatalf("scheduled = %d", n)
+	}
+	rt.Run()
+	if rt.Injected() != 50 {
+		t.Errorf("injected = %d", rt.Injected())
+	}
+	if rt.NumOutputs() != 50 {
+		t.Errorf("outputs = %d, want 50 (every request resolved)", rt.NumOutputs())
+	}
+	for _, err := range rt.Errors() {
+		t.Errorf("runtime error: %v", err)
+	}
+}
+
+func TestDNSTrafficByDuration(t *testing.T) {
+	rt, urls, clients := dnsRT(t)
+	w := DNSTraffic{
+		URLs:     []string{urls[0].URL},
+		Clients:  clients[:1],
+		Rate:     10,
+		Alpha:    1,
+		Duration: time.Second,
+	}
+	if n := w.Schedule(rt, 0); n != 10 {
+		t.Fatalf("scheduled = %d, want 10", n)
+	}
+	rt.Run()
+	if rt.NumOutputs() != 10 {
+		t.Errorf("outputs = %d", rt.NumOutputs())
+	}
+}

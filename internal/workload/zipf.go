@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"provcompress/internal/engine"
+	"provcompress/internal/types"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to 1/(rank+1)^alpha.
+// Unlike math/rand's Zipf it supports alpha <= 1, which DNS popularity
+// follows (the paper adopts the Zipfian distribution measured by Jung et
+// al. [9], with exponent below one).
+type Zipf struct {
+	cum []float64
+	r   *rand.Rand
+}
+
+// NewZipf builds a sampler over n ranks with the given exponent.
+func NewZipf(r *rand.Rand, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("workload: NewZipf needs n > 0")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), alpha)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, r: r}
+}
+
+// Next returns the next sampled rank.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// DNSTraffic streams url(@client, url, rqid) request events: URLs sampled
+// Zipfian by popularity rank, clients round-robin, at a fixed aggregate
+// rate.
+type DNSTraffic struct {
+	URLs    []string
+	Clients []types.NodeAddr
+	Rate    float64 // requests per second, aggregate
+	Alpha   float64 // Zipf exponent (the paper-style default is 0.9)
+	Seed    int64
+	// Exactly one of Duration and Count bounds the stream.
+	Duration time.Duration
+	Count    int
+}
+
+// URLEvent builds the url(@client, url, rqid) input event.
+func URLEvent(client types.NodeAddr, url string, rqid int64) types.Tuple {
+	return types.NewTuple("url",
+		types.String(string(client)), types.String(url), types.Int(rqid))
+}
+
+// Schedule installs the request stream starting at virtual time start and
+// returns the number of requests that will be injected.
+func (w DNSTraffic) Schedule(rt *engine.Runtime, start time.Duration) int64 {
+	if w.Rate <= 0 || len(w.URLs) == 0 || len(w.Clients) == 0 {
+		panic("workload: DNSTraffic needs positive rate, URLs, and clients")
+	}
+	interval := time.Duration(float64(time.Second) / w.Rate)
+	var total int64
+	if w.Count > 0 {
+		total = int64(w.Count)
+	} else {
+		total = int64(w.Duration / interval)
+		if w.Duration%interval != 0 || total == 0 {
+			total++
+		}
+	}
+	z := NewZipf(rand.New(rand.NewSource(w.Seed)), len(w.URLs), w.Alpha)
+	var inject func(k int64)
+	inject = func(k int64) {
+		if k >= total {
+			return
+		}
+		url := w.URLs[z.Next()]
+		client := w.Clients[int(k)%len(w.Clients)]
+		rt.Inject(URLEvent(client, url, k))
+		rt.Net.Scheduler().After(interval, func() { inject(k + 1) })
+	}
+	rt.Net.Scheduler().At(start, func() { inject(0) })
+	return total
+}
