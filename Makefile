@@ -1,0 +1,31 @@
+# Tier-1 gate: `make verify` must pass before merging.
+#
+#   vet    go vet ./...
+#   build  go build ./...
+#   test   go test -race ./... (full suite under the race detector)
+#   chaos  the seeded fault-injection suite, race-enabled, no test cache
+#
+# The chaos tests use fixed FaultPlan seeds, so a failure reproduces
+# deterministically; -count=1 defeats the test cache to make sure the
+# transport actually runs every time.
+
+GO ?= go
+
+.PHONY: verify vet build test chaos bench
+
+verify: vet build test chaos
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Malformed|Quiesce|Restart|LateResult' ./internal/cluster/
+
+bench:
+	$(GO) test -bench=. -benchmem .

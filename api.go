@@ -6,6 +6,7 @@ import (
 
 	"provcompress/internal/analysis"
 	"provcompress/internal/apps"
+	"provcompress/internal/cluster"
 	"provcompress/internal/core"
 	"provcompress/internal/engine"
 	"provcompress/internal/ndlog"
@@ -144,6 +145,34 @@ var (
 	// DefaultDNSTree is the paper's 100-server configuration.
 	DefaultDNSTree = topo.DefaultDNSTree
 )
+
+// Real-socket cluster deployment (the paper's Section 6.1.3 physical
+// testbed): one TCP listener per node, binary frames on the wire, and a
+// fault-tolerant transport with reconnection, retries, backoff, write
+// deadlines, deterministic fault injection, and node crash/restart.
+type (
+	// Cluster is a set of live nodes on loopback TCP.
+	Cluster = cluster.Cluster
+	// ClusterNode is one cluster member (exposes Kill for crash testing).
+	ClusterNode = cluster.Node
+	// ClusterConfig describes the cluster to boot, including transport
+	// tuning and an optional fault plan.
+	ClusterConfig = cluster.Config
+	// ClusterQueryResult is the outcome of a distributed query over TCP.
+	ClusterQueryResult = cluster.QueryResult
+	// TransportConfig tunes the cluster's fault-tolerant sender
+	// (queue bound, retry budget, backoff, deadlines).
+	TransportConfig = cluster.TransportConfig
+	// TransportStats snapshots the transport counters (dials, redials,
+	// retries, drops, suppressed duplicates, ...).
+	TransportStats = cluster.TransportStats
+	// FaultPlan deterministically injects transport faults (drops,
+	// delays, one-shot connection resets) keyed off a seed.
+	FaultPlan = cluster.FaultPlan
+)
+
+// NewCluster boots a real-socket cluster from a ClusterConfig.
+var NewCluster = cluster.New
 
 // Scheme names accepted by NewSystem.
 const (

@@ -234,3 +234,40 @@ func TestAllSchemesThroughFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestClusterThroughFacade(t *testing.T) {
+	// The facade boots a real TCP cluster under a seeded fault plan; the
+	// transport absorbs the faults and the run matches a healthy one.
+	c, err := NewCluster(ClusterConfig{
+		Prog:   ForwardingProgram(),
+		Funcs:  BuiltinFuncs(),
+		Nodes:  []NodeAddr{"n1", "n2", "n3"},
+		Faults: &FaultPlan{Seed: 3, Drop: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadBase(Fig2Routes()); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewTuple("packet", Str("n1"), Str("n1"), Str("n3"), Str("x"))
+	if err := c.Inject(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	outs := c.Outputs("n3")
+	if len(outs) != 1 {
+		t.Fatalf("outputs = %v", outs)
+	}
+	res, err := c.Query(outs[0], HashTuple(ev), 10*time.Second)
+	if err != nil || len(res.Trees) != 1 {
+		t.Fatalf("query: %v (%d trees)", err, len(res.Trees))
+	}
+	var stats TransportStats = c.TransportStats()
+	if stats.Sends == 0 {
+		t.Errorf("transport stats empty: %+v", stats)
+	}
+}

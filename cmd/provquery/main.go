@@ -7,6 +7,11 @@
 // Usage:
 //
 //	provquery [-nodes 8] [-packets 20] [-pairs 3]
+//
+// Fault injection (the transport absorbs what the plan injects; -stats
+// shows the dial/retry/drop counters at exit):
+//
+//	provquery -drop 0.05 -reset-after 20 -fault-seed 7 -stats
 package main
 
 import (
@@ -29,6 +34,12 @@ func main() {
 	packets := flag.Int("packets", 20, "packets per pair")
 	pairs := flag.Int("pairs", 3, "communicating pairs")
 	scheme := flag.String("scheme", "advanced", "provenance scheme: exspan, basic, or advanced")
+	drop := flag.Float64("drop", 0, "fault injection: per-attempt probability a frame write is dropped")
+	delay := flag.Float64("delay", 0, "fault injection: per-attempt probability a frame write stalls")
+	delayFor := flag.Duration("delay-for", 5*time.Millisecond, "fault injection: how long a stalled write waits")
+	resetAfter := flag.Int("reset-after", 0, "fault injection: reset each link once after N successful writes")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injection: RNG seed (runs with the same seed inject the same faults)")
+	stats := flag.Bool("stats", false, "print the transport counters at exit")
 	flag.Parse()
 
 	if *nodes < 2 {
@@ -40,11 +51,22 @@ func main() {
 	g := topo.Line(*nodes, "n")
 	routes := g.ShortestPaths().RouteTuples()
 
+	var plan *cluster.FaultPlan
+	if *drop > 0 || *delay > 0 || *resetAfter > 0 {
+		plan = &cluster.FaultPlan{
+			Seed:       *faultSeed,
+			Drop:       *drop,
+			Delay:      *delay,
+			DelayFor:   *delayFor,
+			ResetAfter: *resetAfter,
+		}
+	}
 	c, err := cluster.New(cluster.Config{
 		Prog:   apps.Forwarding(),
 		Funcs:  apps.Funcs(),
 		Nodes:  g.Nodes(),
 		Scheme: *scheme,
+		Faults: plan,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -92,5 +114,9 @@ func main() {
 		}
 		fmt.Printf("query %d: %s\n  latency %v over %d protocol hops\n%s\n",
 			i+1, out, res.Latency.Round(time.Microsecond), res.Hops, res.Trees[0])
+	}
+
+	if *stats || plan != nil {
+		fmt.Printf("transport counters:\n%s", c.TransportStats().Counters())
 	}
 }

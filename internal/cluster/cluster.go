@@ -10,6 +10,16 @@
 // experiments. The DELP engine (internal/engine) and the per-scheme state
 // machines (core.NodeState) are shared with the simulated runtime; only
 // the transport differs.
+//
+// Unlike the paper's healthy-testbed assumption, this runtime carries a
+// fault model: every link is a fault-tolerant transport (transport.go)
+// with reconnection, retries, backoff and write deadlines; FaultPlan
+// (faults.go) injects deterministic drops/delays/resets; and nodes can be
+// crashed and revived with Node.Kill and Cluster.Restart. In-flight
+// accounting is epoch-based per destination so Quiesce stays trustworthy
+// when frames are lost or a member dies: every enqueued frame is settled
+// exactly once — by the receiver that processes it, by the sender that
+// gives up on it, or by the drain that accompanies a crash.
 package cluster
 
 import (
@@ -37,6 +47,12 @@ type Config struct {
 	// Scheme selects the provenance maintenance scheme (core.SchemeExSPAN,
 	// core.SchemeBasic, or core.SchemeAdvanced); empty selects Advanced.
 	Scheme string
+	// Transport tunes the fault-tolerant sender; zero values pick the
+	// defaults documented on TransportConfig.
+	Transport TransportConfig
+	// Faults, when non-nil, deterministically injects transport faults
+	// (drops, delays, one-shot resets) keyed off its seed.
+	Faults *FaultPlan
 }
 
 // Cluster is a set of live nodes on loopback TCP.
@@ -45,39 +61,71 @@ type Cluster struct {
 	funcs  ndlog.FuncMap
 	keys   []int
 	scheme string
+	tcfg   TransportConfig
+	faults *FaultPlan
 
 	nodes map[types.NodeAddr]*Node
 
-	inflight atomic.Int64
-	nextQID  atomic.Uint64
-	closed   atomic.Bool
+	// In-flight accounting: inflight is the global count Quiesce watches;
+	// destCount/destEpoch track per-destination counts so a crash can
+	// drain exactly the frames addressed to the dead member (the epoch
+	// bump invalidates their later settles).
+	inflight  atomic.Int64
+	acctMu    sync.Mutex
+	destCount map[types.NodeAddr]int64
+	destEpoch map[types.NodeAddr]uint64
+
+	idleMu sync.Mutex
+	idleCh chan struct{}
+
+	nextQID atomic.Uint64
+	closed  atomic.Bool
 }
 
 // Node is one cluster member: a listener, a database, and the scheme's
 // provenance state, all driven by its message loop.
 type Node struct {
-	c       *Cluster
-	addr    types.NodeAddr
+	c    *Cluster
+	addr types.NodeAddr
+
+	// addrMu guards the listener identity, which changes on Restart.
+	addrMu  sync.Mutex
 	ln      net.Listener
 	tcpAddr string
+
+	alive       atomic.Bool
+	incarnation atomic.Uint64
 
 	mu      sync.Mutex
 	db      *engine.Database
 	state   core.NodeState
 	outputs []types.Tuple
 
-	connMu sync.Mutex
-	conns  map[types.NodeAddr]*peerConn
+	transMu sync.Mutex
+	trans   map[types.NodeAddr]*transport
+
+	inMu    sync.Mutex
+	inConns map[net.Conn]struct{}
+
+	// seqMu guards the per-sender delivery trackers used to suppress
+	// redelivered duplicates.
+	seqMu   sync.Mutex
+	lastSeq map[types.NodeAddr]*seqTracker
 
 	pendMu  sync.Mutex
 	pending map[uint64]chan *walkFrame
 
+	stats transportStats
+
 	wg sync.WaitGroup
 }
 
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+// seqTracker is one sender's delivery history: the incarnation of its
+// newest stream and a sliding window of delivered seqs.
+type seqTracker struct {
+	inc    uint64
+	maxSeq uint64
+	seen   map[uint64]struct{}
 }
 
 // New boots the cluster: one listener per node, the program validated and
@@ -94,11 +142,15 @@ func New(cfg Config) (*Cluster, error) {
 		scheme = core.SchemeAdvanced
 	}
 	c := &Cluster{
-		prog:   cfg.Prog,
-		funcs:  cfg.Funcs,
-		keys:   analysis.EquivalenceKeys(cfg.Prog),
-		scheme: scheme,
-		nodes:  make(map[types.NodeAddr]*Node, len(cfg.Nodes)),
+		prog:      cfg.Prog,
+		funcs:     cfg.Funcs,
+		keys:      analysis.EquivalenceKeys(cfg.Prog),
+		scheme:    scheme,
+		tcfg:      cfg.Transport.withDefaults(),
+		faults:    cfg.Faults,
+		nodes:     make(map[types.NodeAddr]*Node, len(cfg.Nodes)),
+		destCount: make(map[types.NodeAddr]int64, len(cfg.Nodes)),
+		destEpoch: make(map[types.NodeAddr]uint64, len(cfg.Nodes)),
 	}
 	for _, addr := range cfg.Nodes {
 		if _, dup := c.nodes[addr]; dup {
@@ -112,6 +164,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		state, err := core.NewNodeState(scheme, c.keys)
 		if err != nil {
+			ln.Close()
 			c.Close()
 			return nil, err
 		}
@@ -122,14 +175,17 @@ func New(cfg Config) (*Cluster, error) {
 			tcpAddr: ln.Addr().String(),
 			db:      engine.NewDatabase(),
 			state:   state,
-			conns:   make(map[types.NodeAddr]*peerConn),
+			trans:   make(map[types.NodeAddr]*transport),
+			inConns: make(map[net.Conn]struct{}),
+			lastSeq: make(map[types.NodeAddr]*seqTracker),
 			pending: make(map[uint64]chan *walkFrame),
 		}
+		n.alive.Store(true)
 		c.nodes[addr] = n
 	}
 	for _, n := range c.nodes {
 		n.wg.Add(1)
-		go n.acceptLoop()
+		go n.acceptLoop(n.ln)
 	}
 	return c, nil
 }
@@ -139,6 +195,75 @@ func (c *Cluster) Node(addr types.NodeAddr) *Node { return c.nodes[addr] }
 
 // Keys returns the equivalence-key indexes in use.
 func (c *Cluster) Keys() []int { return append([]int(nil), c.keys...) }
+
+// listenAddr returns the node's current TCP address (it changes on
+// Restart, so dialers read it per attempt).
+func (n *Node) listenAddr() string {
+	n.addrMu.Lock()
+	defer n.addrMu.Unlock()
+	return n.tcpAddr
+}
+
+// acctEnqueue counts one frame bound for `to` and returns the destination
+// epoch the frame must carry for its eventual settle.
+func (c *Cluster) acctEnqueue(to types.NodeAddr) uint64 {
+	c.acctMu.Lock()
+	defer c.acctMu.Unlock()
+	c.destCount[to]++
+	c.inflight.Add(1)
+	return c.destEpoch[to]
+}
+
+// acctSettle retires one frame bound for `to` that was counted under
+// epoch. A frame from a drained epoch (the destination crashed since) was
+// already retired by acctDrain, so it is ignored — this is what keeps a
+// lost-and-retried frame from being settled twice.
+func (c *Cluster) acctSettle(to types.NodeAddr, epoch uint64) {
+	c.acctMu.Lock()
+	settled := c.destEpoch[to] == epoch && c.destCount[to] > 0
+	if settled {
+		c.destCount[to]--
+	}
+	c.acctMu.Unlock()
+	if settled && c.inflight.Add(-1) == 0 {
+		c.kickIdle()
+	}
+}
+
+// acctDrain retires every frame still counted against `to` (its listener
+// and sockets are gone, so none of them will be processed) and bumps the
+// epoch so stragglers do not double-settle.
+func (c *Cluster) acctDrain(to types.NodeAddr) {
+	c.acctMu.Lock()
+	n := c.destCount[to]
+	c.destCount[to] = 0
+	c.destEpoch[to]++
+	c.acctMu.Unlock()
+	if n > 0 && c.inflight.Add(-n) == 0 {
+		c.kickIdle()
+	}
+}
+
+// idleKick returns a channel closed the next time in-flight reaches zero.
+// Callers must obtain the channel before re-reading the counter to avoid
+// a missed wakeup.
+func (c *Cluster) idleKick() <-chan struct{} {
+	c.idleMu.Lock()
+	defer c.idleMu.Unlock()
+	if c.idleCh == nil {
+		c.idleCh = make(chan struct{})
+	}
+	return c.idleCh
+}
+
+func (c *Cluster) kickIdle() {
+	c.idleMu.Lock()
+	if c.idleCh != nil {
+		close(c.idleCh)
+		c.idleCh = nil
+	}
+	c.idleMu.Unlock()
+}
 
 // LoadBase inserts base tuples directly into the member databases (the
 // initial configuration step).
@@ -155,15 +280,16 @@ func (c *Cluster) LoadBase(tuples []types.Tuple) error {
 	return nil
 }
 
-// Inject sends a fresh input event to its origin node over TCP.
+// Inject sends a fresh input event to its origin node over TCP. The
+// in-flight accounting happens inside the send path, so a failed enqueue
+// leaks nothing and Quiesce stays balanced.
 func (c *Cluster) Inject(ev types.Tuple) error {
 	origin := c.nodes[ev.Loc()]
 	if origin == nil {
 		return fmt.Errorf("cluster: inject %s at unknown node", ev)
 	}
 	f := &tupleFrame{Tuple: ev, Fresh: true}
-	c.inflight.Add(1)
-	return origin.sendFrom(origin.addr, ev.Loc(), f.encode())
+	return origin.send(ev.Loc(), f.encode())
 }
 
 // InsertSlow inserts a slow-changing tuple at runtime and broadcasts sig
@@ -181,29 +307,50 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 	}
 	frame := encodeSig()
 	for addr := range c.nodes {
-		c.inflight.Add(1)
-		if err := n.sendFrom(n.addr, addr, frame); err != nil {
+		if err := n.send(addr, frame); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// quiesceSettle is how long the in-flight counter must stay at zero
+// before Quiesce declares the cluster settled (the old 3×2ms poll
+// window, kept as a plain re-check after the idle notification).
+const quiesceSettle = 6 * time.Millisecond
+
 // Quiesce blocks until no messages are in flight (stable for a settle
-// window) or the deadline passes.
+// window) or the deadline passes. It waits on the idle notification the
+// accounting raises when the counter hits zero instead of busy-polling.
 func (c *Cluster) Quiesce(deadline time.Duration) error {
 	end := time.Now().Add(deadline)
-	stable := 0
-	for time.Now().Before(end) {
+	for {
+		kick := c.idleKick()
 		if c.inflight.Load() == 0 {
-			stable++
-			if stable >= 3 {
+			remain := time.Until(end)
+			if remain <= 0 {
+				break
+			}
+			wait := quiesceSettle
+			if wait > remain {
+				wait = remain
+			}
+			time.Sleep(wait)
+			if c.inflight.Load() == 0 {
 				return nil
 			}
-		} else {
-			stable = 0
+			continue
 		}
-		time.Sleep(2 * time.Millisecond)
+		remain := time.Until(end)
+		if remain <= 0 {
+			break
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-kick:
+			timer.Stop()
+		case <-timer.C:
+		}
 	}
 	return fmt.Errorf("cluster: quiesce timeout with %d messages in flight", c.inflight.Load())
 }
@@ -248,20 +395,95 @@ func (c *Cluster) TotalStorageBytes() int64 {
 	return total
 }
 
-// Close shuts down listeners and connections.
+// TransportStats sums the transport counters across members.
+func (c *Cluster) TransportStats() TransportStats {
+	var s TransportStats
+	for _, n := range c.nodes {
+		s.accumulate(&n.stats)
+	}
+	return s
+}
+
+// TransportStats snapshots this node's transport counters.
+func (n *Node) TransportStats() TransportStats {
+	var s TransportStats
+	s.accumulate(&n.stats)
+	return s
+}
+
+// Alive reports whether the node is up (not killed).
+func (n *Node) Alive() bool { return n.alive.Load() }
+
+// Kill simulates a node crash: the listener and every socket close, the
+// outbound queues drain, and every frame still counted against this node
+// is retired so Quiesce cannot wedge on messages a dead member will never
+// process. Provenance state and the database survive (the paper treats
+// provenance tables as durable storage); in-flight messages do not,
+// beyond what peer retry budgets recover after a Restart.
+func (n *Node) Kill() {
+	if !n.alive.CompareAndSwap(true, false) {
+		return
+	}
+	n.addrMu.Lock()
+	ln := n.ln
+	n.addrMu.Unlock()
+	ln.Close()
+	n.inMu.Lock()
+	for conn := range n.inConns {
+		conn.Close()
+	}
+	n.inMu.Unlock()
+	n.stopTransports()
+	n.c.acctDrain(n.addr)
+}
+
+// stopTransports halts every outbound link and forgets it; frames still
+// queued are drained and settled by the writers.
+func (n *Node) stopTransports() {
+	n.transMu.Lock()
+	for _, t := range n.trans {
+		t.halt()
+	}
+	n.trans = make(map[types.NodeAddr]*transport)
+	n.transMu.Unlock()
+}
+
+// Restart revives a killed node on a fresh listener (and port). Peers
+// re-dial lazily through their transports; the bumped incarnation resets
+// the receivers' duplicate filters for this node's fresh send streams.
+func (c *Cluster) Restart(addr types.NodeAddr) error {
+	n := c.nodes[addr]
+	if n == nil {
+		return fmt.Errorf("cluster: restart unknown node %s", addr)
+	}
+	if c.closed.Load() {
+		return fmt.Errorf("cluster: restart %s on closed cluster", addr)
+	}
+	if n.alive.Load() {
+		return fmt.Errorf("cluster: restart live node %s", addr)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("cluster: relisten for %s: %w", addr, err)
+	}
+	n.addrMu.Lock()
+	n.ln = ln
+	n.tcpAddr = ln.Addr().String()
+	n.addrMu.Unlock()
+	n.incarnation.Add(1)
+	n.alive.Store(true)
+	n.wg.Add(1)
+	go n.acceptLoop(ln)
+	return nil
+}
+
+// Close shuts down listeners, connections, and writer goroutines.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
 	for _, n := range c.nodes {
-		if n.ln != nil {
-			n.ln.Close()
-		}
-		n.connMu.Lock()
-		for _, pc := range n.conns {
-			pc.conn.Close()
-		}
-		n.connMu.Unlock()
+		n.Kill()
 	}
 	for _, n := range c.nodes {
 		n.wg.Wait()

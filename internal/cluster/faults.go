@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"provcompress/internal/types"
+)
+
+// FaultPlan deterministically injects transport faults into the cluster:
+// frame drops, write stalls, and one-shot connection resets, all keyed off
+// a seeded per-link RNG so a chaos run is reproducible. Node crashes are
+// driven explicitly through Node.Kill and Cluster.Restart rather than by
+// the RNG, so tests control exactly when a member disappears.
+//
+// A dropped or stalled write is observed by the sender as a failed
+// attempt, so the transport's retry/backoff machinery recovers from any
+// fault the plan injects with probability < 1; the plan models a lossy
+// network, not a lossy application.
+type FaultPlan struct {
+	// Seed keys the per-link RNG streams; two runs with the same seed and
+	// the same plan inject the same fault sequence on every link.
+	Seed int64
+	// Drop is the per-write-attempt probability that the frame is
+	// discarded before reaching the wire (transient link loss).
+	Drop float64
+	// Delay is the per-write-attempt probability that the write stalls
+	// for DelayFor before proceeding (a slow peer or congested link).
+	Delay float64
+	// DelayFor is how long a delayed attempt stalls (default 5ms).
+	DelayFor time.Duration
+	// ResetAfter, when positive, resets each link's connection once after
+	// that many successful writes (a one-shot mid-stream RST).
+	ResetAfter int
+}
+
+// faultAction is what the plan injects on one write attempt.
+type faultAction int
+
+const (
+	faultNone faultAction = iota
+	faultDrop
+	faultDelay
+	faultReset
+)
+
+// linkSeed derives a stable per-link RNG seed from the plan seed and the
+// link endpoints.
+func linkSeed(seed int64, from, to types.NodeAddr) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	h.Write([]byte{'>'})
+	h.Write([]byte(to))
+	return seed ^ int64(h.Sum64())
+}
+
+// linkFaults is the per-link fault stream: one exists per transport and is
+// only touched by that transport's writer goroutine, so the injected
+// sequence is a deterministic function of (plan, link, attempt index).
+type linkFaults struct {
+	plan  *FaultPlan
+	rng   *rand.Rand
+	sends int  // successful writes on this link
+	reset bool // the one-shot reset already fired
+}
+
+// link returns the fault stream for one directed link (nil plan = nil
+// stream = no faults).
+func (p *FaultPlan) link(from, to types.NodeAddr) *linkFaults {
+	if p == nil {
+		return nil
+	}
+	return &linkFaults{
+		plan: p,
+		rng:  rand.New(rand.NewSource(linkSeed(p.Seed, from, to))),
+	}
+}
+
+// delayFor returns the stall duration for a delay fault.
+func (l *linkFaults) delayFor() time.Duration {
+	if l.plan.DelayFor > 0 {
+		return l.plan.DelayFor
+	}
+	return 5 * time.Millisecond
+}
+
+// next draws the fault action for the next write attempt.
+func (l *linkFaults) next() faultAction {
+	if l == nil {
+		return faultNone
+	}
+	if l.plan.ResetAfter > 0 && !l.reset && l.sends >= l.plan.ResetAfter {
+		l.reset = true
+		return faultReset
+	}
+	if l.plan.Drop <= 0 && l.plan.Delay <= 0 {
+		return faultNone
+	}
+	r := l.rng.Float64()
+	if r < l.plan.Drop {
+		return faultDrop
+	}
+	if r < l.plan.Drop+l.plan.Delay {
+		return faultDelay
+	}
+	return faultNone
+}
+
+// sent records one successful write (feeds the one-shot reset trigger).
+func (l *linkFaults) sent() {
+	if l != nil {
+		l.sends++
+	}
+}

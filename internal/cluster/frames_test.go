@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"provcompress/internal/core"
+	"provcompress/internal/types"
+)
+
+// TestMalformedFramesNoPanic feeds truncated and corrupted frames of
+// every protocol kind through the receive path: nothing may panic, the
+// in-flight accounting must stay balanced (the floor guard refuses to
+// settle frames it never counted), and the cluster must keep working
+// afterwards. It complements the wire-level fuzz test, which covers the
+// codec but not the cluster's frame handlers.
+func TestMalformedFramesNoPanic(t *testing.T) {
+	c := fig2Cluster(t)
+	n := c.Node("n1")
+
+	inners := map[string][]byte{
+		"tuple":   (&tupleFrame{Tuple: pkt("n1", "n1", "n3", "x"), Fresh: true}).encode(),
+		"tuple2":  (&tupleFrame{Tuple: pkt("n2", "n1", "n3", "y"), Meta: core.AdvMeta{}}).encode(),
+		"sig":     encodeSig(),
+		"walk":    sampleWalk().encode(frameWalk),
+		"result":  sampleWalk().encode(frameResult),
+		"unknown": {0xEE, 0x01, 0x02},
+	}
+
+	var seq uint64
+	feed := func(payload []byte) {
+		n.handleFrame(payload)
+	}
+	for name, inner := range inners {
+		// Every truncation of the enveloped frame, including an empty
+		// payload and a cut inside the envelope header.
+		full := encodeEnvelope("zz", 0, 0, 0, inner)
+		for cut := 0; cut <= len(full); cut++ {
+			seq++
+			env := encodeEnvelope("zz", 0, seq, 0, inner)
+			limit := cut
+			if limit > len(env) {
+				limit = len(env)
+			}
+			feed(env[:limit])
+		}
+		// Seeded random corruption of the full frame.
+		rng := rand.New(rand.NewSource(int64(len(name))))
+		for trial := 0; trial < 64; trial++ {
+			seq++
+			env := encodeEnvelope("zz", 0, seq, 0, inner)
+			for flips := 0; flips <= trial%4; flips++ {
+				env[rng.Intn(len(env))] ^= byte(1 << rng.Intn(8))
+			}
+			feed(env)
+		}
+	}
+	// Absurd repeat counts inside a walk frame must be rejected by the
+	// item guard, not allocated.
+	seq++
+	huge := sampleWalk().encode(frameWalk)
+	// The first U32 count (RootProvs) sits after kind+qid+querier+root+evid.
+	feed(encodeEnvelope("zz", 0, seq, 0, corruptFirstCount(huge)))
+
+	// Corrupt-but-decodable tuples may legitimately fire rules and ship
+	// real (counted) frames; those settle. What must NOT remain is any
+	// residue from the malformed ones, which were never counted.
+	if err := c.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.inflight.Load(); got != 0 {
+		t.Fatalf("in-flight counter leaked to %d on malformed frames", got)
+	}
+
+	// The cluster still forwards and answers queries.
+	ev := pkt("n1", "n1", "n3", "after-garbage")
+	if err := c.Inject(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, out := range c.Outputs("n3") {
+		if out.Equal(recvT("n3", "n1", "n3", "after-garbage")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("forwarding broken after malformed frames: %v", c.Outputs("n3"))
+	}
+	res, err := c.Query(recvT("n3", "n1", "n3", "after-garbage"), types.HashTuple(ev), 10*time.Second)
+	if err != nil || len(res.Trees) != 1 {
+		t.Fatalf("query broken after malformed frames: %v (%d trees)", err, len(res.Trees))
+	}
+}
+
+// TestMalformedFrameAccountingUnderLoad interleaves garbage with real
+// traffic: the garbage must neither wedge Quiesce (by stealing settles)
+// nor corrupt the real packets' provenance.
+func TestMalformedFrameAccountingUnderLoad(t *testing.T) {
+	c := fig2Cluster(t)
+	n2 := c.Node("n2")
+	for i := 0; i < 8; i++ {
+		if err := c.Inject(pkt("n1", "n1", "n3", string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+		n2.handleFrame(encodeEnvelope("zz", 0, uint64(i+1), 0, []byte{frameTuple, 0xFF}))
+	}
+	if err := c.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Outputs("n3")); got != 8 {
+		t.Fatalf("outputs = %d, want 8", got)
+	}
+	if got := c.inflight.Load(); got != 0 {
+		t.Fatalf("in-flight counter = %d after quiesce", got)
+	}
+}
+
+// sampleWalk builds a small well-formed walk frame to truncate/corrupt.
+func sampleWalk() *walkFrame {
+	return &walkFrame{
+		QID:     42,
+		Querier: "n1",
+		Root:    pkt("n1", "n1", "n3", "w"),
+		Work:    []core.Ref{{Loc: "n2"}},
+		Hops:    3,
+	}
+}
+
+// corruptFirstCount overwrites the RootProvs count field with a value far
+// past maxWalkItems.
+func corruptFirstCount(frame []byte) []byte {
+	out := append([]byte(nil), frame...)
+	// Layout: kind(1) + qid(8) + querier len(4)+2 + root len(4)+n + evid(20) + count(4).
+	// Rather than computing the exact offset, force every aligned u32 that
+	// currently reads small to a huge value; the decoder must survive all
+	// of them.
+	for i := 1; i+4 <= len(out); i += 4 {
+		out[i] = 0xFF
+	}
+	return out
+}

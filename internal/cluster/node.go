@@ -13,13 +13,17 @@ import (
 )
 
 // acceptLoop accepts peer connections and spawns a reader per connection.
-func (n *Node) acceptLoop() {
+// It takes the listener as an argument because Restart replaces n.ln.
+func (n *Node) acceptLoop(ln net.Listener) {
 	defer n.wg.Done()
 	for {
-		conn, err := n.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		n.inMu.Lock()
+		n.inConns[conn] = struct{}{}
+		n.inMu.Unlock()
 		n.wg.Add(1)
 		go n.readLoop(conn)
 	}
@@ -28,7 +32,12 @@ func (n *Node) acceptLoop() {
 // readLoop decodes frames from one connection and dispatches them.
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
-	defer conn.Close()
+	defer func() {
+		n.inMu.Lock()
+		delete(n.inConns, conn)
+		n.inMu.Unlock()
+		conn.Close()
+	}()
 	for {
 		payload, err := wire.ReadFrame(conn)
 		if err != nil {
@@ -38,11 +47,71 @@ func (n *Node) readLoop(conn net.Conn) {
 	}
 }
 
-// handleFrame processes one frame; the cluster in-flight counter drops
-// when processing (including any follow-up sends) completes.
+// dedupWindow is how far behind the newest seq a frame may arrive and
+// still be judged on the seen-set; anything older is treated as a
+// duplicate. Reordering only happens when a retried stream overlaps the
+// tail of a dying connection, which spans at most the outbound queue, so
+// the window is comfortably larger than any queue.
+const dedupWindow = 1 << 13
+
+// seenDuplicate records the (incarnation, seq) of a sender's frame and
+// reports whether it was already delivered. A strict high-water mark is
+// not enough: after a connection reset, frames buffered on the dying
+// connection can be read after newer frames on its replacement, so the
+// filter keeps a sliding seen-set per sender and only duplicates (same
+// seq delivered twice) are suppressed — reordered firsts are accepted. A
+// lower incarnation is a frame from before the sender's last restart.
+func (n *Node) seenDuplicate(from types.NodeAddr, inc, seq uint64) bool {
+	n.seqMu.Lock()
+	defer n.seqMu.Unlock()
+	st := n.lastSeq[from]
+	if st == nil || inc > st.inc {
+		st = &seqTracker{inc: inc, seen: make(map[uint64]struct{})}
+		n.lastSeq[from] = st
+	} else if inc < st.inc {
+		return true // stream from before the sender's restart
+	}
+	if seq+dedupWindow <= st.maxSeq {
+		return true // too old to distinguish from a duplicate
+	}
+	if _, ok := st.seen[seq]; ok {
+		return true
+	}
+	st.seen[seq] = struct{}{}
+	if seq > st.maxSeq {
+		st.maxSeq = seq
+	}
+	if len(st.seen) > 2*dedupWindow {
+		for s := range st.seen {
+			if s+dedupWindow <= st.maxSeq {
+				delete(st.seen, s)
+			}
+		}
+	}
+	return false
+}
+
+// handleFrame processes one delivery envelope. The frame's in-flight
+// accounting settles when processing (including any follow-up sends)
+// completes; suppressed duplicates do not settle because their first copy
+// already did.
 func (n *Node) handleFrame(payload []byte) {
-	defer n.c.inflight.Add(-1)
 	d := wire.NewDecoder(payload)
+	if d.U8() != frameEnvelope {
+		return // not a transport delivery; nothing was counted for it
+	}
+	from := types.NodeAddr(d.Str())
+	inc := d.U64()
+	seq := d.U64()
+	epoch := d.U64()
+	if d.Err() != nil {
+		return // malformed envelope: the epoch is unreadable, floor guards the counter
+	}
+	if n.seenDuplicate(from, inc, seq) {
+		n.stats.dups.Add(1)
+		return
+	}
+	defer n.c.acctSettle(n.addr, epoch)
 	kind := d.U8()
 	switch kind {
 	case frameTuple:
@@ -70,9 +139,13 @@ func (n *Node) handleFrame(payload []byte) {
 		ch := n.pending[f.QID]
 		delete(n.pending, f.QID)
 		n.pendMu.Unlock()
-		if ch != nil {
-			ch <- f
+		if ch == nil {
+			// The result lost the race against the query timeout that
+			// unregistered the channel; count it so the loss is visible.
+			n.stats.lateResults.Add(1)
+			return
 		}
+		ch <- f
 	}
 }
 
@@ -112,10 +185,7 @@ func (n *Node) handleTuple(f *tupleFrame) {
 
 	for _, s := range ships {
 		frame := (&tupleFrame{Tuple: s.head, Meta: s.meta}).encode()
-		n.c.inflight.Add(1)
-		if err := n.sendFrom(n.addr, s.head.Loc(), frame); err != nil {
-			n.c.inflight.Add(-1)
-		}
+		n.send(s.head.Loc(), frame) //nolint:errcheck // a send the node cannot even enqueue is a drop
 	}
 }
 
@@ -164,17 +234,11 @@ func (n *Node) handleWalk(f *walkFrame) {
 
 	f.Hops++
 	if len(f.Work) == 0 {
-		n.c.inflight.Add(1)
-		if err := n.sendFrom(n.addr, f.Querier, f.encode(frameResult)); err != nil {
-			n.c.inflight.Add(-1)
-		}
+		n.send(f.Querier, f.encode(frameResult)) //nolint:errcheck
 		return
 	}
 	target := f.Work[len(f.Work)-1].Loc
-	n.c.inflight.Add(1)
-	if err := n.sendFrom(n.addr, target, f.encode(frameWalk)); err != nil {
-		n.c.inflight.Add(-1)
-	}
+	n.send(target, f.encode(frameWalk)) //nolint:errcheck
 }
 
 func hasNilRef(refs []core.Ref) bool {
@@ -210,28 +274,40 @@ func walkEventIDs(f *walkFrame) []types.ID {
 	return out
 }
 
-// sendFrom delivers a frame to a peer over its TCP listener, dialing and
-// caching the connection on first use.
-func (n *Node) sendFrom(_ types.NodeAddr, to types.NodeAddr, frame []byte) error {
+// send hands a frame to the fault-tolerant transport for the peer,
+// counting it in flight. The actual dial/write/retry happens on the
+// link's writer goroutine, so handlers never block on the network; every
+// counted frame is settled exactly once, by whichever side finishes with
+// it.
+func (n *Node) send(to types.NodeAddr, frame []byte) error {
+	if n.c.closed.Load() {
+		return fmt.Errorf("cluster: send on closed cluster")
+	}
+	if !n.alive.Load() {
+		return fmt.Errorf("cluster: send from dead node %s", n.addr)
+	}
 	peer := n.c.nodes[to]
 	if peer == nil {
 		return fmt.Errorf("cluster: send to unknown node %s", to)
 	}
-	n.connMu.Lock()
-	pc := n.conns[to]
-	if pc == nil {
-		conn, err := net.Dial("tcp", peer.tcpAddr)
-		if err != nil {
-			n.connMu.Unlock()
-			return err
-		}
-		pc = &peerConn{conn: conn}
-		n.conns[to] = pc
+	t := n.transportTo(to)
+	epoch := n.c.acctEnqueue(to)
+	t.enqueue(outFrame{payload: frame, epoch: epoch})
+	return nil
+}
+
+// transportTo returns (creating on first use) the outbound link to a peer.
+func (n *Node) transportTo(to types.NodeAddr) *transport {
+	n.transMu.Lock()
+	defer n.transMu.Unlock()
+	t := n.trans[to]
+	if t == nil {
+		t = newTransport(n, to)
+		n.trans[to] = t
+		n.wg.Add(1)
+		go t.run()
 	}
-	n.connMu.Unlock()
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return wire.WriteFrame(pc.conn, frame)
+	return t
 }
 
 // QueryResult is the outcome of a distributed query over the cluster.
@@ -241,21 +317,54 @@ type QueryResult struct {
 	Hops    int
 }
 
+// queryAttempts bounds how many times Query issues its walk: the first
+// try plus one retry if the result frame never arrives before timeout
+// (the walk or its result may have been lost to a fault).
+const queryAttempts = 2
+
 // Query retrieves the provenance of an output tuple over the real
 // protocol: the walk starts at the output's node, travels the shared
 // chains over TCP, and the reconstruction (TRANSFORM_TO_D) runs back at
 // the querier. Pass types.ZeroID as evid for every stored derivation.
+//
+// timeout bounds each attempt; a walk whose result frame never returns is
+// re-issued once before the query fails, so a single lost message does
+// not fail the query.
 func (c *Cluster) Query(out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, error) {
 	querier := c.nodes[out.Loc()]
 	if querier == nil {
 		return QueryResult{}, fmt.Errorf("cluster: query at unknown node %s", out)
 	}
 	start := time.Now()
+	for attempt := 0; attempt < queryAttempts; attempt++ {
+		if attempt > 0 {
+			querier.stats.queryRetries.Add(1)
+		}
+		res, done, err := c.tryQuery(querier, out, evid, timeout)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		if done {
+			res.Latency = time.Since(start)
+			return res, nil
+		}
+	}
+	return QueryResult{}, errors.New("cluster: query timeout")
+}
+
+// tryQuery issues one walk and waits for its result; done=false means the
+// attempt timed out and the caller may retry.
+func (c *Cluster) tryQuery(querier *Node, out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, bool, error) {
 	qid := c.nextQID.Add(1)
 	ch := make(chan *walkFrame, 1)
 	querier.pendMu.Lock()
 	querier.pending[qid] = ch
 	querier.pendMu.Unlock()
+	unregister := func() {
+		querier.pendMu.Lock()
+		delete(querier.pending, qid)
+		querier.pendMu.Unlock()
+	}
 
 	f := &walkFrame{QID: qid, Querier: querier.addr, Root: out, EvID: evid}
 	querier.mu.Lock()
@@ -269,28 +378,25 @@ func (c *Cluster) Query(out types.Tuple, evid types.ID, timeout time.Duration) (
 		}
 	}
 	if len(f.Work) == 0 {
-		querier.pendMu.Lock()
-		delete(querier.pending, qid)
-		querier.pendMu.Unlock()
-		return QueryResult{Latency: time.Since(start)}, nil
+		unregister()
+		return QueryResult{}, true, nil
 	}
 	// Start the walk by sending it to the first target (possibly self).
 	target := f.Work[len(f.Work)-1].Loc
-	c.inflight.Add(1)
-	if err := querier.sendFrom(querier.addr, target, f.encode(frameWalk)); err != nil {
-		c.inflight.Add(-1)
-		return QueryResult{}, err
+	if err := querier.send(target, f.encode(frameWalk)); err != nil {
+		unregister()
+		return QueryResult{}, false, err
 	}
 
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case res := <-ch:
 		trees := reconstructWalk(c, querier, res)
-		return QueryResult{Trees: trees, Latency: time.Since(start), Hops: int(res.Hops)}, nil
-	case <-time.After(timeout):
-		querier.pendMu.Lock()
-		delete(querier.pending, qid)
-		querier.pendMu.Unlock()
-		return QueryResult{}, errors.New("cluster: query timeout")
+		return QueryResult{Trees: trees, Hops: int(res.Hops)}, true, nil
+	case <-timer.C:
+		unregister()
+		return QueryResult{}, false, nil
 	}
 }
 

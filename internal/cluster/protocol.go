@@ -10,11 +10,28 @@ import (
 
 // Frame kinds of the cluster protocol.
 const (
-	frameTuple  = 1 // tuple shipment (fresh input event or derived head)
-	frameSig    = 2 // Section 5.5 equivalence-table reset broadcast
-	frameWalk   = 3 // traveling provenance query (Section 5.6)
-	frameResult = 4 // completed walk returning to the querier
+	frameTuple    = 1 // tuple shipment (fresh input event or derived head)
+	frameSig      = 2 // Section 5.5 equivalence-table reset broadcast
+	frameWalk     = 3 // traveling provenance query (Section 5.6)
+	frameResult   = 4 // completed walk returning to the querier
+	frameEnvelope = 5 // transport delivery envelope wrapping any of the above
 )
+
+// encodeEnvelope wraps an already-encoded frame in the transport delivery
+// envelope. The (sender, incarnation, seq) triple lets the receiver drop
+// redelivered duplicates — a retried send whose first write actually
+// reached the peer — and epoch carries the in-flight accounting epoch of
+// the destination so crashed-and-drained frames are not double-settled.
+func encodeEnvelope(from types.NodeAddr, incarnation, seq, epoch uint64, inner []byte) []byte {
+	e := wire.NewEncoder(len(inner) + 40)
+	e.U8(frameEnvelope)
+	e.Str(string(from))
+	e.U64(incarnation)
+	e.U64(seq)
+	e.U64(epoch)
+	e.Raw(inner)
+	return e.Bytes()
+}
 
 // tupleFrame ships a tuple plus the Advanced metadata. Fresh marks an
 // injected input event whose Stage 1 runs at the receiver.

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"provcompress/internal/metrics"
+	"provcompress/internal/types"
+	"provcompress/internal/wire"
+)
+
+// TransportConfig tunes the fault-tolerant cluster transport. The zero
+// value selects the defaults noted on each field.
+type TransportConfig struct {
+	// QueueLen bounds the per-peer outbound queue drained by the link's
+	// writer goroutine (default 1024). Handlers never block on the network
+	// itself; at worst they block briefly on a full queue.
+	QueueLen int
+	// EnqueueTimeout is how long a sender blocks on a full queue before
+	// the frame is dropped and accounted (default 2s).
+	EnqueueTimeout time.Duration
+	// DialTimeout bounds one connection attempt (default 1s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-send write deadline, so a stalled peer
+	// cannot block a sender forever (default 2s).
+	WriteTimeout time.Duration
+	// RetryBudget is how many times a failed send is retried (with a
+	// fresh dial if needed) before the frame is dropped (default 4).
+	RetryBudget int
+	// BackoffBase is the first retry backoff; it doubles per attempt with
+	// jitter (default 2ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth (default 200ms).
+	BackoffMax time.Duration
+}
+
+func (tc TransportConfig) withDefaults() TransportConfig {
+	if tc.QueueLen <= 0 {
+		tc.QueueLen = 1024
+	}
+	if tc.EnqueueTimeout <= 0 {
+		tc.EnqueueTimeout = 2 * time.Second
+	}
+	if tc.DialTimeout <= 0 {
+		tc.DialTimeout = time.Second
+	}
+	if tc.WriteTimeout <= 0 {
+		tc.WriteTimeout = 2 * time.Second
+	}
+	if tc.RetryBudget <= 0 {
+		tc.RetryBudget = 4
+	}
+	if tc.BackoffBase <= 0 {
+		tc.BackoffBase = 2 * time.Millisecond
+	}
+	if tc.BackoffMax <= 0 {
+		tc.BackoffMax = 200 * time.Millisecond
+	}
+	return tc
+}
+
+// transportStats holds the live per-node transport counters.
+type transportStats struct {
+	dials        atomic.Int64
+	redials      atomic.Int64
+	dialErrors   atomic.Int64
+	sends        atomic.Int64
+	sendErrors   atomic.Int64
+	retries      atomic.Int64
+	drops        atomic.Int64
+	queueDrops   atomic.Int64
+	dups         atomic.Int64
+	lateResults  atomic.Int64
+	queryRetries atomic.Int64
+	faultDrops   atomic.Int64
+	faultDelays  atomic.Int64
+	faultResets  atomic.Int64
+}
+
+// TransportStats is a point-in-time snapshot of the transport counters,
+// summed over the nodes it was collected from. It makes link failure
+// observable: a healthy run shows zero redials/retries/drops, a chaos run
+// shows exactly what the transport absorbed.
+type TransportStats struct {
+	Dials        int64 // successful connection establishments
+	Redials      int64 // successful dials on a link that had worked before
+	DialErrors   int64 // failed connection attempts
+	Sends        int64 // frames written to the wire
+	SendErrors   int64 // failed writes (including write-deadline expiry)
+	Retries      int64 // re-attempts after a failed attempt
+	Drops        int64 // frames abandoned after the retry budget
+	QueueDrops   int64 // frames dropped on a persistently full queue
+	Dups         int64 // redelivered duplicates suppressed by the receiver
+	LateResults  int64 // query results that arrived after the query timed out
+	QueryRetries int64 // Query walks re-issued after a result timeout
+	FaultDrops   int64 // writes discarded by the fault plan
+	FaultDelays  int64 // writes stalled by the fault plan
+	FaultResets  int64 // connections reset by the fault plan
+}
+
+// accumulate folds one node's live counters into the snapshot.
+func (s *TransportStats) accumulate(ts *transportStats) {
+	s.Dials += ts.dials.Load()
+	s.Redials += ts.redials.Load()
+	s.DialErrors += ts.dialErrors.Load()
+	s.Sends += ts.sends.Load()
+	s.SendErrors += ts.sendErrors.Load()
+	s.Retries += ts.retries.Load()
+	s.Drops += ts.drops.Load()
+	s.QueueDrops += ts.queueDrops.Load()
+	s.Dups += ts.dups.Load()
+	s.LateResults += ts.lateResults.Load()
+	s.QueryRetries += ts.queryRetries.Load()
+	s.FaultDrops += ts.faultDrops.Load()
+	s.FaultDelays += ts.faultDelays.Load()
+	s.FaultResets += ts.faultResets.Load()
+}
+
+// Counters exports the snapshot as an ordered metrics counter set.
+func (s TransportStats) Counters() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Add("dials", s.Dials)
+	c.Add("redials", s.Redials)
+	c.Add("dial-errors", s.DialErrors)
+	c.Add("sends", s.Sends)
+	c.Add("send-errors", s.SendErrors)
+	c.Add("retries", s.Retries)
+	c.Add("drops", s.Drops)
+	c.Add("queue-drops", s.QueueDrops)
+	c.Add("dups-suppressed", s.Dups)
+	c.Add("late-results", s.LateResults)
+	c.Add("query-retries", s.QueryRetries)
+	c.Add("fault-drops", s.FaultDrops)
+	c.Add("fault-delays", s.FaultDelays)
+	c.Add("fault-resets", s.FaultResets)
+	return c
+}
+
+// String renders the snapshot as an aligned table.
+func (s TransportStats) String() string { return s.Counters().String() }
+
+// outFrame is one queued delivery: the encoded inner frame plus the
+// destination accounting epoch captured at enqueue time.
+type outFrame struct {
+	payload []byte
+	epoch   uint64
+}
+
+// transport is one directed link: a bounded outbound queue drained by a
+// dedicated writer goroutine that dials (and re-dials) the peer, applies
+// write deadlines, injects plan faults, and retries failed sends with
+// exponential backoff and jitter. Exactly one transport exists per
+// (sender node, peer) pair at a time, so frames carry strictly increasing
+// sequence numbers in write order and the receiver can suppress
+// redelivered duplicates with a per-sender high-water mark.
+type transport struct {
+	owner *Node
+	to    types.NodeAddr
+	cfg   TransportConfig
+	stats *transportStats
+
+	queue chan outFrame
+	stop  chan struct{}
+
+	qmu     sync.Mutex
+	stopped bool
+
+	// Writer-goroutine state (no locking needed).
+	conn      net.Conn
+	everDialed bool
+	seq       uint64
+	rng       *rand.Rand
+	faults    *linkFaults
+}
+
+func newTransport(n *Node, to types.NodeAddr) *transport {
+	t := &transport{
+		owner:  n,
+		to:     to,
+		cfg:    n.c.tcfg,
+		stats:  &n.stats,
+		queue:  make(chan outFrame, n.c.tcfg.QueueLen),
+		stop:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(linkSeed(1, n.addr, to))),
+		faults: n.c.faults.link(n.addr, to),
+	}
+	return t
+}
+
+// halt stops the writer; queued frames are drained and accounted.
+func (t *transport) halt() {
+	t.qmu.Lock()
+	if !t.stopped {
+		t.stopped = true
+		close(t.stop)
+	}
+	t.qmu.Unlock()
+}
+
+// abandon settles the accounting for a frame the transport gives up on.
+func (t *transport) abandon(f outFrame) {
+	t.stats.drops.Add(1)
+	t.owner.c.acctSettle(t.to, f.epoch)
+}
+
+// enqueue hands a frame to the writer goroutine. On a persistently full
+// queue the frame is dropped and settled rather than blocking the caller
+// forever (backpressure with a bounded stall).
+func (t *transport) enqueue(f outFrame) {
+	t.qmu.Lock()
+	if t.stopped {
+		t.qmu.Unlock()
+		t.abandon(f)
+		return
+	}
+	select {
+	case t.queue <- f:
+		t.qmu.Unlock()
+		return
+	default:
+	}
+	t.qmu.Unlock()
+	timer := time.NewTimer(t.cfg.EnqueueTimeout)
+	defer timer.Stop()
+	select {
+	case t.queue <- f:
+	case <-t.stop:
+		t.abandon(f)
+	case <-timer.C:
+		t.stats.queueDrops.Add(1)
+		t.owner.c.acctSettle(t.to, f.epoch)
+	}
+}
+
+// run is the writer goroutine: it drains the queue in order, delivering
+// each frame (with retries) before touching the next, so per-link ordering
+// is preserved and the receiver's duplicate filter stays a simple
+// high-water mark.
+func (t *transport) run() {
+	defer t.owner.wg.Done()
+	for {
+		select {
+		case <-t.stop:
+			t.drain()
+			return
+		case f := <-t.queue:
+			t.deliver(f)
+		}
+	}
+}
+
+// drain settles every frame still queued at halt time. A short grace
+// window catches senders that were already blocked in enqueue when the
+// transport halted.
+func (t *transport) drain() {
+	defer t.closeConn()
+	for {
+		select {
+		case f := <-t.queue:
+			t.abandon(f)
+		case <-time.After(10 * time.Millisecond):
+			return
+		}
+	}
+}
+
+func (t *transport) closeConn() {
+	if t.conn != nil {
+		t.conn.Close()
+		t.conn = nil
+	}
+}
+
+// sleep waits d unless the transport halts first.
+func (t *transport) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-t.stop:
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// backoff returns the jittered exponential backoff before retry #attempt
+// (attempt >= 1): half the doubled-and-capped base plus a random half.
+func (t *transport) backoff(attempt int) time.Duration {
+	d := t.cfg.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= t.cfg.BackoffMax {
+			d = t.cfg.BackoffMax
+			break
+		}
+	}
+	if d > t.cfg.BackoffMax {
+		d = t.cfg.BackoffMax
+	}
+	return d/2 + time.Duration(t.rng.Int63n(int64(d/2)+1))
+}
+
+// deliver writes one frame, retrying with backoff and reconnection up to
+// the retry budget. A frame that exhausts the budget is dropped and its
+// accounting settled so Quiesce cannot wedge on it.
+func (t *transport) deliver(f outFrame) {
+	t.seq++
+	env := encodeEnvelope(t.owner.addr, t.owner.incarnation.Load(), t.seq, f.epoch, f.payload)
+	for attempt := 0; attempt <= t.cfg.RetryBudget; attempt++ {
+		if attempt > 0 {
+			t.stats.retries.Add(1)
+			if !t.sleep(t.backoff(attempt)) {
+				t.abandon(f)
+				return
+			}
+		}
+		switch t.faults.next() {
+		case faultDrop:
+			t.stats.faultDrops.Add(1)
+			continue // the sender observes a lost write and retries
+		case faultDelay:
+			t.stats.faultDelays.Add(1)
+			if !t.sleep(t.faults.delayFor()) {
+				t.abandon(f)
+				return
+			}
+		case faultReset:
+			t.stats.faultResets.Add(1)
+			t.closeConn()
+		}
+		if t.conn == nil {
+			conn, err := net.DialTimeout("tcp", t.owner.c.nodes[t.to].listenAddr(), t.cfg.DialTimeout)
+			if err != nil {
+				t.stats.dialErrors.Add(1)
+				continue
+			}
+			t.stats.dials.Add(1)
+			if t.everDialed {
+				t.stats.redials.Add(1)
+			}
+			t.everDialed = true
+			t.conn = conn
+		}
+		t.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		if err := wire.WriteFrame(t.conn, env); err != nil {
+			t.stats.sendErrors.Add(1)
+			t.closeConn()
+			continue
+		}
+		t.stats.sends.Add(1)
+		t.faults.sent()
+		return
+	}
+	t.abandon(f)
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import "strconv"
+
+// Counters is an ordered set of named int64 counters — the snapshot form
+// in which subsystems (e.g. the cluster transport) export their internal
+// telemetry for aggregation and display. Names keep first-insertion
+// order, so tables render stably.
+type Counters struct {
+	names []string
+	vals  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add increments a counter by delta, creating it at zero first.
+func (c *Counters) Add(name string, delta int64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += delta
+}
+
+// Get returns a counter's value (0 if absent).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Names returns the counter names in insertion order.
+func (c *Counters) Names() []string {
+	return append([]string(nil), c.names...)
+}
+
+// Merge folds another counter set into this one.
+func (c *Counters) Merge(o *Counters) {
+	for _, name := range o.names {
+		c.Add(name, o.vals[name])
+	}
+}
+
+// String renders the counters as an aligned two-column table.
+func (c *Counters) String() string {
+	rows := make([][]string, 0, len(c.names))
+	for _, name := range c.names {
+		rows = append(rows, []string{name, strconv.FormatInt(c.vals[name], 10)})
+	}
+	return FormatTable([]string{"counter", "value"}, rows)
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCountersAddGetOrder(t *testing.T) {
+	c := NewCounters()
+	c.Add("dials", 2)
+	c.Add("sends", 10)
+	c.Add("dials", 3)
+	if got := c.Get("dials"); got != 5 {
+		t.Errorf("dials = %d", got)
+	}
+	if got := c.Get("sends"); got != 10 {
+		t.Errorf("sends = %d", got)
+	}
+	if got := c.Get("absent"); got != 0 {
+		t.Errorf("absent = %d", got)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"dials", "sends"}) {
+		t.Errorf("names = %v; insertion order lost", got)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := NewCounters()
+	a.Add("x", 1)
+	b := NewCounters()
+	b.Add("x", 2)
+	b.Add("y", 7)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 7 {
+		t.Errorf("merge = x:%d y:%d", a.Get("x"), a.Get("y"))
+	}
+	if got := a.Names(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("names after merge = %v", got)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := NewCounters()
+	c.Add("retries", 4)
+	c.Add("drops", 0)
+	out := c.String()
+	for _, want := range []string{"counter", "value", "retries", "4", "drops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Rows keep insertion order.
+	if strings.Index(out, "retries") > strings.Index(out, "drops") {
+		t.Errorf("row order not insertion order:\n%s", out)
+	}
+}

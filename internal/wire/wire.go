@@ -45,6 +45,11 @@ func (e *Encoder) U64(v uint64) {
 	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
 }
 
+// Raw appends pre-encoded bytes verbatim (no length prefix). The cluster
+// transport uses it to nest an already-encoded frame inside its delivery
+// envelope.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
 // Str appends a length-prefixed string.
 func (e *Encoder) Str(s string) {
 	e.U32(uint32(len(s)))
