@@ -1,9 +1,13 @@
 # Tier-1 gate: `make verify` must pass before merging.
 #
-#   vet    go vet ./...
-#   build  go build ./...
-#   test   go test -race ./... (full suite under the race detector)
-#   chaos  the seeded fault-injection suite, race-enabled, no test cache
+#   vet          go vet ./...
+#   build        go build ./...
+#   test         go test -race ./... (full suite under the race detector)
+#   chaos        the seeded fault-injection suite, race-enabled, no test cache
+#   serve-smoke  provd end to end over real HTTP: boot on a random port,
+#                inject a workload, cold + cached query per scheme (the
+#                cached one must be >=10x faster), scrape /metrics and
+#                assert non-zero counters, then a short Zipf load phase
 #
 # The chaos tests use fixed FaultPlan seeds, so a failure reproduces
 # deterministically; -count=1 defeats the test cache to make sure the
@@ -11,9 +15,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test chaos bench
+.PHONY: verify vet build test chaos serve-smoke bench
 
-verify: vet build test chaos
+verify: vet build test chaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +30,9 @@ test:
 
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Malformed|Quiesce|Restart|LateResult' ./internal/cluster/
+
+serve-smoke:
+	$(GO) run ./cmd/provd -selftest -nodes 5
 
 bench:
 	$(GO) test -bench=. -benchmem .

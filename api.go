@@ -9,8 +9,10 @@ import (
 	"provcompress/internal/cluster"
 	"provcompress/internal/core"
 	"provcompress/internal/engine"
+	"provcompress/internal/metrics"
 	"provcompress/internal/ndlog"
 	"provcompress/internal/netsim"
+	"provcompress/internal/provserve"
 	"provcompress/internal/sim"
 	"provcompress/internal/topo"
 	"provcompress/internal/types"
@@ -173,6 +175,48 @@ type (
 
 // NewCluster boots a real-socket cluster from a ClusterConfig.
 var NewCluster = cluster.New
+
+// Serving layer (cmd/provd): a long-lived HTTP/JSON daemon over live
+// clusters with an epoch-invalidated result cache, a bounded query worker
+// pool with admission control (429 + Retry-After on overload), Prometheus
+// /metrics, and pprof.
+type (
+	// ServeConfig describes the daemon (clusters per scheme, pool and
+	// queue sizes, cache capacity, query timeout).
+	ServeConfig = provserve.Config
+	// ProvServer is the daemon: an http.Handler plus its worker pool.
+	ProvServer = provserve.Server
+	// LoadConfig drives the Zipf-sampled query load generator.
+	LoadConfig = provserve.LoadConfig
+	// LoadReport is the generator's QPS + p50/p95/p99 summary.
+	LoadReport = provserve.LoadReport
+)
+
+var (
+	// NewProvServer builds the serving daemon and starts its worker pool.
+	NewProvServer = provserve.New
+	// RunLoad hammers a running daemon with Zipf-sampled queries.
+	RunLoad = provserve.RunLoad
+)
+
+// Measurement helpers for serving-style workloads.
+type (
+	// Histogram is a fixed-bucket, concurrency-safe latency histogram
+	// with p50/p95/p99 estimation and Prometheus exposition.
+	Histogram = metrics.Histogram
+	// MetricCounters is an ordered set of named int64 counters.
+	MetricCounters = metrics.Counters
+)
+
+var (
+	// NewHistogram builds a histogram over explicit bucket bounds.
+	NewHistogram = metrics.NewHistogram
+	// NewLatencyHistogram builds a histogram over the default latency
+	// buckets (50µs..30s).
+	NewLatencyHistogram = metrics.NewLatencyHistogram
+	// WritePrometheus renders counters in Prometheus text exposition.
+	WritePrometheus = metrics.WritePrometheus
+)
 
 // Scheme names accepted by NewSystem.
 const (

@@ -1,0 +1,154 @@
+// Command provd is the provenance query daemon: it boots one real-socket
+// cluster per configured provenance scheme (all running the
+// packet-forwarding DELP on a chain topology) and serves distributed
+// provenance queries over HTTP with result caching, admission control,
+// Prometheus metrics, and pprof.
+//
+// Endpoints:
+//
+//	POST /v1/events    inject input events (JSON; optional quiesce wait)
+//	GET  /v1/query     distributed provenance query (rel, args, scheme, evid)
+//	GET  /v1/outputs   list output tuples (the query sampling frame)
+//	GET  /v1/stats     transport counters + storage bytes + server counters
+//	GET  /metrics      Prometheus text exposition
+//	GET  /debug/pprof  runtime profiles
+//
+// Usage:
+//
+//	provd [-listen 127.0.0.1:8463] [-schemes advanced,basic,exspan] [-nodes 8]
+//
+// Quickstart:
+//
+//	provd &
+//	curl -s -XPOST localhost:8463/v1/events -d \
+//	  '{"events":[{"rel":"packet","args":["n0","n0","n7","hello"]}],"wait_ms":2000}'
+//	curl -s 'localhost:8463/v1/query?rel=recv&args=["n7","n0","n7","hello"]'
+//	curl -s localhost:8463/metrics | grep provd_cache
+//
+// The -selftest flag boots the daemon on a random port, drives it over
+// real HTTP (inject, cold query per scheme, cached re-query, /metrics
+// scrape, Zipf load phase), prints the benchmark report, and exits
+// non-zero on any violated expectation — `make serve-smoke` runs exactly
+// this.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"provcompress/internal/cluster"
+	"provcompress/internal/clusterboot"
+	"provcompress/internal/provserve"
+)
+
+func main() {
+	boot := clusterboot.Register(flag.CommandLine)
+	listen := flag.String("listen", "127.0.0.1:8463", "HTTP listen address (use :0 for a random port)")
+	schemes := flag.String("schemes", "advanced,basic,exspan", "comma-separated provenance schemes to serve")
+	workers := flag.Int("workers", 8, "query worker pool size")
+	queue := flag.Int("queue", 64, "pending-query queue bound (full queue answers 429)")
+	cacheSize := flag.Int("cache", 1024, "result cache entries")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-attempt distributed query timeout")
+	selftest := flag.Bool("selftest", false, "boot on a random port, run the HTTP smoke + load phase, and exit")
+	flag.Parse()
+
+	names := splitSchemes(*schemes)
+	if len(names) == 0 {
+		log.Fatal("provd: no schemes configured")
+	}
+	if *selftest {
+		*listen = "127.0.0.1:0"
+	}
+
+	clusters := make(map[string]*cluster.Cluster, len(names))
+	for _, name := range names {
+		c, _, err := boot.Boot(name)
+		if err != nil {
+			log.Fatalf("provd: boot %s cluster: %v", name, err)
+		}
+		defer c.Close()
+		clusters[name] = c
+	}
+
+	srv, err := provserve.New(provserve.Config{
+		Clusters:      clusters,
+		DefaultScheme: names[0],
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheSize:     *cacheSize,
+		QueryTimeout:  *queryTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	addr := ln.Addr().String()
+	fmt.Printf("provd listening on http://%s (schemes %s, %d nodes, %d workers, queue %d)\n",
+		addr, strings.Join(names, ","), boot.Nodes, *workers, *queue)
+
+	if *selftest {
+		err := provserve.SelfTest(provserve.SelfTestConfig{
+			BaseURL: "http://" + addr,
+			Schemes: names,
+			Nodes:   boot.Nodes,
+			Out:     os.Stdout,
+		})
+		shutdown(httpSrv)
+		if err != nil {
+			log.Fatalf("provd: selftest FAILED: %v", err)
+		}
+		fmt.Println("provd: selftest ok")
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("provd: %v, shutting down\n", s)
+		shutdown(httpSrv)
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}
+}
+
+// shutdown drains the HTTP server with a bounded grace period.
+func shutdown(s *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Shutdown(ctx) //nolint:errcheck
+}
+
+// splitSchemes parses the -schemes flag into trimmed lowercase names.
+func splitSchemes(s string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		name := strings.ToLower(strings.TrimSpace(part))
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out
+}

@@ -12,71 +12,37 @@
 // shows the dial/retry/drop counters at exit):
 //
 //	provquery -drop 0.05 -reset-after 20 -fault-seed 7 -stats
+//
+// For a long-lived serving surface over the same cluster (HTTP queries,
+// result caching, /metrics) see cmd/provd.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"time"
 
-	"provcompress/internal/apps"
-	"provcompress/internal/cluster"
+	"provcompress/internal/clusterboot"
 	"provcompress/internal/metrics"
-	"provcompress/internal/topo"
 	"provcompress/internal/types"
 	"provcompress/internal/workload"
 )
 
 func main() {
-	nodes := flag.Int("nodes", 8, "cluster size (chain topology)")
+	boot := clusterboot.Register(flag.CommandLine)
 	packets := flag.Int("packets", 20, "packets per pair")
 	pairs := flag.Int("pairs", 3, "communicating pairs")
-	scheme := flag.String("scheme", "advanced", "provenance scheme: exspan, basic, or advanced")
-	drop := flag.Float64("drop", 0, "fault injection: per-attempt probability a frame write is dropped")
-	delay := flag.Float64("delay", 0, "fault injection: per-attempt probability a frame write stalls")
-	delayFor := flag.Duration("delay-for", 5*time.Millisecond, "fault injection: how long a stalled write waits")
-	resetAfter := flag.Int("reset-after", 0, "fault injection: reset each link once after N successful writes")
-	faultSeed := flag.Int64("fault-seed", 1, "fault injection: RNG seed (runs with the same seed inject the same faults)")
 	stats := flag.Bool("stats", false, "print the transport counters at exit")
 	flag.Parse()
 
-	if *nodes < 2 {
-		fmt.Fprintln(os.Stderr, "provquery: need at least 2 nodes")
-		os.Exit(2)
-	}
-
-	// A chain of nodes with shortest-path routes.
-	g := topo.Line(*nodes, "n")
-	routes := g.ShortestPaths().RouteTuples()
-
-	var plan *cluster.FaultPlan
-	if *drop > 0 || *delay > 0 || *resetAfter > 0 {
-		plan = &cluster.FaultPlan{
-			Seed:       *faultSeed,
-			Drop:       *drop,
-			Delay:      *delay,
-			DelayFor:   *delayFor,
-			ResetAfter: *resetAfter,
-		}
-	}
-	c, err := cluster.New(cluster.Config{
-		Prog:   apps.Forwarding(),
-		Funcs:  apps.Funcs(),
-		Nodes:  g.Nodes(),
-		Scheme: *scheme,
-		Faults: plan,
-	})
+	c, g, err := boot.Boot("")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.LoadBase(routes); err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("cluster of %d nodes up on loopback TCP (%s scheme); equivalence keys %v\n\n",
-		*nodes, *scheme, c.Keys())
+		boot.Nodes, boot.Scheme, c.Keys())
 
 	// Traffic: *pairs* random pairs, *packets* each.
 	chosen := workload.ChoosePairs(g.Nodes(), *pairs, time.Now().UnixNano()%1000)
@@ -116,7 +82,7 @@ func main() {
 			i+1, out, res.Latency.Round(time.Microsecond), res.Hops, res.Trees[0])
 	}
 
-	if *stats || plan != nil {
+	if *stats || boot.Plan() != nil {
 		fmt.Printf("transport counters:\n%s", c.TransportStats().Counters())
 	}
 }

@@ -80,6 +80,12 @@ type Cluster struct {
 
 	nextQID atomic.Uint64
 	closed  atomic.Bool
+
+	// eventHook, when set, is called after every accepted state change
+	// (Inject, InsertSlow). The serving layer uses it to bump its cache
+	// epoch so cached query results from before the event are never
+	// served again.
+	eventHook atomic.Value // of func()
 }
 
 // Node is one cluster member: a listener, a database, and the scheme's
@@ -193,6 +199,23 @@ func New(cfg Config) (*Cluster, error) {
 // Node returns a member by address, or nil.
 func (c *Cluster) Node(addr types.NodeAddr) *Node { return c.nodes[addr] }
 
+// SetEventHook installs fn to run after every accepted state change
+// (successful Inject or InsertSlow). Pass nil to clear. The hook must be
+// cheap and non-blocking; it runs on the caller's goroutine.
+func (c *Cluster) SetEventHook(fn func()) {
+	if fn == nil {
+		fn = func() {}
+	}
+	c.eventHook.Store(fn)
+}
+
+// fireEventHook invokes the installed hook, if any.
+func (c *Cluster) fireEventHook() {
+	if fn, ok := c.eventHook.Load().(func()); ok {
+		fn()
+	}
+}
+
 // Keys returns the equivalence-key indexes in use.
 func (c *Cluster) Keys() []int { return append([]int(nil), c.keys...) }
 
@@ -289,7 +312,11 @@ func (c *Cluster) Inject(ev types.Tuple) error {
 		return fmt.Errorf("cluster: inject %s at unknown node", ev)
 	}
 	f := &tupleFrame{Tuple: ev, Fresh: true}
-	return origin.send(ev.Loc(), f.encode())
+	if err := origin.send(ev.Loc(), f.encode()); err != nil {
+		return err
+	}
+	c.fireEventHook()
+	return nil
 }
 
 // InsertSlow inserts a slow-changing tuple at runtime and broadcasts sig
@@ -311,6 +338,7 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 			return err
 		}
 	}
+	c.fireEventHook()
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -331,16 +332,29 @@ const queryAttempts = 2
 // re-issued once before the query fails, so a single lost message does
 // not fail the query.
 func (c *Cluster) Query(out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, error) {
+	return c.QueryContext(context.Background(), out, evid, timeout)
+}
+
+// QueryContext is Query with caller-driven cancellation: when ctx is done
+// (an HTTP client disconnected, a deadline passed upstream), the in-flight
+// wait aborts immediately instead of burning the full per-attempt timeout.
+// Walk frames already traveling the cluster complete on their own; their
+// results are counted as late (TransportStats.LateResults), never
+// delivered to the canceled waiter.
+func (c *Cluster) QueryContext(ctx context.Context, out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, error) {
 	querier := c.nodes[out.Loc()]
 	if querier == nil {
 		return QueryResult{}, fmt.Errorf("cluster: query at unknown node %s", out)
 	}
 	start := time.Now()
 	for attempt := 0; attempt < queryAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return QueryResult{}, err
+		}
 		if attempt > 0 {
 			querier.stats.queryRetries.Add(1)
 		}
-		res, done, err := c.tryQuery(querier, out, evid, timeout)
+		res, done, err := c.tryQuery(ctx, querier, out, evid, timeout)
 		if err != nil {
 			return QueryResult{}, err
 		}
@@ -354,7 +368,7 @@ func (c *Cluster) Query(out types.Tuple, evid types.ID, timeout time.Duration) (
 
 // tryQuery issues one walk and waits for its result; done=false means the
 // attempt timed out and the caller may retry.
-func (c *Cluster) tryQuery(querier *Node, out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, bool, error) {
+func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, bool, error) {
 	qid := c.nextQID.Add(1)
 	ch := make(chan *walkFrame, 1)
 	querier.pendMu.Lock()
@@ -397,6 +411,9 @@ func (c *Cluster) tryQuery(querier *Node, out types.Tuple, evid types.ID, timeou
 	case <-timer.C:
 		unregister()
 		return QueryResult{}, false, nil
+	case <-ctx.Done():
+		unregister()
+		return QueryResult{}, false, ctx.Err()
 	}
 }
 

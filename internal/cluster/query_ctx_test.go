@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"provcompress/internal/types"
+)
+
+// TestQueryContextCanceled pins the cancellation contract: a context
+// canceled before (or while) a query waits aborts the wait with ctx.Err()
+// instead of burning the per-attempt timeout.
+func TestQueryContextCanceled(t *testing.T) {
+	c := fig2Cluster(t)
+	ev := pkt("n1", "n1", "n3", "data")
+	if err := c.Inject(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out := recvT("n3", "n1", "n3", "data")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := c.QueryContext(ctx, out, types.ZeroID, 30*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled query took %v; should abort immediately", elapsed)
+	}
+
+	// A live context still answers.
+	res, err := c.QueryContext(context.Background(), out, types.ZeroID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trees) == 0 {
+		t.Fatal("no trees from live-context query")
+	}
+
+	// A deadline in the past is equivalent to an immediate cancel.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := c.QueryContext(dctx, out, types.ZeroID, 10*time.Second); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEventHookFires checks that every accepted Inject and InsertSlow runs
+// the installed hook, and that clearing it stops the calls.
+func TestEventHookFires(t *testing.T) {
+	c := fig2Cluster(t)
+	var fired atomic.Int64
+	c.SetEventHook(func() { fired.Add(1) })
+
+	if err := c.Inject(pkt("n1", "n1", "n3", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inject(pkt("n1", "n1", "n3", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != 2 {
+		t.Fatalf("hook fired %d times after 2 injects, want 2", got)
+	}
+	slow := types.NewTuple("link", types.String("n1"), types.String("n1"), types.String("n3"))
+	if err := c.InsertSlow(slow); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != 3 {
+		t.Fatalf("hook fired %d times after slow insert, want 3", got)
+	}
+	// A duplicate slow insert is not an accepted change.
+	if err := c.InsertSlow(slow); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != 3 {
+		t.Fatalf("hook fired %d times after duplicate slow insert, want 3", got)
+	}
+	c.SetEventHook(nil)
+	if err := c.Inject(pkt("n1", "n1", "n3", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != 3 {
+		t.Fatalf("hook fired %d times after clearing, want 3", got)
+	}
+	if err := c.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -169,11 +169,11 @@ type transport struct {
 	stopped bool
 
 	// Writer-goroutine state (no locking needed).
-	conn      net.Conn
+	conn       net.Conn
 	everDialed bool
-	seq       uint64
-	rng       *rand.Rand
-	faults    *linkFaults
+	seq        uint64
+	rng        *rand.Rand
+	faults     *linkFaults
 }
 
 func newTransport(n *Node, to types.NodeAddr) *transport {

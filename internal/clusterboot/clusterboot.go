@@ -1,0 +1,90 @@
+// Package clusterboot is the shared bring-up path for the binaries that
+// run a real-socket cluster (cmd/provquery, cmd/provd): one set of
+// topology/scheme/fault-injection flags, one way to turn them into a
+// running, route-loaded cluster. Keeping the construction in one place
+// means the one-shot CLI and the long-lived daemon cannot drift in how
+// they interpret the same flags.
+package clusterboot
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/cluster"
+	"provcompress/internal/topo"
+)
+
+// Flags bundles the cluster bring-up options shared by the binaries.
+type Flags struct {
+	// Nodes is the cluster size; the topology is a chain n0--n1--...
+	Nodes int
+	// Scheme is the default provenance scheme (exspan, basic, advanced).
+	Scheme string
+	// Fault injection knobs (all zero means no FaultPlan).
+	Drop       float64
+	Delay      float64
+	DelayFor   time.Duration
+	ResetAfter int
+	FaultSeed  int64
+}
+
+// Register installs the shared flags on fs (use flag.CommandLine for a
+// binary's global flag set) and returns the struct they populate.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Nodes, "nodes", 8, "cluster size (chain topology)")
+	fs.StringVar(&f.Scheme, "scheme", "advanced", "provenance scheme: exspan, basic, or advanced")
+	fs.Float64Var(&f.Drop, "drop", 0, "fault injection: per-attempt probability a frame write is dropped")
+	fs.Float64Var(&f.Delay, "delay", 0, "fault injection: per-attempt probability a frame write stalls")
+	fs.DurationVar(&f.DelayFor, "delay-for", 5*time.Millisecond, "fault injection: how long a stalled write waits")
+	fs.IntVar(&f.ResetAfter, "reset-after", 0, "fault injection: reset each link once after N successful writes")
+	fs.Int64Var(&f.FaultSeed, "fault-seed", 1, "fault injection: RNG seed (runs with the same seed inject the same faults)")
+	return f
+}
+
+// Plan returns the FaultPlan the flags describe, or nil when no fault
+// injection was requested.
+func (f *Flags) Plan() *cluster.FaultPlan {
+	if f.Drop <= 0 && f.Delay <= 0 && f.ResetAfter <= 0 {
+		return nil
+	}
+	return &cluster.FaultPlan{
+		Seed:       f.FaultSeed,
+		Drop:       f.Drop,
+		Delay:      f.Delay,
+		DelayFor:   f.DelayFor,
+		ResetAfter: f.ResetAfter,
+	}
+}
+
+// Boot builds the chain topology, boots one cluster running the
+// packet-forwarding DELP under the given scheme (empty means f.Scheme),
+// and loads the shortest-path route table as base tuples. The caller owns
+// the returned cluster and must Close it.
+func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
+	if f.Nodes < 2 {
+		return nil, nil, fmt.Errorf("clusterboot: need at least 2 nodes, have %d", f.Nodes)
+	}
+	if scheme == "" {
+		scheme = f.Scheme
+	}
+	g := topo.Line(f.Nodes, "n")
+	routes := g.ShortestPaths().RouteTuples()
+	c, err := cluster.New(cluster.Config{
+		Prog:   apps.Forwarding(),
+		Funcs:  apps.Funcs(),
+		Nodes:  g.Nodes(),
+		Scheme: scheme,
+		Faults: f.Plan(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.LoadBase(routes); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	return c, g, nil
+}

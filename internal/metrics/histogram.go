@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent observation:
+// every bucket is an atomic counter, so hot paths (the serving layer's
+// per-query latency recording) never contend on a lock. Buckets follow
+// Prometheus "le" semantics: a sample v lands in the first bucket whose
+// upper bound is >= v, and samples above the last bound land in the
+// implicit +Inf overflow bucket.
+type Histogram struct {
+	bounds []float64      // strictly increasing upper bounds
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// LatencyBuckets returns the default bucket bounds for request latencies in
+// seconds: exponential-ish from 50µs to 30s, dense around the
+// sub-millisecond range where cache hits live.
+func LatencyBuckets() []float64 {
+	return []float64{
+		50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+		1, 2.5, 5, 10, 30,
+	}
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which must
+// be non-empty and strictly increasing. The bounds slice is copied.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: histogram bounds must be strictly increasing (bound %d: %g <= %g)",
+				i, bounds[i], bounds[i-1])
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}, nil
+}
+
+// NewLatencyHistogram builds a histogram over LatencyBuckets.
+func NewLatencyHistogram() *Histogram {
+	h, err := NewHistogram(LatencyBuckets())
+	if err != nil {
+		panic(err) // the default bounds are valid by construction
+	}
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// SearchFloat64s returns the first index whose bound is >= v, which is
+	// exactly the Prometheus "le" bucket; v above every bound falls through
+	// to the overflow slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns a copy of the per-bucket counts; the extra final
+// element is the +Inf overflow bucket. Under concurrent observation the
+// copy is a loose snapshot, not an atomic cut.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) from the buckets: it
+// finds the bucket holding the target rank and interpolates linearly
+// inside it. Samples in the overflow bucket are reported as the last
+// finite bound (the histogram cannot see past it).
+func (h *Histogram) Quantile(p float64) float64 {
+	counts := h.BucketCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(counts)-1 {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Summary returns the p50/p95/p99 estimates in one call — the shape every
+// latency report in this repo prints.
+func (h *Histogram) Summary() (p50, p95, p99 float64) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("non-increasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Fatal("decreasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{0.5, 1, 2}); err != nil {
+		t.Fatalf("valid bounds rejected: %v", err)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the "le" semantics: a sample exactly
+// on a bound lands in that bound's bucket, a sample just above it lands in
+// the next, and samples past the last bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	got := h.BucketCounts()
+	want := []int64{2, 2, 2, 2} // (<=1): 0.5,1; (<=10): 1.0000001,10; (<=100): 99,100; +Inf: 101,1e9
+	if len(got) != len(want) {
+		t.Fatalf("bucket count slice length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d count = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	wantSum := 0.5 + 1 + 1.0000001 + 10 + 99 + 100 + 101 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("Sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramQuantile checks the rank arithmetic against a uniform fill:
+// 100 samples spread evenly across 0..100 with bounds every 10 should put
+// the p50 near 50 and the p99 near 99.
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	p50, p95, p99 := h.Summary()
+	if p50 < 40 || p50 > 60 {
+		t.Fatalf("p50 = %g, want ~50", p50)
+	}
+	if p95 < 90 || p95 > 100 {
+		t.Fatalf("p95 = %g, want ~95", p95)
+	}
+	if p99 < 90 || p99 > 100 {
+		t.Fatalf("p99 = %g, want ~99", p99)
+	}
+	// Interpolation inside one bucket: all mass in (10,20] pins every
+	// quantile inside that bucket's range.
+	h2, _ := NewHistogram(bounds)
+	for i := 0; i < 10; i++ {
+		h2.Observe(15)
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		q := h2.Quantile(p)
+		if q <= 10 || q > 20 {
+			t.Fatalf("quantile %g = %g, want within (10,20]", p, q)
+		}
+	}
+	// Overflow mass reports the last finite bound.
+	h3, _ := NewHistogram([]float64{1})
+	h3.Observe(50)
+	if q := h3.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %g, want 1 (last finite bound)", q)
+	}
+	// Out-of-range p clamps.
+	if h.Quantile(-1) > h.Quantile(0) || h.Quantile(2) < h.Quantile(1) {
+		t.Fatal("out-of-range p must clamp to [0,1]")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.ObserveDuration(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*each)
+	}
+	var sum int64
+	for _, c := range h.BucketCounts() {
+		sum += c
+	}
+	if sum != workers*each {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*each)
+	}
+}
+
+func TestWritePrometheusCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("dial-errors", 3)
+	c.Add("sends", 41)
+	var b strings.Builder
+	WritePrometheus(&b, c, "provd_transport", `scheme="advanced"`)
+	out := b.String()
+	for _, want := range []string{
+		"provd_transport_dial_errors_total{scheme=\"advanced\"} 3\n",
+		"provd_transport_sends_total{scheme=\"advanced\"} 41\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	var b2 strings.Builder
+	WritePrometheus(&b2, c, "x", "")
+	if !strings.Contains(b2.String(), "x_sends_total 41\n") {
+		t.Fatalf("unlabeled exposition wrong:\n%s", b2.String())
+	}
+}
+
+func TestHistogramWritePrometheus(t *testing.T) {
+	h, err := NewHistogram([]float64{0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var b strings.Builder
+	h.WritePrometheus(&b, "provd_query_seconds", `cache="miss"`)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE provd_query_seconds histogram\n",
+		"provd_query_seconds_bucket{cache=\"miss\",le=\"0.1\"} 1\n",
+		"provd_query_seconds_bucket{cache=\"miss\",le=\"1\"} 2\n",
+		"provd_query_seconds_bucket{cache=\"miss\",le=\"+Inf\"} 3\n",
+		"provd_query_seconds_count{cache=\"miss\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "provd_query_seconds_sum{cache=\"miss\"} 5.55\n") {
+		t.Fatalf("sum sample wrong:\n%s", out)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"dial-errors":     "dial_errors",
+		"dups.suppressed": "dups_suppressed",
+		"ok_name":         "ok_name",
+		"9lives":          "_9lives",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Fatalf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

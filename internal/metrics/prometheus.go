@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders the package's measurement types in the Prometheus text
+// exposition format (version 0.0.4), so a long-lived daemon can expose its
+// Counters and Histograms on a /metrics endpoint without importing a
+// client library.
+
+// PromName sanitizes a counter name into a legal Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_', and a leading digit
+// gains a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if legal {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// joinLabels merges comma-separated label fragments, dropping empties.
+func joinLabels(labels ...string) string {
+	var parts []string
+	for _, l := range labels {
+		if l != "" {
+			parts = append(parts, l)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(w io.Writer, name, labels, value string) {
+	if labels != "" {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	} else {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	}
+}
+
+// WriteCounter emits a single monotonically-increasing sample.
+func WriteCounter(w io.Writer, name, labels string, v int64) {
+	writeSample(w, PromName(name), labels, strconv.FormatInt(v, 10))
+}
+
+// WriteGauge emits a single point-in-time sample.
+func WriteGauge(w io.Writer, name, labels string, v float64) {
+	writeSample(w, PromName(name), labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// WritePrometheus renders every counter in c as one Prometheus counter
+// sample named `<prefix>_<name>_total`, with the given label set applied
+// to each (pass "" for none). Counter names are sanitized (e.g. the
+// transport's "dial-errors" becomes "dial_errors"), and insertion order is
+// preserved so scrapes are stable.
+func WritePrometheus(w io.Writer, c *Counters, prefix, labels string) {
+	for _, name := range c.Names() {
+		full := PromName(prefix + "_" + name + "_total")
+		writeSample(w, full, labels, strconv.FormatInt(c.Get(name), 10))
+	}
+}
+
+// WritePrometheus renders the histogram in the standard three-part form:
+// cumulative `_bucket{le=...}` samples (ending with le="+Inf"), `_sum`,
+// and `_count`.
+func (h *Histogram) WritePrometheus(w io.Writer, name, labels string) {
+	name = PromName(name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	counts := h.BucketCounts()
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		writeSample(w, name+"_bucket", joinLabels(labels, `le="`+le+`"`), strconv.FormatInt(cum, 10))
+	}
+	cum += counts[len(counts)-1]
+	writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatInt(cum, 10))
+	writeSample(w, name+"_sum", labels, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	writeSample(w, name+"_count", labels, strconv.FormatInt(h.Count(), 10))
+}

@@ -1,0 +1,110 @@
+package provserve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// answer is the cached form of one completed provenance query: the
+// rendered trees plus the cost stats of the cold run that produced it.
+type answer struct {
+	Trees  []string
+	Hops   int
+	ColdNS int64 // the cold query's cluster-side latency, nanoseconds
+	Epoch  uint64
+}
+
+// epochCache is a fixed-capacity LRU keyed by (scheme, output tuple,
+// event ID), with epoch-based invalidation: every entry remembers the
+// cache epoch that was current when its query was *admitted*, and a
+// lookup only returns entries whose epoch equals the current one. Any
+// accepted event bumps the epoch (via the cluster event hook), so a
+// result computed before the event can never be served after it —
+// including results of queries that were still in flight when the event
+// arrived, because they were admitted under the older epoch.
+//
+// Stale entries are dropped lazily on lookup and by LRU eviction; there
+// is no sweeper to race with.
+type epochCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, stale, evictions int64
+}
+
+type cacheItem struct {
+	key string
+	ans answer
+}
+
+func newEpochCache(capacity int) *epochCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &epochCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached answer for key if it exists and was computed
+// under the current epoch. An entry from an older epoch is removed and
+// reported as a miss.
+func (c *epochCache) Get(key string, epoch uint64) (answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return answer{}, false
+	}
+	it := el.Value.(*cacheItem)
+	if it.ans.Epoch != epoch {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.stale++
+		c.misses++
+		return answer{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return it.ans, true
+}
+
+// Put stores an answer computed under the epoch recorded inside it. An
+// existing entry for the key is replaced (the newer answer was admitted
+// no earlier, so it is never the staler of the two in epoch terms).
+func (c *epochCache) Put(key string, ans answer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).ans = ans
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, ans: ans})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheItem).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of live entries (stale ones included until they
+// are looked up or evicted).
+func (c *epochCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the lookup counters: hits, misses, stale drops, evictions.
+func (c *epochCache) Stats() (hits, misses, stale, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.stale, c.evictions
+}

@@ -1,0 +1,69 @@
+package provserve
+
+import "testing"
+
+func TestEpochCacheBasics(t *testing.T) {
+	c := newEpochCache(2)
+	if _, ok := c.Get("a", 0); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", answer{Hops: 1, Epoch: 0})
+	if ans, ok := c.Get("a", 0); !ok || ans.Hops != 1 {
+		t.Fatalf("Get(a) = %+v, %v", ans, ok)
+	}
+	// An epoch bump makes the entry unservable and drops it.
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("stale entry served across epoch bump")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not dropped, len=%d", c.Len())
+	}
+	_, _, stale, _ := c.Stats()
+	if stale != 1 {
+		t.Fatalf("stale drops = %d, want 1", stale)
+	}
+}
+
+func TestEpochCacheLRUEviction(t *testing.T) {
+	c := newEpochCache(2)
+	c.Put("a", answer{Hops: 1})
+	c.Put("b", answer{Hops: 2})
+	// Touch "a" so "b" is the eviction victim.
+	if _, ok := c.Get("a", 0); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", answer{Hops: 3})
+	if _, ok := c.Get("b", 0); ok {
+		t.Fatal("LRU victim b still cached")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k, 0); !ok {
+			t.Fatalf("%s evicted, want resident", k)
+		}
+	}
+	_, _, _, evictions := c.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+}
+
+func TestEpochCacheReplace(t *testing.T) {
+	c := newEpochCache(2)
+	c.Put("a", answer{Hops: 1, Epoch: 0})
+	c.Put("a", answer{Hops: 9, Epoch: 3})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after replacing a key, want 1", c.Len())
+	}
+	if ans, ok := c.Get("a", 3); !ok || ans.Hops != 9 {
+		t.Fatalf("Get(a, 3) = %+v, %v; want replaced answer", ans, ok)
+	}
+}
+
+func TestEpochCacheMinCapacity(t *testing.T) {
+	c := newEpochCache(0) // clamps to 1
+	c.Put("a", answer{})
+	c.Put("b", answer{})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (capacity clamp)", c.Len())
+	}
+}

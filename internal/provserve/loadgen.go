@@ -1,0 +1,194 @@
+package provserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"provcompress/internal/metrics"
+	"provcompress/internal/workload"
+)
+
+// LoadConfig drives RunLoad against a running provd.
+type LoadConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8463".
+	BaseURL string
+	// Scheme selects the provenance scheme to query (empty = daemon default).
+	Scheme string
+	// Requests is the total number of queries to issue.
+	Requests int
+	// Concurrency is the number of parallel client workers (default 4).
+	Concurrency int
+	// Alpha is the Zipf exponent for output popularity (default 0.9, the
+	// paper-style DNS skew); hotter skew means more cache hits.
+	Alpha float64
+	// Seed keys the Zipf sampler.
+	Seed int64
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadReport is what the generator measured.
+type LoadReport struct {
+	Requests  int
+	Errors    int
+	Rejected  int // 429 responses (admission control sheds load)
+	CacheHits int
+	Elapsed   time.Duration
+	QPS       float64
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	Hist      *metrics.Histogram
+}
+
+// String renders the report as the one-paragraph benchmark summary the
+// serving layer ships with.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"%d requests in %v: %.0f qps, %d cache hits (%.0f%%), %d rejected, %d errors\n"+
+			"latency p50 %v  p95 %v  p99 %v",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.QPS,
+		r.CacheHits, 100*float64(r.CacheHits)/float64(max(1, r.Requests)),
+		r.Rejected, r.Errors,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+}
+
+// fetchOutputs asks the daemon for its output tuples (the query sampling
+// frame), already in deterministic order.
+func fetchOutputs(client *http.Client, baseURL, scheme string) ([]tupleSpec, error) {
+	u := baseURL + "/v1/outputs"
+	if scheme != "" {
+		u += "?scheme=" + url.QueryEscape(scheme)
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512)) //nolint:errcheck
+		return nil, fmt.Errorf("outputs: %s: %s", resp.Status, body)
+	}
+	var out struct {
+		Outputs []tupleSpec `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Outputs, nil
+}
+
+// queryURL builds the /v1/query URL for one output tuple.
+func queryURL(baseURL, scheme string, spec tupleSpec) (string, error) {
+	args, err := json.Marshal(spec.Args)
+	if err != nil {
+		return "", err
+	}
+	v := url.Values{}
+	v.Set("rel", spec.Rel)
+	v.Set("args", string(args))
+	if scheme != "" {
+		v.Set("scheme", scheme)
+	}
+	return baseURL + "/v1/query?" + v.Encode(), nil
+}
+
+// RunLoad hammers a running daemon with provenance queries whose targets
+// are sampled Zipfian from the daemon's own outputs, and reports achieved
+// QPS and latency quantiles. It is the serving layer's benchmark: the
+// skew makes the cache do real work, so the report shows the hit rate the
+// paper's online-querying story depends on.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("provserve: load needs Requests > 0")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.9
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	outputs, err := fetchOutputs(client, cfg.BaseURL, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("provserve: daemon has no outputs to query (inject events first)")
+	}
+	urls := make([]string, len(outputs))
+	for i, spec := range outputs {
+		u, err := queryURL(cfg.BaseURL, cfg.Scheme, spec)
+		if err != nil {
+			return nil, err
+		}
+		urls[i] = u
+	}
+
+	// One Zipf stream feeding a work channel keeps the sample sequence
+	// deterministic for a given seed regardless of worker interleaving.
+	zipf := workload.NewZipf(rand.New(rand.NewSource(cfg.Seed)), len(urls), cfg.Alpha)
+	work := make(chan string, cfg.Concurrency)
+	hist := metrics.NewLatencyHistogram()
+	var errs, rejected, hits atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var qr queryResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case resp.StatusCode != http.StatusOK || decErr != nil:
+					errs.Add(1)
+				default:
+					hist.ObserveDuration(time.Since(t0))
+					if qr.Cached {
+						hits.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		work <- urls[zipf.Next()]
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	p50, p95, p99 := hist.Summary()
+	return &LoadReport{
+		Requests:  cfg.Requests,
+		Errors:    int(errs.Load()),
+		Rejected:  int(rejected.Load()),
+		CacheHits: int(hits.Load()),
+		Elapsed:   elapsed,
+		QPS:       float64(cfg.Requests) / elapsed.Seconds(),
+		P50:       time.Duration(p50 * float64(time.Second)),
+		P95:       time.Duration(p95 * float64(time.Second)),
+		P99:       time.Duration(p99 * float64(time.Second)),
+		Hist:      hist,
+	}, nil
+}

@@ -1,0 +1,620 @@
+// Package provserve is the serving layer: a long-lived HTTP/JSON daemon
+// over one or more live clusters (one per provenance scheme), turning the
+// one-shot CLI query path into an online service. It exists because the
+// paper's point — compressed provenance makes distributed querying cheap
+// enough to use online (§5–§6) — needs a resident process to be visible:
+// cold-start CLI runs pay cluster bring-up on every query, while a daemon
+// pays it once and then serves queries from a worker pool fronted by an
+// epoch-invalidated result cache.
+//
+// Serving discipline:
+//
+//   - Queries run on a bounded worker pool; the HTTP handler never runs a
+//     distributed walk on its own goroutine.
+//   - Admission control: a bounded pending queue; when it is full the
+//     daemon answers 429 with Retry-After instead of queueing unboundedly.
+//   - Result cache: an LRU keyed by (scheme, output tuple, event ID).
+//     Every accepted event bumps a global epoch via the cluster event
+//     hook; entries remember the epoch their query was admitted under and
+//     are never served across a bump, so a cached answer always reflects
+//     every event accepted before it was requested.
+//   - Cancellation: the request context is threaded into
+//     Cluster.QueryContext, so a disconnected client aborts its in-flight
+//     distributed query instead of burning the timeout.
+//
+// Endpoints: POST /v1/events, GET /v1/query, GET /v1/outputs,
+// GET /v1/stats, GET /metrics (Prometheus text), /debug/pprof/*.
+package provserve
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"provcompress/internal/cluster"
+	"provcompress/internal/metrics"
+	"provcompress/internal/types"
+)
+
+// Config describes the serving daemon.
+type Config struct {
+	// Clusters maps lowercase scheme names ("exspan", "basic",
+	// "advanced") to running clusters. At least one is required.
+	Clusters map[string]*cluster.Cluster
+	// DefaultScheme is used when a query names no scheme; empty picks
+	// "advanced" if present, else an arbitrary configured scheme.
+	DefaultScheme string
+	// Workers is the query worker pool size (default 8).
+	Workers int
+	// QueueDepth bounds the pending-query queue; a full queue rejects
+	// with 429 (default 64).
+	QueueDepth int
+	// CacheSize bounds the result cache entries (default 1024).
+	CacheSize int
+	// QueryTimeout bounds each distributed query attempt (default 10s).
+	QueryTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+
+	// beforeQuery, when set, runs on the worker goroutine before each
+	// admitted query executes. Test hook: lets tests hold workers busy to
+	// exercise admission control deterministically.
+	beforeQuery func()
+}
+
+// Server is the daemon: an http.Handler plus the worker pool behind it.
+type Server struct {
+	cfg     Config
+	schemes []string // sorted configured scheme names
+	mux     *http.ServeMux
+	cache   *epochCache
+	epoch   atomic.Uint64
+
+	queue chan *queryJob
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	start time.Time
+
+	// Serving counters.
+	events      atomic.Int64
+	queries     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	rejected    atomic.Int64
+	queryErrors atomic.Int64
+	canceled    atomic.Int64
+	inflight    atomic.Int64
+
+	coldLatency *metrics.Histogram // full serve time, cache misses
+	hitLatency  *metrics.Histogram // full serve time, cache hits
+}
+
+// queryJob is one admitted query traveling from the HTTP handler to a
+// worker and back.
+type queryJob struct {
+	ctx   context.Context
+	c     *cluster.Cluster
+	out   types.Tuple
+	evid  types.ID
+	epoch uint64 // cache epoch at admission
+	res   cluster.QueryResult
+	err   error
+	done  chan struct{}
+}
+
+// New builds the server and starts its worker pool. Call Close to drain.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Clusters) == 0 {
+		return nil, fmt.Errorf("provserve: no clusters configured")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 10 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:         cfg,
+		cache:       newEpochCache(cfg.CacheSize),
+		queue:       make(chan *queryJob, cfg.QueueDepth),
+		stop:        make(chan struct{}),
+		start:       time.Now(),
+		coldLatency: metrics.NewLatencyHistogram(),
+		hitLatency:  metrics.NewLatencyHistogram(),
+	}
+	for name, c := range cfg.Clusters {
+		if c == nil {
+			return nil, fmt.Errorf("provserve: nil cluster for scheme %q", name)
+		}
+		s.schemes = append(s.schemes, name)
+		// Any accepted event invalidates every cached result: bump the
+		// shared epoch. Events are injected per cluster, so one logical
+		// event may bump more than once — the epoch only needs to be
+		// monotonic, not dense.
+		c.SetEventHook(func() { s.epoch.Add(1) })
+	}
+	sort.Strings(s.schemes)
+	if cfg.DefaultScheme == "" {
+		if _, ok := cfg.Clusters["advanced"]; ok {
+			s.cfg.DefaultScheme = "advanced"
+		} else {
+			s.cfg.DefaultScheme = s.schemes[0]
+		}
+	} else if _, ok := cfg.Clusters[strings.ToLower(cfg.DefaultScheme)]; !ok {
+		return nil, fmt.Errorf("provserve: default scheme %q has no cluster", cfg.DefaultScheme)
+	} else {
+		s.cfg.DefaultScheme = strings.ToLower(cfg.DefaultScheme)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/events", s.handleEvents)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/outputs", s.handleOutputs)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Epoch returns the current cache epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// Close stops the worker pool and fails any queries still queued. It does
+// not close the clusters (the caller owns them) and is idempotent.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		// Workers are gone; fail whatever is still queued so no handler
+		// waits forever. Handlers racing an enqueue against Close also
+		// select on s.stop, so nothing new can strand after this drain.
+		for {
+			select {
+			case j := <-s.queue:
+				j.err = fmt.Errorf("provserve: server shutting down")
+				close(j.done)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// worker runs admitted queries until the server closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Server) runJob(j *queryJob) {
+	defer close(j.done)
+	if s.cfg.beforeQuery != nil {
+		s.cfg.beforeQuery()
+	}
+	if err := j.ctx.Err(); err != nil {
+		// The client vanished while the job sat in the queue.
+		j.err = err
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	j.res, j.err = j.c.QueryContext(j.ctx, j.out, j.evid, s.cfg.QueryTimeout)
+}
+
+// --- request plumbing -------------------------------------------------
+
+// jsonError answers with a JSON error body and the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// tupleSpec is the wire form of a tuple: a relation name plus JSON-native
+// argument values (string, integral number, or bool).
+type tupleSpec struct {
+	Rel  string `json:"rel"`
+	Args []any  `json:"args"`
+}
+
+// tuple converts the spec into a typed tuple.
+func (ts tupleSpec) tuple() (types.Tuple, error) {
+	if ts.Rel == "" {
+		return types.Tuple{}, fmt.Errorf("missing relation name")
+	}
+	if len(ts.Args) == 0 {
+		return types.Tuple{}, fmt.Errorf("tuple %s needs at least the location argument", ts.Rel)
+	}
+	args := make([]types.Value, len(ts.Args))
+	for i, raw := range ts.Args {
+		switch v := raw.(type) {
+		case string:
+			args[i] = types.String(v)
+		case bool:
+			args[i] = types.Bool(v)
+		case float64:
+			if v != math.Trunc(v) || math.Abs(v) > 1<<53 {
+				return types.Tuple{}, fmt.Errorf("arg %d of %s: %v is not an exact integer", i, ts.Rel, v)
+			}
+			args[i] = types.Int(int64(v))
+		default:
+			return types.Tuple{}, fmt.Errorf("arg %d of %s: unsupported JSON type %T", i, ts.Rel, raw)
+		}
+	}
+	return types.NewTuple(ts.Rel, args...), nil
+}
+
+// specOf renders a tuple back into its wire form.
+func specOf(t types.Tuple) tupleSpec {
+	args := make([]any, len(t.Args))
+	for i, a := range t.Args {
+		switch a.Kind() {
+		case types.KindInt:
+			args[i] = a.AsInt()
+		case types.KindBool:
+			args[i] = a.AsBool()
+		default:
+			args[i] = a.AsString()
+		}
+	}
+	return tupleSpec{Rel: t.Rel, Args: args}
+}
+
+// schemeOf resolves the scheme query parameter to a configured cluster.
+func (s *Server) schemeOf(r *http.Request) (string, *cluster.Cluster, error) {
+	name := strings.ToLower(r.URL.Query().Get("scheme"))
+	if name == "" {
+		name = s.cfg.DefaultScheme
+	}
+	c, ok := s.cfg.Clusters[name]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown scheme %q (configured: %s)", name, strings.Join(s.schemes, ", "))
+	}
+	return name, c, nil
+}
+
+// cacheKey builds the result-cache key from scheme + output tuple + event
+// ID, exactly the identity of a query's answer.
+func cacheKey(scheme string, out types.Tuple, evid types.ID) string {
+	return scheme + "|" + string(out.Encode()) + "|" + evid.Hex()
+}
+
+// --- endpoints --------------------------------------------------------
+
+// eventsRequest is the POST /v1/events body: one or more input events,
+// optionally followed by a quiesce wait so callers can read their writes.
+type eventsRequest struct {
+	Events []tupleSpec `json:"events"`
+	// WaitMS, when positive, blocks until every cluster quiesces (or the
+	// wait expires) before responding, so a follow-up query observes the
+	// events' full derivations.
+	WaitMS int64 `json:"wait_ms"`
+}
+
+type eventsResponse struct {
+	Accepted int    `json:"accepted"`
+	Epoch    uint64 `json:"epoch"`
+	Quiesced bool   `json:"quiesced"`
+}
+
+// handleEvents injects input events into every configured cluster (each
+// scheme maintains provenance for the same stream, which is what makes
+// cross-scheme queries comparable).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req eventsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad events body: %v", err)
+		return
+	}
+	if len(req.Events) == 0 {
+		jsonError(w, http.StatusBadRequest, "no events")
+		return
+	}
+	tuples := make([]types.Tuple, len(req.Events))
+	for i, spec := range req.Events {
+		t, err := spec.tuple()
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "event %d: %v", i, err)
+			return
+		}
+		tuples[i] = t
+	}
+	accepted := 0
+	for _, t := range tuples {
+		for _, name := range s.schemes {
+			if err := s.cfg.Clusters[name].Inject(t); err != nil {
+				jsonError(w, http.StatusBadRequest, "inject %s: %v", t, err)
+				return
+			}
+		}
+		accepted++
+		s.events.Add(1)
+	}
+	quiesced := true
+	if req.WaitMS > 0 {
+		wait := time.Duration(req.WaitMS) * time.Millisecond
+		for _, name := range s.schemes {
+			if err := s.cfg.Clusters[name].Quiesce(wait); err != nil {
+				quiesced = false
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{
+		Accepted: accepted,
+		Epoch:    s.epoch.Load(),
+		Quiesced: quiesced,
+	})
+}
+
+// queryResponse is the GET /v1/query reply.
+type queryResponse struct {
+	Tuple  string   `json:"tuple"`
+	Scheme string   `json:"scheme"`
+	EvID   string   `json:"evid,omitempty"`
+	Cached bool     `json:"cached"`
+	Epoch  uint64   `json:"epoch"` // epoch the answer was computed under
+	Trees  []string `json:"trees"`
+	Hops   int      `json:"hops"`
+	// QueryNS is the distributed walk's latency (the cold cost; for a
+	// cache hit, the cost the hit avoided). ServeNS is this request's
+	// server-side handling time.
+	QueryNS int64 `json:"query_ns"`
+	ServeNS int64 `json:"serve_ns"`
+}
+
+// handleQuery answers a distributed provenance query, consulting the
+// result cache first. Parameters: rel (relation name), args (JSON array),
+// scheme (optional), evid (optional 40-char hex event ID).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	began := time.Now()
+	scheme, c, err := s.schemeOf(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	var rawArgs []any
+	if err := json.Unmarshal([]byte(q.Get("args")), &rawArgs); err != nil {
+		jsonError(w, http.StatusBadRequest, "args must be a JSON array: %v", err)
+		return
+	}
+	out, err := tupleSpec{Rel: q.Get("rel"), Args: rawArgs}.tuple()
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	evid := types.ZeroID
+	if hexID := q.Get("evid"); hexID != "" {
+		raw, err := hex.DecodeString(hexID)
+		if err != nil || len(raw) != len(evid) {
+			jsonError(w, http.StatusBadRequest, "evid must be %d hex characters", 2*len(evid))
+			return
+		}
+		copy(evid[:], raw)
+	}
+	s.queries.Add(1)
+
+	key := cacheKey(scheme, out, evid)
+	epoch := s.epoch.Load()
+	if ans, ok := s.cache.Get(key, epoch); ok {
+		s.cacheHits.Add(1)
+		s.hitLatency.ObserveDuration(time.Since(began))
+		writeJSON(w, http.StatusOK, queryResponse{
+			Tuple: out.String(), Scheme: scheme, EvID: q.Get("evid"),
+			Cached: true, Epoch: ans.Epoch, Trees: ans.Trees, Hops: ans.Hops,
+			QueryNS: ans.ColdNS, ServeNS: time.Since(began).Nanoseconds(),
+		})
+		return
+	}
+	s.cacheMisses.Add(1)
+
+	j := &queryJob{ctx: r.Context(), c: c, out: out, evid: evid, epoch: epoch, done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+	case <-s.stop:
+		jsonError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+		// Admission control: the pending queue is full. Shed load now —
+		// a bounded 429 beats an unbounded goroutine pile-up.
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		jsonError(w, http.StatusTooManyRequests, "query queue full (%d pending)", len(s.queue))
+		return
+	}
+	select {
+	case <-j.done:
+	case <-s.stop:
+		jsonError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if j.err != nil {
+		if r.Context().Err() != nil {
+			s.canceled.Add(1)
+			return // client is gone; nothing to write
+		}
+		s.queryErrors.Add(1)
+		jsonError(w, http.StatusBadGateway, "query failed: %v", j.err)
+		return
+	}
+	trees := make([]string, len(j.res.Trees))
+	for i, t := range j.res.Trees {
+		trees[i] = t.String()
+	}
+	ans := answer{Trees: trees, Hops: j.res.Hops, ColdNS: j.res.Latency.Nanoseconds(), Epoch: j.epoch}
+	s.cache.Put(key, ans)
+	s.coldLatency.ObserveDuration(time.Since(began))
+	writeJSON(w, http.StatusOK, queryResponse{
+		Tuple: out.String(), Scheme: scheme, EvID: q.Get("evid"),
+		Cached: false, Epoch: j.epoch, Trees: trees, Hops: j.res.Hops,
+		QueryNS: j.res.Latency.Nanoseconds(), ServeNS: time.Since(began).Nanoseconds(),
+	})
+}
+
+// handleOutputs lists the output tuples a scheme's cluster has produced,
+// in wire form ready to feed back into /v1/query (the load generator's
+// sampling frame).
+func (s *Server) handleOutputs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	_, c, err := s.schemeOf(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	outs := c.AllOutputs()
+	specs := make([]tupleSpec, len(outs))
+	for i, t := range outs {
+		specs[i] = specOf(t)
+	}
+	// Deterministic order so Zipf ranks are stable across scrapes.
+	sort.Slice(specs, func(i, j int) bool {
+		a, _ := json.Marshal(specs[i]) //nolint:errcheck
+		b, _ := json.Marshal(specs[j]) //nolint:errcheck
+		return string(a) < string(b)
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"outputs": specs})
+}
+
+// statsResponse is the GET /v1/stats reply.
+type statsResponse struct {
+	Epoch    uint64                 `json:"epoch"`
+	UptimeNS int64                  `json:"uptime_ns"`
+	Server   map[string]int64       `json:"server"`
+	Schemes  map[string]schemeStats `json:"schemes"`
+}
+
+type schemeStats struct {
+	Transport    map[string]int64 `json:"transport"`
+	StorageBytes int64            `json:"storage_bytes"`
+	Outputs      int              `json:"outputs"`
+}
+
+func (s *Server) serverCounters() *metrics.Counters {
+	_, _, stale, evictions := s.cache.Stats()
+	c := metrics.NewCounters()
+	c.Add("events", s.events.Load())
+	c.Add("queries", s.queries.Load())
+	c.Add("cache-hits", s.cacheHits.Load())
+	c.Add("cache-misses", s.cacheMisses.Load())
+	c.Add("cache-stale-drops", stale)
+	c.Add("cache-evictions", evictions)
+	c.Add("rejected", s.rejected.Load())
+	c.Add("query-errors", s.queryErrors.Load())
+	c.Add("canceled", s.canceled.Load())
+	return c
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := statsResponse{
+		Epoch:    s.epoch.Load(),
+		UptimeNS: time.Since(s.start).Nanoseconds(),
+		Server:   map[string]int64{},
+		Schemes:  map[string]schemeStats{},
+	}
+	sc := s.serverCounters()
+	for _, name := range sc.Names() {
+		resp.Server[name] = sc.Get(name)
+	}
+	for _, name := range s.schemes {
+		c := s.cfg.Clusters[name]
+		tc := c.TransportStats().Counters()
+		tm := map[string]int64{}
+		for _, cn := range tc.Names() {
+			tm[cn] = tc.Get(cn)
+		}
+		resp.Schemes[name] = schemeStats{
+			Transport:    tm,
+			StorageBytes: c.TotalStorageBytes(),
+			Outputs:      len(c.AllOutputs()),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics renders the Prometheus text exposition: serving counters,
+// latency histograms split by cache outcome, and per-scheme transport and
+// storage series.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WritePrometheus(w, s.serverCounters(), "provd", "")
+	metrics.WriteGauge(w, "provd_epoch", "", float64(s.epoch.Load()))
+	metrics.WriteGauge(w, "provd_inflight_queries", "", float64(s.inflight.Load()))
+	metrics.WriteGauge(w, "provd_queue_pending", "", float64(len(s.queue)))
+	metrics.WriteGauge(w, "provd_queue_capacity", "", float64(cap(s.queue)))
+	metrics.WriteGauge(w, "provd_cache_entries", "", float64(s.cache.Len()))
+	metrics.WriteGauge(w, "provd_uptime_seconds", "", time.Since(s.start).Seconds())
+	s.coldLatency.WritePrometheus(w, "provd_query_seconds", `cache="miss"`)
+	s.hitLatency.WritePrometheus(w, "provd_query_seconds", `cache="hit"`)
+	for _, name := range s.schemes {
+		c := s.cfg.Clusters[name]
+		label := fmt.Sprintf("scheme=%q", name)
+		metrics.WritePrometheus(w, c.TransportStats().Counters(), "provd_transport", label)
+		metrics.WriteGauge(w, "provd_storage_bytes", label, float64(c.TotalStorageBytes()))
+	}
+}

@@ -1,0 +1,460 @@
+package provserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/cluster"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+	"provcompress/internal/workload"
+)
+
+// newTestCluster boots a small chain cluster with routes loaded.
+func newTestCluster(t *testing.T, nodes int, scheme string) *cluster.Cluster {
+	t.Helper()
+	g := topo.Line(nodes, "n")
+	c, err := cluster.New(cluster.Config{
+		Prog:   apps.Forwarding(),
+		Funcs:  apps.Funcs(),
+		Nodes:  g.Nodes(),
+		Scheme: scheme,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.LoadBase(g.ShortestPaths().RouteTuples()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// newTestServer stands up a daemon over an advanced-scheme cluster and an
+// httptest frontend.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Clusters == nil {
+		cfg.Clusters = map[string]*cluster.Cluster{"advanced": newTestCluster(t, 3, "advanced")}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postEvents injects packet events over HTTP and returns the response.
+func postEvents(t *testing.T, baseURL string, waitMS int64, events ...tupleSpec) eventsResponse {
+	t.Helper()
+	body, err := json.Marshal(eventsRequest{Events: events, WaitMS: waitMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body) //nolint:errcheck
+		t.Fatalf("inject: %s: %s", resp.Status, b)
+	}
+	var er eventsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	return er
+}
+
+func packetSpec(src, dst, payload string) tupleSpec {
+	return tupleSpec{Rel: "packet", Args: []any{src, src, dst, payload}}
+}
+
+// get issues a /v1/query and decodes the response (any status).
+func get(t *testing.T, baseURL string, spec tupleSpec) (queryResponse, *http.Response) {
+	t.Helper()
+	args, err := json.Marshal(spec.Args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := url.Values{}
+	v.Set("rel", spec.Rel)
+	v.Set("args", string(args))
+	resp, err := http.Get(baseURL + "/v1/query?" + v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return qr, resp
+}
+
+// TestServeQueryCycle drives the full serve path: inject, cold query,
+// cached re-query, epoch invalidation by a new event.
+func TestServeQueryCycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	er := postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", "p-a"))
+	if er.Accepted != 1 || !er.Quiesced {
+		t.Fatalf("inject = %+v", er)
+	}
+	target := tupleSpec{Rel: "recv", Args: []any{"n2", "n0", "n2", "p-a"}}
+
+	cold, resp := get(t, ts.URL, target)
+	if resp.StatusCode != http.StatusOK || cold.Cached || len(cold.Trees) == 0 {
+		t.Fatalf("cold query = %+v (status %d)", cold, resp.StatusCode)
+	}
+	warm, resp := get(t, ts.URL, target)
+	if resp.StatusCode != http.StatusOK || !warm.Cached {
+		t.Fatalf("repeat query not cached: %+v (status %d)", warm, resp.StatusCode)
+	}
+	if len(warm.Trees) != len(cold.Trees) || warm.Trees[0] != cold.Trees[0] {
+		t.Fatal("cached answer differs from cold answer")
+	}
+
+	// A new accepted event bumps the epoch; the cached entry must not be
+	// served again.
+	er2 := postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", "p-b"))
+	if er2.Epoch <= er.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", er.Epoch, er2.Epoch)
+	}
+	after, resp := get(t, ts.URL, target)
+	if resp.StatusCode != http.StatusOK || after.Cached {
+		t.Fatalf("query after event served stale cache: %+v (status %d)", after, resp.StatusCode)
+	}
+	if after.Epoch < er2.Epoch {
+		t.Fatalf("recomputed answer epoch %d predates event epoch %d", after.Epoch, er2.Epoch)
+	}
+}
+
+// TestQueryEventEpochRace is the required consistency hammer: queries and
+// events race, and the invariant checked is that a cache-served answer is
+// never from before an event whose acceptance the client had already
+// observed when it issued the query.
+func TestQueryEventEpochRace(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64, QueryTimeout: 10 * time.Second})
+	postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", "seed"))
+	target := tupleSpec{Rel: "recv", Args: []any{"n2", "n0", "n2", "seed"}}
+
+	// floorEpoch is the newest epoch some completed event POST reported;
+	// a cached answer served after that must not predate it.
+	var floorEpoch atomic.Uint64
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	const queriers, queriesEach, injectors, eventsEach = 4, 40, 2, 15
+
+	for i := 0; i < injectors; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < eventsEach; k++ {
+				er := postEvents(t, ts.URL, 0, packetSpec("n0", "n2", fmt.Sprintf("r%d-%d", i, k)))
+				// Advance the floor to this event's epoch.
+				for {
+					cur := floorEpoch.Load()
+					if er.Epoch <= cur || floorEpoch.CompareAndSwap(cur, er.Epoch) {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < queriers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < queriesEach; k++ {
+				floor := floorEpoch.Load()
+				qr, resp := get(t, ts.URL, target)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if qr.Cached && qr.Epoch < floor {
+						errCh <- fmt.Errorf("cache served epoch %d, but an event at epoch %d was already acknowledged", qr.Epoch, floor)
+						return
+					}
+				case http.StatusTooManyRequests:
+					// Overload shedding is legal under the hammer.
+				default:
+					errCh <- fmt.Errorf("query status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestOverloadAdmissionControl pins the 429 path: with one worker held
+// busy and a one-slot queue, an extra query is rejected with Retry-After
+// instead of queueing unboundedly, and the pool drains cleanly afterward.
+func TestOverloadAdmissionControl(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:     1,
+		QueueDepth:  1,
+		RetryAfter:  2 * time.Second,
+		beforeQuery: func() { entered <- struct{}{}; <-release },
+	})
+	target := tupleSpec{Rel: "recv", Args: []any{"n0", "n0", "n0", "none"}}
+
+	type result struct {
+		status int
+		retry  string
+	}
+	results := make(chan result, 8)
+	issue := func() {
+		_, resp := get(t, ts.URL, target)
+		results <- result{resp.StatusCode, resp.Header.Get("Retry-After")}
+	}
+
+	// First query occupies the single worker.
+	go issue()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the first query")
+	}
+	// Second query fills the one queue slot.
+	go issue()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third query must be shed.
+	_, resp := get(t, ts.URL, target)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", resp.Header.Get("Retry-After"))
+	}
+
+	// Release the pool: both held queries complete normally.
+	close(release)
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.status != http.StatusOK {
+				t.Fatalf("held query finished with status %d", r.status)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("held query never finished after release")
+		}
+	}
+	// And shutdown drains without wedging.
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain the pool")
+	}
+}
+
+// TestShutdownFailsQueuedQueries checks that a query still queued at
+// Close time gets an error response instead of hanging.
+func TestShutdownFailsQueuedQueries(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:     1,
+		QueueDepth:  4,
+		beforeQuery: func() { entered <- struct{}{}; <-release },
+	})
+	target := tupleSpec{Rel: "recv", Args: []any{"n0", "n0", "n0", "none"}}
+	statusCh := make(chan int, 2)
+	go func() { _, r := get(t, ts.URL, target); statusCh <- r.StatusCode }()
+	<-entered
+	go func() { _, r := get(t, ts.URL, target); statusCh <- r.StatusCode }()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release) // let the busy worker observe stop and exit
+	}()
+	s.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case status := <-statusCh:
+			if status != http.StatusOK && status != http.StatusServiceUnavailable && status != http.StatusBadGateway {
+				t.Fatalf("query during shutdown got status %d", status)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("query stranded across shutdown")
+		}
+	}
+}
+
+// TestBadRequests pins the 4xx surface.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, url string
+		status    int
+	}{
+		{"unknown scheme", "/v1/query?scheme=nope&rel=recv&args=[\"n0\"]", http.StatusBadRequest},
+		{"bad args", "/v1/query?rel=recv&args=notjson", http.StatusBadRequest},
+		{"missing rel", "/v1/query?args=[\"n0\"]", http.StatusBadRequest},
+		{"float arg", `/v1/query?rel=recv&args=[1.5]`, http.StatusBadRequest},
+		{"bad evid", `/v1/query?rel=recv&args=["n0"]&evid=xyz`, http.StatusBadRequest},
+		{"events wrong method", "/v1/events", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+	}
+	// Bad event bodies.
+	for _, body := range []string{"{}", `{"events":[{"rel":"","args":[]}]}`, "not json"} {
+		resp, err := http.Post(ts.URL+"/v1/events", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsAndStats checks both observability surfaces expose the
+// serving counters.
+func TestMetricsAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", "m-a"))
+	target := tupleSpec{Rel: "recv", Args: []any{"n2", "n0", "n2", "m-a"}}
+	get(t, ts.URL, target)
+	get(t, ts.URL, target)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	exposition := string(body)
+	for _, want := range []string{
+		"provd_events_total 1",
+		"provd_queries_total 2",
+		"provd_cache_hits_total 1",
+		"provd_cache_misses_total 1",
+		"provd_query_seconds_bucket{cache=\"miss\",le=\"+Inf\"} 1",
+		"provd_query_seconds_bucket{cache=\"hit\",le=\"+Inf\"} 1",
+		"provd_transport_sends_total{scheme=\"advanced\"}",
+		"provd_storage_bytes{scheme=\"advanced\"}",
+		"provd_queue_capacity 64",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	err = json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server["queries"] != 2 || stats.Server["cache-hits"] != 1 {
+		t.Fatalf("stats.Server = %v", stats.Server)
+	}
+	adv, ok := stats.Schemes["advanced"]
+	if !ok || adv.StorageBytes <= 0 || adv.Outputs != 1 {
+		t.Fatalf("stats.Schemes[advanced] = %+v (ok=%v)", adv, ok)
+	}
+}
+
+// TestMultiSchemeQueryAndOutputs runs two schemes side by side: the same
+// injected stream must answer under both, with independent cache keys.
+func TestMultiSchemeQueryAndOutputs(t *testing.T) {
+	clusters := map[string]*cluster.Cluster{
+		"advanced": newTestCluster(t, 3, "advanced"),
+		"exspan":   newTestCluster(t, 3, "exspan"),
+	}
+	_, ts := newTestServer(t, Config{Clusters: clusters})
+	payload := workload.Payload(7, 16)
+	postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", payload))
+
+	for _, scheme := range []string{"advanced", "exspan"} {
+		args, _ := json.Marshal([]any{"n2", "n0", "n2", payload}) //nolint:errcheck
+		u := ts.URL + "/v1/query?" + url.Values{
+			"rel": {"recv"}, "args": {string(args)}, "scheme": {scheme},
+		}.Encode()
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr queryResponse
+		err = json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s query: status %d err %v", scheme, resp.StatusCode, err)
+		}
+		if qr.Cached || len(qr.Trees) == 0 {
+			t.Fatalf("%s query = %+v; want cold answer with trees (independent cache keys)", scheme, qr)
+		}
+	}
+
+	// Outputs endpoint returns the recv tuple in wire form.
+	oresp, err := http.Get(ts.URL + "/v1/outputs?scheme=advanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs struct {
+		Outputs []tupleSpec `json:"outputs"`
+	}
+	err = json.NewDecoder(oresp.Body).Decode(&outs)
+	oresp.Body.Close()
+	if err != nil || len(outs.Outputs) != 1 || outs.Outputs[0].Rel != "recv" {
+		t.Fatalf("outputs = %+v (err %v)", outs, err)
+	}
+	// Round-trip: the listed output parses back into a queryable tuple.
+	tup, err := outs.Outputs[0].tuple()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tup.Loc() != types.NodeAddr("n2") {
+		t.Fatalf("round-tripped output at %s, want n2", tup.Loc())
+	}
+}
