@@ -8,16 +8,20 @@
 #                inject a workload, cold + cached query per scheme (the
 #                cached one must be >=10x faster), scrape /metrics and
 #                assert non-zero counters, then a short Zipf load phase
+#   bench-smoke  the benchmark harness at reduced scale, written to a
+#                scratch directory (committed BENCH_*.json baselines stay
+#                untouched) — proves the perf suite itself still runs
 #
 # The chaos tests use fixed FaultPlan seeds, so a failure reproduces
 # deterministically; -count=1 defeats the test cache to make sure the
 # transport actually runs every time.
 
 GO ?= go
+BENCH_SMOKE_DIR := $(or $(TMPDIR),/tmp)/provcompress-bench-smoke
 
-.PHONY: verify vet build test chaos serve-smoke bench
+.PHONY: verify vet build test chaos serve-smoke bench bench-smoke
 
-verify: vet build test chaos serve-smoke
+verify: vet build test chaos serve-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,5 +38,11 @@ chaos:
 serve-smoke:
 	$(GO) run ./cmd/provd -selftest -nodes 5
 
+# Full benchmark run: Go microbenchmarks plus the provsim suite, which
+# refreshes the committed BENCH_engine.json / BENCH_serve.json baselines.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./internal/engine/ ./internal/cluster/
+	$(GO) run ./cmd/provsim -bench-out .
+
+bench-smoke:
+	$(GO) run ./cmd/provsim -bench-out $(BENCH_SMOKE_DIR) -bench-smoke

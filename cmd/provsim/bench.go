@@ -1,0 +1,311 @@
+// Benchmark harness: provsim -bench-out DIR runs the performance suite and
+// writes two machine-readable baselines:
+//
+//   - BENCH_engine.json — the indexed-vs-scan join microbenchmark plus one
+//     record per simulated figure run (headline metric and wall-clock time),
+//     tracking the evaluator the paper's experiments run on.
+//   - BENCH_serve.json — the query service measured end to end over HTTP:
+//     event ingestion into a live cluster, then cold versus cached
+//     provenance query latency.
+//
+// -bench-smoke shrinks every workload so the suite finishes in a few
+// seconds; `make bench-smoke` runs it against a scratch directory as part
+// of `make verify`, while committed baselines come from the full run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/cluster"
+	"provcompress/internal/engine"
+	"provcompress/internal/experiments"
+	"provcompress/internal/ndlog"
+	"provcompress/internal/provserve"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+)
+
+type joinBenchRecord struct {
+	Rule            string  `json:"rule"`
+	FiringsPerEvent int     `json:"firings_per_event"`
+	IndexedNSOp     float64 `json:"indexed_ns_per_event"`
+	ScanNSOp        float64 `json:"scan_ns_per_event"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type figureRecord struct {
+	Name     string            `json:"name"`
+	WallMS   float64           `json:"wall_ms"`
+	Headline map[string]string `json:"headline"`
+}
+
+type engineBenchFile struct {
+	GeneratedBy string          `json:"generated_by"`
+	Smoke       bool            `json:"smoke,omitempty"`
+	Join        joinBenchRecord `json:"join_microbench"`
+	Figures     []figureRecord  `json:"figures"`
+}
+
+type serveBenchFile struct {
+	GeneratedBy  string  `json:"generated_by"`
+	Smoke        bool    `json:"smoke,omitempty"`
+	Nodes        int     `json:"nodes"`
+	Events       int     `json:"events"`
+	IngestWallMS float64 `json:"ingest_wall_ms"`
+	Queries      int     `json:"queries"`
+	ColdMeanMS   float64 `json:"cold_mean_ms"`
+	CachedMeanMS float64 `json:"cached_mean_ms"`
+	CacheSpeedup float64 `json:"cache_speedup"`
+}
+
+// runBench executes the suite and writes the two baseline files into dir.
+func runBench(dir string, smoke bool, fcfg experiments.ForwardingConfig, dcfg experiments.DNSConfig) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	eng, err := benchEngine(smoke, fcfg, dcfg)
+	if err != nil {
+		return err
+	}
+	if err := writeBenchFile(filepath.Join(dir, "BENCH_engine.json"), eng); err != nil {
+		return err
+	}
+	srv, err := benchServe(smoke)
+	if err != nil {
+		return err
+	}
+	if err := writeBenchFile(filepath.Join(dir, "BENCH_serve.json"), srv); err != nil {
+		return err
+	}
+	fmt.Printf("bench: join speedup %.1fx, cache speedup %.1fx (baselines in %s)\n",
+		eng.Join.Speedup, srv.CacheSpeedup, dir)
+	return nil
+}
+
+func writeBenchFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchEngine measures the evaluator: the high-fanin join A/B and the
+// figure runs whose inner loop it is.
+func benchEngine(smoke bool, fcfg experiments.ForwardingConfig, dcfg experiments.DNSConfig) (*engineBenchFile, error) {
+	out := &engineBenchFile{GeneratedBy: "provsim -bench-out", Smoke: smoke}
+
+	// Join microbenchmark, the same workload as BenchmarkJoinHighFanin:
+	// event key X joins 16 of 512 a-rows, each Y two b-rows — 32 firings.
+	src := `r out(@L, X, Y, Z) :- e(@L, X), a(@L, Y, X), b(@L, Z, Y).`
+	prog := ndlog.MustParse(src)
+	r := prog.Rule("r")
+	db := engine.NewDatabase()
+	loc := types.String("n")
+	for i := 0; i < 512; i++ {
+		db.Insert(types.NewTuple("a", loc, types.Int(int64(i)), types.Int(int64(i%32))))
+		db.Insert(types.NewTuple("b", loc, types.Int(int64(i)), types.Int(int64(i))))
+		db.Insert(types.NewTuple("b", loc, types.Int(int64(i+1000)), types.Int(int64(i))))
+	}
+	ev := types.NewTuple("e", loc, types.Int(0))
+	plan := engine.CompileRule(r)
+	indexedIters, scanIters := 2000, 100
+	if smoke {
+		indexedIters, scanIters = 100, 5
+	}
+	measure := func(iters int, eval func() ([]engine.Firing, error)) (float64, error) {
+		if _, err := eval(); err != nil { // warm (index build, caches)
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			firings, err := eval()
+			if err != nil {
+				return 0, err
+			}
+			if len(firings) != 32 {
+				return 0, fmt.Errorf("bench join: %d firings, want 32", len(firings))
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+	}
+	indexedNS, err := measure(indexedIters, func() ([]engine.Firing, error) { return plan.Eval(db, ev, nil) })
+	if err != nil {
+		return nil, err
+	}
+	scanNS, err := measure(scanIters, func() ([]engine.Firing, error) { return engine.EvalRuleScan(r, db, ev, nil) })
+	if err != nil {
+		return nil, err
+	}
+	out.Join = joinBenchRecord{
+		Rule: src, FiringsPerEvent: 32,
+		IndexedNSOp: indexedNS, ScanNSOp: scanNS, Speedup: scanNS / indexedNS,
+	}
+
+	// Figure runs: one forwarding (fig8) and one DNS (fig13) workload —
+	// storage is the headline metric of both.
+	if smoke {
+		fcfg.Pairs, fcfg.Rate, fcfg.Duration = 4, 10, time.Second
+		dcfg.Tree = topo.DNSTreeConfig{NumServers: 10, MaxDepth: 4, Seed: 1}
+		dcfg.URLs, dcfg.Clients, dcfg.Rate, dcfg.Duration = 6, 2, 40, time.Second
+	}
+	figs := []struct {
+		name string
+		run  func() (experiments.Result, error)
+	}{
+		{"fig8", func() (experiments.Result, error) { return experiments.Fig8(fcfg) }},
+		{"fig13", func() (experiments.Result, error) { return experiments.Fig13(dcfg) }},
+	}
+	for _, fig := range figs {
+		start := time.Now()
+		res, err := fig.run()
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", fig.name, err)
+		}
+		wall := time.Since(start)
+		rows := res.Rows()
+		headline := make(map[string]string)
+		if len(rows) > 0 {
+			last := rows[len(rows)-1]
+			for i, h := range res.Headers() {
+				if i < len(last) {
+					headline[h] = last[i]
+				}
+			}
+		}
+		out.Figures = append(out.Figures, figureRecord{
+			Name:     fig.name,
+			WallMS:   float64(wall.Microseconds()) / 1000,
+			Headline: headline,
+		})
+	}
+	return out, nil
+}
+
+// benchServe measures the provenance query service end to end: a chain
+// cluster behind the HTTP daemon, events ingested with read-your-writes
+// quiescence, then every derivation queried twice — cold (distributed
+// walk) and cached.
+func benchServe(smoke bool) (*serveBenchFile, error) {
+	nodes, events := 8, 40
+	if smoke {
+		nodes, events = 5, 6
+	}
+	g := topo.Line(nodes, "n")
+	c, err := cluster.New(cluster.Config{
+		Prog:  apps.Forwarding(),
+		Funcs: apps.Funcs(),
+		Nodes: g.Nodes(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.LoadBase(g.ShortestPaths().RouteTuples()); err != nil {
+		return nil, err
+	}
+	srv, err := provserve.New(provserve.Config{
+		Clusters: map[string]*cluster.Cluster{"advanced": c},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	dst := fmt.Sprintf("n%d", nodes-1)
+	evs := make([]types.Tuple, events)
+	specs := make([]map[string]any, events)
+	for i := range evs {
+		payload := fmt.Sprintf("p%d", i)
+		evs[i] = types.NewTuple("packet",
+			types.String("n0"), types.String("n0"), types.String(dst), types.String(payload))
+		specs[i] = map[string]any{"rel": "packet", "args": []any{"n0", "n0", dst, payload}}
+	}
+	body, err := json.Marshal(map[string]any{"events": specs, "wait_ms": 60_000})
+	if err != nil {
+		return nil, err
+	}
+	ingestStart := time.Now()
+	resp, err := http.Post(hts.URL+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var evResp struct {
+		Accepted int  `json:"accepted"`
+		Quiesced bool `json:"quiesced"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&evResp)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	ingestWall := time.Since(ingestStart)
+	if evResp.Accepted != events || !evResp.Quiesced {
+		return nil, fmt.Errorf("bench serve: accepted %d/%d, quiesced %v", evResp.Accepted, events, evResp.Quiesced)
+	}
+
+	query := func(ev types.Tuple, wantCached bool) (time.Duration, error) {
+		args, _ := json.Marshal([]any{dst, "n0", dst, ev.Args[3].AsString()})
+		u := fmt.Sprintf("%s/v1/query?rel=recv&args=%s&evid=%s",
+			hts.URL, url.QueryEscape(string(args)), types.HashTuple(ev).Hex())
+		start := time.Now()
+		resp, err := http.Get(u)
+		if err != nil {
+			return 0, err
+		}
+		lat := time.Since(start)
+		var qr struct {
+			Cached bool     `json:"cached"`
+			Trees  []string `json:"trees"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK || len(qr.Trees) != 1 || qr.Cached != wantCached {
+			return 0, fmt.Errorf("bench serve: query %v: status %d, %d trees, cached %v (want %v)",
+				ev, resp.StatusCode, len(qr.Trees), qr.Cached, wantCached)
+		}
+		return lat, nil
+	}
+	var coldTotal, cachedTotal time.Duration
+	for _, ev := range evs {
+		lat, err := query(ev, false)
+		if err != nil {
+			return nil, err
+		}
+		coldTotal += lat
+	}
+	for _, ev := range evs {
+		lat, err := query(ev, true)
+		if err != nil {
+			return nil, err
+		}
+		cachedTotal += lat
+	}
+	cold := float64(coldTotal.Microseconds()) / float64(events) / 1000
+	cached := float64(cachedTotal.Microseconds()) / float64(events) / 1000
+	return &serveBenchFile{
+		GeneratedBy:  "provsim -bench-out",
+		Smoke:        smoke,
+		Nodes:        nodes,
+		Events:       events,
+		IngestWallMS: float64(ingestWall.Microseconds()) / 1000,
+		Queries:      2 * events,
+		ColdMeanMS:   cold,
+		CachedMeanMS: cached,
+		CacheSpeedup: cold / cached,
+	}, nil
+}

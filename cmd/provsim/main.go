@@ -37,7 +37,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	ic := flag.Bool("ic", false, "add the Section 5.4 inter-class variant as a fourth series")
+	benchOut := flag.String("bench-out", "", "run the benchmark suite and write BENCH_engine.json and BENCH_serve.json into this directory")
+	benchSmoke := flag.Bool("bench-smoke", false, "with -bench-out: shrink the benchmark workloads to finish in seconds")
 	flag.Parse()
+
+	if *benchOut != "" {
+		fcfg := experiments.DefaultForwardingConfig()
+		dcfg := experiments.DefaultDNSConfig()
+		if err := runBench(*benchOut, *benchSmoke, fcfg, dcfg); err != nil {
+			fmt.Fprintf(os.Stderr, "provsim: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: provsim [flags] fig8..fig16 | all")

@@ -24,7 +24,9 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +55,12 @@ type Config struct {
 	// Faults, when non-nil, deterministically injects transport faults
 	// (drops, delays, one-shot resets) keyed off its seed.
 	Faults *FaultPlan
+	// Shards is the number of per-node event-execution workers. Arriving
+	// event tuples are routed to a shard by their equivalence key (the
+	// Section 5.2 analysis, per event relation), so events of the same
+	// class serialize while independent classes evaluate concurrently.
+	// 0 picks min(GOMAXPROCS, 8); 1 serializes each node.
+	Shards int
 }
 
 // Cluster is a set of live nodes on loopback TCP.
@@ -63,6 +71,17 @@ type Cluster struct {
 	scheme string
 	tcfg   TransportConfig
 	faults *FaultPlan
+
+	// plans holds the join plans compiled from the program at boot; every
+	// node evaluates through them (the deploy-time rule compiler).
+	plans *engine.Plans
+	// shardKeys maps each event relation to its equivalence-key attribute
+	// indexes, the shard routing key for arriving event tuples.
+	shardKeys map[string][]int
+	nshards   int
+	// stopCh stops the per-node shard workers (and unblocks readers
+	// waiting to enqueue) when the cluster closes.
+	stopCh chan struct{}
 
 	nodes map[types.NodeAddr]*Node
 
@@ -118,6 +137,10 @@ type Node struct {
 	seqMu   sync.Mutex
 	lastSeq map[types.NodeAddr]*seqTracker
 
+	// shardCh holds the per-shard work queues; each has a dedicated
+	// worker goroutine that runs the DELP pipeline step for its events.
+	shardCh []chan shardWork
+
 	pendMu  sync.Mutex
 	pending map[uint64]chan *walkFrame
 
@@ -147,13 +170,31 @@ func New(cfg Config) (*Cluster, error) {
 	if scheme == "" {
 		scheme = core.SchemeAdvanced
 	}
+	graph := analysis.BuildGraph(cfg.Prog)
+	shardKeys := make(map[string][]int)
+	for _, r := range cfg.Prog.Rules {
+		if _, ok := shardKeys[r.Event.Rel]; !ok {
+			shardKeys[r.Event.Rel] = graph.EquivalenceKeysFor(r.Event.Rel)
+		}
+	}
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+		if nshards > 8 {
+			nshards = 8
+		}
+	}
 	c := &Cluster{
 		prog:      cfg.Prog,
 		funcs:     cfg.Funcs,
-		keys:      analysis.EquivalenceKeys(cfg.Prog),
+		keys:      graph.EquivalenceKeys(),
 		scheme:    scheme,
 		tcfg:      cfg.Transport.withDefaults(),
 		faults:    cfg.Faults,
+		plans:     engine.CompileProgram(cfg.Prog),
+		shardKeys: shardKeys,
+		nshards:   nshards,
+		stopCh:    make(chan struct{}),
 		nodes:     make(map[types.NodeAddr]*Node, len(cfg.Nodes)),
 		destCount: make(map[types.NodeAddr]int64, len(cfg.Nodes)),
 		destEpoch: make(map[types.NodeAddr]uint64, len(cfg.Nodes)),
@@ -190,11 +231,54 @@ func New(cfg Config) (*Cluster, error) {
 		c.nodes[addr] = n
 	}
 	for _, n := range c.nodes {
+		n.shardCh = make([]chan shardWork, nshards)
+		for i := range n.shardCh {
+			ch := make(chan shardWork, shardQueueDepth)
+			n.shardCh[i] = ch
+			n.wg.Add(1)
+			go n.shardWorker(ch)
+		}
 		n.wg.Add(1)
 		go n.acceptLoop(n.ln)
 	}
 	return c, nil
 }
+
+// shardQueueDepth bounds each shard's pending-event queue; a full queue
+// backpressures the TCP reader that is enqueueing (which in turn
+// backpressures the sender's transport), bounding per-node memory.
+const shardQueueDepth = 256
+
+// shardOf routes an event tuple to a shard: events with equal values at
+// their relation's equivalence-key attributes — the attributes that
+// determine the shape of the provenance their execution generates
+// (Theorem 1) — always land on the same shard, so per-class provenance
+// chains observe a serial order while independent classes run
+// concurrently. Relations without rules (outputs) hash over the whole
+// tuple for spread.
+func (c *Cluster) shardOf(t types.Tuple) int {
+	if c.nshards == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(t.Rel)) //nolint:errcheck // fnv never fails
+	var buf [64]byte
+	if keys, ok := c.shardKeys[t.Rel]; ok {
+		for _, i := range keys {
+			if i < len(t.Args) {
+				h.Write(t.Args[i].AppendEncode(buf[:0])) //nolint:errcheck
+			}
+		}
+	} else {
+		for _, a := range t.Args {
+			h.Write(a.AppendEncode(buf[:0])) //nolint:errcheck
+		}
+	}
+	return int(h.Sum32() % uint32(c.nshards))
+}
+
+// Shards returns the per-node shard count in use.
+func (c *Cluster) Shards() int { return c.nshards }
 
 // Node returns a member by address, or nil.
 func (c *Cluster) Node(addr types.NodeAddr) *Node { return c.nodes[addr] }
@@ -296,9 +380,7 @@ func (c *Cluster) LoadBase(tuples []types.Tuple) error {
 		if n == nil {
 			return fmt.Errorf("cluster: base tuple %s at unknown node", t)
 		}
-		n.mu.Lock()
 		n.db.Insert(t)
-		n.mu.Unlock()
 	}
 	return nil
 }
@@ -326,10 +408,7 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 	if n == nil {
 		return fmt.Errorf("cluster: slow insert %s at unknown node", t)
 	}
-	n.mu.Lock()
-	inserted := n.db.Insert(t)
-	n.mu.Unlock()
-	if !inserted {
+	if !n.db.Insert(t) {
 		return nil
 	}
 	frame := encodeSig()
@@ -339,6 +418,22 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 		}
 	}
 	c.fireEventHook()
+	return nil
+}
+
+// DeleteSlow removes a slow-changing tuple at runtime. Deletion does not
+// invalidate stored provenance (Section 5.5: provenance is monotone), so
+// no sig broadcast is needed and the tuple's content stays resolvable via
+// the database graveyard for later provenance queries. The secondary join
+// indexes are kept consistent by the delete itself.
+func (c *Cluster) DeleteSlow(t types.Tuple) error {
+	n := c.nodes[t.Loc()]
+	if n == nil {
+		return fmt.Errorf("cluster: slow delete %s at unknown node", t)
+	}
+	if n.db.Delete(t) {
+		c.fireEventHook()
+	}
 	return nil
 }
 
@@ -505,7 +600,8 @@ func (c *Cluster) Restart(addr types.NodeAddr) error {
 	return nil
 }
 
-// Close shuts down listeners, connections, and writer goroutines.
+// Close shuts down listeners, connections, shard workers, and writer
+// goroutines.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
@@ -513,6 +609,10 @@ func (c *Cluster) Close() {
 	for _, n := range c.nodes {
 		n.Kill()
 	}
+	// Stop the shard workers after the sockets are gone: this also
+	// unblocks any reader still trying to enqueue into a full shard, and
+	// whatever stays queued was already retired by the kill drains.
+	close(c.stopCh)
 	for _, n := range c.nodes {
 		n.wg.Wait()
 	}

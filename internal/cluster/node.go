@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"provcompress/internal/core"
-	"provcompress/internal/engine"
 	"provcompress/internal/types"
 	"provcompress/internal/wire"
 )
@@ -95,7 +94,9 @@ func (n *Node) seenDuplicate(from types.NodeAddr, inc, seq uint64) bool {
 // handleFrame processes one delivery envelope. The frame's in-flight
 // accounting settles when processing (including any follow-up sends)
 // completes; suppressed duplicates do not settle because their first copy
-// already did.
+// already did. Event tuples are not processed inline: they are routed to
+// the shard owning their equivalence class, and the shard worker settles
+// them after the pipeline step ran.
 func (n *Node) handleFrame(payload []byte) {
 	d := wire.NewDecoder(payload)
 	if d.U8() != frameEnvelope {
@@ -112,7 +113,12 @@ func (n *Node) handleFrame(payload []byte) {
 		n.stats.dups.Add(1)
 		return
 	}
-	defer n.c.acctSettle(n.addr, epoch)
+	settled := false
+	defer func() {
+		if !settled {
+			n.c.acctSettle(n.addr, epoch)
+		}
+	}()
 	kind := d.U8()
 	switch kind {
 	case frameTuple:
@@ -120,7 +126,8 @@ func (n *Node) handleFrame(payload []byte) {
 		if err != nil {
 			return
 		}
-		n.handleTuple(f)
+		settled = true // the shard worker settles after processing
+		n.enqueueShard(f, epoch)
 	case frameSig:
 		n.mu.Lock()
 		n.state.ClearEquiKeys()
@@ -150,18 +157,61 @@ func (n *Node) handleFrame(payload []byte) {
 	}
 }
 
-// handleTuple runs the DELP pipeline step for an arriving tuple: join the
+// shardWork is one event tuple traveling from the frame decoder to the
+// shard worker owning its equivalence class, carrying the in-flight epoch
+// it must settle under.
+type shardWork struct {
+	f     *tupleFrame
+	epoch uint64
+}
+
+// enqueueShard hands an event tuple to its equivalence-class shard. A full
+// shard queue blocks the reader (backpressure through TCP); a closing
+// cluster settles the frame instead, matching the kill-drain accounting.
+func (n *Node) enqueueShard(f *tupleFrame, epoch uint64) {
+	select {
+	case n.shardCh[n.c.shardOf(f.Tuple)] <- shardWork{f: f, epoch: epoch}:
+	case <-n.c.stopCh:
+		n.c.acctSettle(n.addr, epoch)
+	}
+}
+
+// shardWorker drains one shard queue for the life of the cluster. Events
+// queued behind a node crash are dropped (the crash drain already retired
+// their accounting, so the settle here is a no-op for them).
+func (n *Node) shardWorker(ch chan shardWork) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.c.stopCh:
+			return
+		case w := <-ch:
+			if n.alive.Load() {
+				n.processTuple(w.f)
+			}
+			n.c.acctSettle(n.addr, w.epoch)
+		}
+	}
+}
+
+// processTuple runs the DELP pipeline step for an arriving tuple: join the
 // local slow tables, fire the matching rules, maintain provenance via the
-// Advanced state machine, and ship the heads.
-func (n *Node) handleTuple(f *tupleFrame) {
-	n.mu.Lock()
+// scheme's state machine, and ship the heads. The join runs against the
+// database's own read-write lock — outside n.mu — so shards evaluate
+// concurrently; only the provenance state transitions serialize on n.mu.
+// Events of one equivalence class are processed by one shard in arrival
+// order, which is what keeps per-class provenance chains consistent.
+func (n *Node) processTuple(f *tupleFrame) {
 	n.db.Insert(f.Tuple)
 	meta := f.Meta
 	if f.Fresh {
+		n.mu.Lock()
 		meta = n.state.Inject(f.Tuple)
+		n.mu.Unlock()
 	}
 	rules := n.c.prog.RulesForEvent(f.Tuple.Rel)
 	if len(rules) == 0 {
+		n.mu.Lock()
 		n.state.Output(f.Tuple, meta)
 		n.outputs = append(n.outputs, f.Tuple)
 		n.mu.Unlock()
@@ -173,16 +223,17 @@ func (n *Node) handleTuple(f *tupleFrame) {
 	}
 	var ships []shipment
 	for _, r := range rules {
-		firings, err := engine.EvalRule(r, n.db, f.Tuple, n.c.funcs)
-		if err != nil {
+		firings, err := n.c.plans.Eval(r, n.db, f.Tuple, n.c.funcs)
+		if err != nil || len(firings) == 0 {
 			continue
 		}
+		n.mu.Lock()
 		for _, fr := range firings {
 			out := n.state.FireAt(n.addr, fr, meta)
 			ships = append(ships, shipment{head: fr.Head, meta: out})
 		}
+		n.mu.Unlock()
 	}
-	n.mu.Unlock()
 
 	for _, s := range ships {
 		frame := (&tupleFrame{Tuple: s.head, Meta: s.meta}).encode()

@@ -9,18 +9,56 @@
 // injections, rule firings and outputs through hooks and threads its own
 // metadata along each shipped tuple, which is how the three provenance
 // schemes of the paper are realized without duplicating the evaluator.
+//
+// Rule evaluation is index-driven: rules are compiled into join plans
+// (plan.go) whose steps probe per-relation secondary hash indexes
+// (index.go) instead of scanning candidate tables, turning the per-event
+// join from O(Π|rel_i|) into a sequence of bucket probes.
 package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"provcompress/internal/types"
 )
 
+// relation is one table of the store: rows in slice order for scans, a
+// parallel VID slice plus a VID→position map for O(1) swap-remove deletes,
+// and the secondary hash indexes built so far (keyed by the bitmask of the
+// attribute positions they cover).
+type relation struct {
+	rows []types.Tuple
+	vids []types.ID
+	pos  map[types.ID]int
+	idx  map[uint64]*hashIndex
+}
+
+func newRelation() *relation {
+	return &relation{
+		pos: make(map[types.ID]int),
+		idx: make(map[uint64]*hashIndex),
+	}
+}
+
 // Database is one node's local relational store of base (slow-changing)
 // tuples and locally derived tuples of interest.
+//
+// The store is safe for concurrent use: mutations take the write lock,
+// reads the read lock, and rule evaluation (plan.go) holds the read lock
+// for the duration of a join so the row slices and index buckets it
+// iterates stay stable against concurrent swap-remove deletes. This is
+// what lets the cluster runtime evaluate independent events on parallel
+// shards while slow-changing updates proceed.
 type Database struct {
-	tables map[string][]types.Tuple
+	// mu is the store lock: Insert/Delete exclusive, scans/probes shared.
+	mu sync.RWMutex
+	// idxMu serializes lazy index construction, which happens under the
+	// shared (read) side of mu: concurrent probes for a missing index must
+	// not both install it. Lock order is always mu before idxMu.
+	idxMu sync.Mutex
+
+	tables map[string]*relation
 	byVID  map[types.ID]types.Tuple
 	// graveyard retains the contents of deleted tuples so provenance —
 	// which is monotone (Section 5.5: deletions do not affect stored
@@ -31,7 +69,7 @@ type Database struct {
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
 	return &Database{
-		tables: make(map[string][]types.Tuple),
+		tables: make(map[string]*relation),
 		byVID:  make(map[types.ID]types.Tuple),
 	}
 }
@@ -40,19 +78,36 @@ func NewDatabase() *Database {
 // It reports whether the tuple was newly added.
 func (db *Database) Insert(t types.Tuple) bool {
 	vid := types.HashTuple(t)
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.byVID[vid]; ok {
 		return false
 	}
 	db.byVID[vid] = t
-	db.tables[t.Rel] = append(db.tables[t.Rel], t)
+	rel := db.tables[t.Rel]
+	if rel == nil {
+		rel = newRelation()
+		db.tables[t.Rel] = rel
+	}
+	rel.pos[vid] = len(rel.rows)
+	rel.rows = append(rel.rows, t)
+	rel.vids = append(rel.vids, vid)
+	for _, ix := range rel.idx {
+		ix.add(t)
+	}
 	return true
 }
 
-// Delete removes a tuple from its table; it reports whether the tuple was
-// present. The tuple's content stays resolvable through LookupVID so that
-// previously recorded provenance remains queryable.
+// Delete removes a tuple from its table in O(1) by swapping the last row
+// into its slot (the VID→position map keeps positions stable to look up);
+// every secondary index built for the relation is kept consistent. It
+// reports whether the tuple was present. The tuple's content stays
+// resolvable through LookupVID so that previously recorded provenance
+// remains queryable.
 func (db *Database) Delete(t types.Tuple) bool {
 	vid := types.HashTuple(t)
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.byVID[vid]; !ok {
 		return false
 	}
@@ -61,24 +116,106 @@ func (db *Database) Delete(t types.Tuple) bool {
 		db.graveyard = make(map[types.ID]types.Tuple)
 	}
 	db.graveyard[vid] = t
-	rows := db.tables[t.Rel]
-	for i := range rows {
-		if rows[i].Equal(t) {
-			db.tables[t.Rel] = append(rows[:i:i], rows[i+1:]...)
-			break
-		}
+	rel := db.tables[t.Rel]
+	if rel == nil {
+		return true
+	}
+	i, ok := rel.pos[vid]
+	if !ok {
+		return true
+	}
+	last := len(rel.rows) - 1
+	if i != last {
+		rel.rows[i] = rel.rows[last]
+		rel.vids[i] = rel.vids[last]
+		rel.pos[rel.vids[i]] = i
+	}
+	rel.rows[last] = types.Tuple{}
+	rel.rows = rel.rows[:last]
+	rel.vids = rel.vids[:last]
+	delete(rel.pos, vid)
+	for _, ix := range rel.idx {
+		ix.remove(t)
 	}
 	return true
 }
 
-// Scan returns the tuples of a relation in insertion order. The returned
-// slice must not be modified.
-func (db *Database) Scan(rel string) []types.Tuple { return db.tables[rel] }
+// Scan returns the tuples of a relation. The order is insertion order
+// until the first Delete on the relation (deletes swap the last row into
+// the vacated slot). The returned slice must not be modified, and is only
+// stable until the next write — concurrent readers that need a stable view
+// across a whole join go through the evaluator, which holds the read lock
+// for its duration.
+func (db *Database) Scan(rel string) []types.Tuple {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.scanLocked(rel)
+}
+
+// scanLocked is Scan for callers already holding mu (either side).
+func (db *Database) scanLocked(rel string) []types.Tuple {
+	if r := db.tables[rel]; r != nil {
+		return r.rows
+	}
+	return nil
+}
+
+// Probe returns the tuples of a relation whose values at the given
+// positions encode to key, using (and lazily building) the secondary hash
+// index for that position set. positions must be sorted; key is the
+// concatenated canonical encoding of the sought values (appendIndexKey).
+// The same stability caveats as Scan apply.
+func (db *Database) Probe(rel string, positions []int, key []byte) []types.Tuple {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.probeLocked(rel, positions, key)
+}
+
+// probeLocked looks up (building on first use) the index for the position
+// set and returns the bucket for key. The caller must hold mu — the read
+// side suffices: index construction only reads rows, and idxMu serializes
+// the map install against concurrent probes.
+func (db *Database) probeLocked(relName string, positions []int, key []byte) []types.Tuple {
+	rel := db.tables[relName]
+	if rel == nil {
+		return nil
+	}
+	mask, ok := posMask(positions)
+	if !ok {
+		return nil
+	}
+	db.idxMu.Lock()
+	ix := rel.idx[mask]
+	if ix == nil {
+		ix = newHashIndex(positions)
+		for _, t := range rel.rows {
+			ix.add(t)
+		}
+		rel.idx[mask] = ix
+	}
+	db.idxMu.Unlock()
+	return ix.probe(key)
+}
+
+// IndexCount returns the number of secondary indexes built for a relation
+// (observability and tests).
+func (db *Database) IndexCount(rel string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.idxMu.Lock()
+	defer db.idxMu.Unlock()
+	if r := db.tables[rel]; r != nil {
+		return len(r.idx)
+	}
+	return 0
+}
 
 // LookupVID resolves a tuple by its content hash, used by the provenance
 // query protocols to fetch slow-changing tuple contents referenced by VIDs.
 // Deleted tuples remain resolvable (provenance is monotone).
 func (db *Database) LookupVID(vid types.ID) (types.Tuple, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if t, ok := db.byVID[vid]; ok {
 		return t, true
 	}
@@ -87,7 +224,14 @@ func (db *Database) LookupVID(vid types.ID) (types.Tuple, bool) {
 }
 
 // Count returns the number of tuples in a relation.
-func (db *Database) Count(rel string) int { return len(db.tables[rel]) }
+func (db *Database) Count(rel string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if r := db.tables[rel]; r != nil {
+		return len(r.rows)
+	}
+	return 0
+}
 
 // Node is one entity of the distributed system: an address plus its local
 // database.

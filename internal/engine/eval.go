@@ -23,9 +23,24 @@ func (f Firing) String() string {
 }
 
 // EvalRule computes every firing of rule r triggered by the event tuple ev
-// against the database db. Slow-changing atoms are joined by backtracking
-// unification; assignments extend the binding in order; constraints filter.
+// against the database db. It evaluates through the rule's compiled join
+// plan (compiled and cached on first use — deployed runtimes compile all
+// plans up front via CompileProgram), probing secondary hash indexes per
+// join step. Set PROVCOMPRESS_SCAN_EVAL=1 to force the scan-based
+// reference path instead.
 func EvalRule(r *ndlog.Rule, db *Database, ev types.Tuple, funcs ndlog.FuncMap) ([]Firing, error) {
+	if scanEvalOnly {
+		return EvalRuleScan(r, db, ev, funcs)
+	}
+	return planFor(r).Eval(db, ev, funcs)
+}
+
+// EvalRuleScan is the original scan-based evaluator, kept as the reference
+// oracle for the indexed path (property tests assert set-identical
+// firings) and for A/B benchmarking: slow-changing atoms are joined in
+// body order by backtracking unification over full relation scans;
+// assignments extend the binding in order; constraints filter.
+func EvalRuleScan(r *ndlog.Rule, db *Database, ev types.Tuple, funcs ndlog.FuncMap) ([]Firing, error) {
 	if ev.Rel != r.Event.Rel {
 		return nil, nil
 	}
@@ -33,6 +48,8 @@ func EvalRule(r *ndlog.Rule, db *Database, ev types.Tuple, funcs ndlog.FuncMap) 
 	if !ok {
 		return nil, nil
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var firings []Firing
 	var joinErr error
 	var rec func(i int, b Binding, slow []types.Tuple)
@@ -52,7 +69,7 @@ func EvalRule(r *ndlog.Rule, db *Database, ev types.Tuple, funcs ndlog.FuncMap) 
 			return
 		}
 		atom := r.Slow[i]
-		for _, cand := range db.Scan(atom.Rel) {
+		for _, cand := range db.scanLocked(atom.Rel) {
 			if nb, ok := unify(atom, cand, b); ok {
 				rec(i+1, nb, append(slow[:len(slow):len(slow)], cand))
 			}

@@ -86,6 +86,7 @@ type Runtime struct {
 	MaterializeDeliveries bool
 
 	progs    []*ndlog.Program
+	plans    *Plans
 	nodes    map[types.NodeAddr]*Node
 	outputs  []Output
 	nOutputs int64
@@ -116,6 +117,7 @@ func newRuntime(net *netsim.Network, prog *ndlog.Program, progs []*ndlog.Program
 	rt := &Runtime{
 		Prog:                  prog,
 		progs:                 progs,
+		plans:                 CompileProgram(prog),
 		Net:                   net,
 		Funcs:                 funcs,
 		Maint:                 maint,
@@ -246,7 +248,7 @@ func (rt *Runtime) deliver(n *Node, t types.Tuple, meta Meta) {
 		return
 	}
 	for _, r := range rules {
-		firings, err := EvalRule(r, n.DB, t, rt.Funcs)
+		firings, err := rt.plans.Eval(r, n.DB, t, rt.Funcs)
 		if err != nil {
 			rt.errs = append(rt.errs, err)
 			continue
