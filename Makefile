@@ -4,10 +4,16 @@
 #   build        go build ./...
 #   test         go test -race ./... (full suite under the race detector)
 #   chaos        the seeded fault-injection suite, race-enabled, no test cache
-#   serve-smoke  provd end to end over real HTTP: boot on a random port,
-#                inject a workload, cold + cached query per scheme (the
-#                cached one must be >=10x faster), scrape /metrics and
-#                assert non-zero counters, then a short Zipf load phase
+#   serve-smoke  provd end to end over real HTTP: boot on a random port
+#                with tracing on, inject a workload, cold + cached query
+#                per scheme (the cached one must be >=10x faster), fetch
+#                + validate each query's span tree from /v1/trace/{id},
+#                scrape /metrics and assert non-zero counters, then a
+#                short Zipf load phase
+#   trace-smoke  provquery with -trace: every query must yield a single
+#                parent-linked span tree and the written Chrome trace
+#                JSON must validate (provquery self-checks both and
+#                exits non-zero otherwise)
 #   bench-smoke  the benchmark harness at reduced scale, written to a
 #                scratch directory (committed BENCH_*.json baselines stay
 #                untouched) — proves the perf suite itself still runs
@@ -18,10 +24,11 @@
 
 GO ?= go
 BENCH_SMOKE_DIR := $(or $(TMPDIR),/tmp)/provcompress-bench-smoke
+TRACE_SMOKE_FILE := $(or $(TMPDIR),/tmp)/provcompress-trace-smoke.json
 
-.PHONY: verify vet build test chaos serve-smoke bench bench-smoke
+.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke
 
-verify: vet build test chaos serve-smoke bench-smoke
+verify: vet build test chaos serve-smoke trace-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +43,10 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Malformed|Quiesce|Restart|LateResult' ./internal/cluster/
 
 serve-smoke:
-	$(GO) run ./cmd/provd -selftest -nodes 5
+	$(GO) run ./cmd/provd -selftest -nodes 5 -trace
+
+trace-smoke:
+	$(GO) run ./cmd/provquery -nodes 5 -packets 4 -pairs 2 -trace $(TRACE_SMOKE_FILE)
 
 # Full benchmark run: Go microbenchmarks plus the provsim suite, which
 # refreshes the committed BENCH_engine.json / BENCH_serve.json baselines.

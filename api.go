@@ -15,6 +15,7 @@ import (
 	"provcompress/internal/provserve"
 	"provcompress/internal/sim"
 	"provcompress/internal/topo"
+	"provcompress/internal/trace"
 	"provcompress/internal/types"
 )
 
@@ -175,6 +176,27 @@ type (
 
 // NewCluster boots a real-socket cluster from a ClusterConfig.
 var NewCluster = cluster.New
+
+// Distributed tracing: set ClusterConfig.Tracer and one injected event or
+// one distributed query yields a single parent-linked span tree across
+// every node it touched, exportable as Chrome trace JSON
+// (chrome://tracing / Perfetto).
+type (
+	// TraceCollector gathers spans from every node of a traced cluster.
+	TraceCollector = trace.Collector
+	// TraceSpan is one timed operation (inject, process, rule, walk,
+	// query, reconstruct) on one node of a trace.
+	TraceSpan = trace.Span
+	// TraceID names one distributed trace (zero = untraced).
+	TraceID = trace.TraceID
+)
+
+var (
+	// NewTraceCollector builds a span collector (0 = default span budget).
+	NewTraceCollector = trace.NewCollector
+	// CheckTraceLinked verifies spans form one parent-linked tree.
+	CheckTraceLinked = trace.CheckLinked
+)
 
 // Serving layer (cmd/provd): a long-lived HTTP/JSON daemon over live
 // clusters with an epoch-invalidated result cache, a bounded query worker

@@ -10,12 +10,14 @@
 //	GET  /v1/query     distributed provenance query (rel, args, scheme, evid)
 //	GET  /v1/outputs   list output tuples (the query sampling frame)
 //	GET  /v1/stats     transport counters + storage bytes + server counters
+//	GET  /v1/trace/ID  one distributed span tree as Chrome trace JSON
+//	                   (IDs come from /v1/query trace_id; needs -trace)
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/pprof  runtime profiles
 //
 // Usage:
 //
-//	provd [-listen 127.0.0.1:8463] [-schemes advanced,basic,exspan] [-nodes 8]
+//	provd [-listen 127.0.0.1:8463] [-schemes advanced,basic,exspan] [-nodes 8] [-trace]
 //
 // Quickstart:
 //
@@ -48,6 +50,7 @@ import (
 	"provcompress/internal/cluster"
 	"provcompress/internal/clusterboot"
 	"provcompress/internal/provserve"
+	"provcompress/internal/trace"
 )
 
 func main() {
@@ -59,6 +62,7 @@ func main() {
 	cacheSize := flag.Int("cache", 1024, "result cache entries")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-attempt distributed query timeout")
 	selftest := flag.Bool("selftest", false, "boot on a random port, run the HTTP smoke + load phase, and exit")
+	traced := flag.Bool("trace", false, "collect distributed spans for every event and query; serves them on /v1/trace/{id}")
 	flag.Parse()
 
 	names := splitSchemes(*schemes)
@@ -67,6 +71,14 @@ func main() {
 	}
 	if *selftest {
 		*listen = "127.0.0.1:0"
+	}
+
+	// One collector shared by every scheme's cluster: spans carry the
+	// scheme as an attribute, so a mixed trace stays attributable.
+	var tracer *trace.Collector
+	if *traced {
+		tracer = trace.NewCollector(0)
+		boot.Tracer = tracer
 	}
 
 	clusters := make(map[string]*cluster.Cluster, len(names))
@@ -86,6 +98,7 @@ func main() {
 		QueueDepth:    *queue,
 		CacheSize:     *cacheSize,
 		QueryTimeout:  *queryTimeout,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		log.Fatal(err)

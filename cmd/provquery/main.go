@@ -13,6 +13,12 @@
 //
 //	provquery -drop 0.05 -reset-after 20 -fault-seed 7 -stats
 //
+// Distributed tracing (-trace FILE collects one parent-linked span tree
+// per injected event and per query across every node they touch, then
+// writes the lot as Chrome trace JSON for chrome://tracing / Perfetto):
+//
+//	provquery -nodes 5 -trace spans.json
+//
 // For a long-lived serving surface over the same cluster (HTTP queries,
 // result caching, /metrics) see cmd/provd.
 package main
@@ -21,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"provcompress/internal/clusterboot"
 	"provcompress/internal/metrics"
+	"provcompress/internal/trace"
 	"provcompress/internal/types"
 	"provcompress/internal/workload"
 )
@@ -34,7 +42,14 @@ func main() {
 	packets := flag.Int("packets", 20, "packets per pair")
 	pairs := flag.Int("pairs", 3, "communicating pairs")
 	stats := flag.Bool("stats", false, "print the transport counters at exit")
+	traceOut := flag.String("trace", "", "collect distributed spans and write them to this file as Chrome trace JSON (open in chrome://tracing or Perfetto)")
 	flag.Parse()
+
+	var tracer *trace.Collector
+	if *traceOut != "" {
+		tracer = trace.NewCollector(0)
+		boot.Tracer = tracer
+	}
 
 	c, g, err := boot.Boot("")
 	if err != nil {
@@ -80,6 +95,41 @@ func main() {
 		}
 		fmt.Printf("query %d: %s\n  latency %v over %d protocol hops\n%s\n",
 			i+1, out, res.Latency.Round(time.Microsecond), res.Hops, res.Trees[0])
+		if tracer != nil {
+			// The acceptance bar for tracing: every distributed query
+			// yields one parent-linked span tree across all hops.
+			spans := tracer.Trace(res.TraceID)
+			if err := trace.CheckLinked(spans); err != nil {
+				log.Fatalf("query %d trace %x is not a single parent-linked tree: %v", i+1, uint64(res.TraceID), err)
+			}
+			fmt.Printf("  trace %016x: %d spans over nodes %v\n\n",
+				uint64(res.TraceID), len(spans), trace.Nodes(spans))
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTraceAll(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		// Self-check the artifact: an empty or malformed trace file fails
+		// loudly here instead of silently in the trace viewer.
+		data, err := os.ReadFile(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := trace.ValidateChrome(data)
+		if err != nil {
+			log.Fatalf("trace file %s invalid: %v", *traceOut, err)
+		}
+		fmt.Printf("wrote %d spans (%d traces, %s) to %s\n",
+			n, tracer.TraceCount(), metrics.HumanBytes(int64(len(data))), *traceOut)
 	}
 
 	if *stats || boot.Plan() != nil {

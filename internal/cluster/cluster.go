@@ -27,6 +27,7 @@ import (
 	"hash/fnv"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"provcompress/internal/core"
 	"provcompress/internal/engine"
 	"provcompress/internal/ndlog"
+	"provcompress/internal/trace"
 	"provcompress/internal/types"
 )
 
@@ -61,6 +63,14 @@ type Config struct {
 	// class serialize while independent classes evaluate concurrently.
 	// 0 picks min(GOMAXPROCS, 8); 1 serializes each node.
 	Shards int
+	// Tracer, when non-nil, collects distributed spans: injections, walk
+	// hops, and rule firings across every node the work touches. Nil
+	// disables tracing at near-zero cost.
+	Tracer *trace.Collector
+	// GraveyardCap bounds each node database's deleted-tuple graveyard
+	// (0 = unbounded). See Database.SetGraveyardCap for the provenance
+	// monotonicity tradeoff.
+	GraveyardCap int
 }
 
 // Cluster is a set of live nodes on loopback TCP.
@@ -71,6 +81,7 @@ type Cluster struct {
 	scheme string
 	tcfg   TransportConfig
 	faults *FaultPlan
+	tracer *trace.Collector
 
 	// plans holds the join plans compiled from the program at boot; every
 	// node evaluates through them (the deploy-time rule compiler).
@@ -128,6 +139,11 @@ type Node struct {
 
 	transMu sync.Mutex
 	trans   map[types.NodeAddr]*transport
+
+	// linkMu guards the per-peer byte attribution; counters persist
+	// across Kill/Restart (transports do not).
+	linkMu sync.Mutex
+	links  map[types.NodeAddr]*linkBytes
 
 	inMu    sync.Mutex
 	inConns map[net.Conn]struct{}
@@ -191,6 +207,7 @@ func New(cfg Config) (*Cluster, error) {
 		scheme:    scheme,
 		tcfg:      cfg.Transport.withDefaults(),
 		faults:    cfg.Faults,
+		tracer:    cfg.Tracer,
 		plans:     engine.CompileProgram(cfg.Prog),
 		shardKeys: shardKeys,
 		nshards:   nshards,
@@ -223,9 +240,13 @@ func New(cfg Config) (*Cluster, error) {
 			db:      engine.NewDatabase(),
 			state:   state,
 			trans:   make(map[types.NodeAddr]*transport),
+			links:   make(map[types.NodeAddr]*linkBytes),
 			inConns: make(map[net.Conn]struct{}),
 			lastSeq: make(map[types.NodeAddr]*seqTracker),
 			pending: make(map[uint64]chan *walkFrame),
+		}
+		if cfg.GraveyardCap > 0 {
+			n.db.SetGraveyardCap(cfg.GraveyardCap)
 		}
 		n.alive.Store(true)
 		c.nodes[addr] = n
@@ -389,17 +410,33 @@ func (c *Cluster) LoadBase(tuples []types.Tuple) error {
 // in-flight accounting happens inside the send path, so a failed enqueue
 // leaks nothing and Quiesce stays balanced.
 func (c *Cluster) Inject(ev types.Tuple) error {
+	_, err := c.InjectTraced(ev)
+	return err
+}
+
+// InjectTraced is Inject returning the trace ID of the derivation's span
+// tree (zero when the cluster has no tracer). The injection span is the
+// tree's root; every downstream derivation step on every node parents
+// under it through the frame trace headers.
+func (c *Cluster) InjectTraced(ev types.Tuple) (trace.TraceID, error) {
 	origin := c.nodes[ev.Loc()]
 	if origin == nil {
-		return fmt.Errorf("cluster: inject %s at unknown node", ev)
+		return 0, fmt.Errorf("cluster: inject %s at unknown node", ev)
 	}
-	f := &tupleFrame{Tuple: ev, Fresh: true}
-	if err := origin.send(ev.Loc(), f.encode()); err != nil {
-		return err
+	sp := c.tracer.StartSpan(trace.SpanContext{}, string(ev.Loc()), "inject", "inject "+ev.Rel)
+	sp.SetAttr("scheme", c.scheme)
+	f := &tupleFrame{Tuple: ev, Fresh: true, Trace: sp.Context()}
+	err := origin.send(ev.Loc(), f.encode(), classBase, 0)
+	sp.End()
+	if err != nil {
+		return 0, err
 	}
 	c.fireEventHook()
-	return nil
+	return sp.Context().Trace, nil
 }
+
+// Tracer returns the cluster's span collector (nil when tracing is off).
+func (c *Cluster) Tracer() *trace.Collector { return c.tracer }
 
 // InsertSlow inserts a slow-changing tuple at runtime and broadcasts sig
 // (Section 5.5).
@@ -413,7 +450,8 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 	}
 	frame := encodeSig()
 	for addr := range c.nodes {
-		if err := n.send(addr, frame); err != nil {
+		// Sig broadcasts are provenance maintenance (Section 5.5).
+		if err := n.send(addr, frame, classProv, 0); err != nil {
 			return err
 		}
 	}
@@ -523,6 +561,7 @@ func (c *Cluster) TransportStats() TransportStats {
 	var s TransportStats
 	for _, n := range c.nodes {
 		s.accumulate(&n.stats)
+		n.addLinkBytes(&s)
 	}
 	return s
 }
@@ -531,7 +570,79 @@ func (c *Cluster) TransportStats() TransportStats {
 func (n *Node) TransportStats() TransportStats {
 	var s TransportStats
 	s.accumulate(&n.stats)
+	n.addLinkBytes(&s)
 	return s
+}
+
+// linkBytesTo returns (creating on first use) the persistent byte
+// counters for the directed link to a peer.
+func (n *Node) linkBytesTo(to types.NodeAddr) *linkBytes {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	lb := n.links[to]
+	if lb == nil {
+		lb = &linkBytes{}
+		n.links[to] = lb
+	}
+	return lb
+}
+
+// addLinkBytes folds the node's per-link class counters into a snapshot.
+func (n *Node) addLinkBytes(s *TransportStats) {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	for _, lb := range n.links {
+		s.BytesBase += lb.base.Load()
+		s.BytesProv += lb.prov.Load()
+		s.BytesQuery += lb.query.Load()
+	}
+}
+
+// LinkByteStats is the per-directed-link byte attribution, the real
+// runtime's analogue of the netsim per-link LinkStats.
+type LinkByteStats struct {
+	From, To types.NodeAddr
+	Total    int64
+	Base     int64
+	Prov     int64
+	Query    int64
+}
+
+// LinkByteStats snapshots every directed link's byte attribution,
+// sorted by (From, To) so scrapes and logs are stable.
+func (c *Cluster) LinkByteStats() []LinkByteStats {
+	var out []LinkByteStats
+	for _, n := range c.nodes {
+		n.linkMu.Lock()
+		for to, lb := range n.links {
+			out = append(out, LinkByteStats{
+				From:  n.addr,
+				To:    to,
+				Total: lb.total.Load(),
+				Base:  lb.base.Load(),
+				Prov:  lb.prov.Load(),
+				Query: lb.query.Load(),
+			})
+		}
+		n.linkMu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// GraveyardSize sums the deleted-tuple graveyard sizes across members —
+// the gauge the serving layer exports.
+func (c *Cluster) GraveyardSize() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.db.GraveyardSize()
+	}
+	return total
 }
 
 // Alive reports whether the node is up (not killed).

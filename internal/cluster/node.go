@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
 
 	"provcompress/internal/core"
+	"provcompress/internal/engine"
+	"provcompress/internal/trace"
 	"provcompress/internal/types"
 	"provcompress/internal/wire"
 )
@@ -202,6 +205,8 @@ func (n *Node) shardWorker(ch chan shardWork) {
 // Events of one equivalence class are processed by one shard in arrival
 // order, which is what keeps per-class provenance chains consistent.
 func (n *Node) processTuple(f *tupleFrame) {
+	sp := n.c.startSpan(f.Trace, n.addr, "process", "process "+f.Tuple.Rel)
+	defer sp.End()
 	n.db.Insert(f.Tuple)
 	meta := f.Meta
 	if f.Fresh {
@@ -215,6 +220,7 @@ func (n *Node) processTuple(f *tupleFrame) {
 		n.state.Output(f.Tuple, meta)
 		n.outputs = append(n.outputs, f.Tuple)
 		n.mu.Unlock()
+		sp.SetAttr("output", "true")
 		return
 	}
 	type shipment struct {
@@ -223,7 +229,20 @@ func (n *Node) processTuple(f *tupleFrame) {
 	}
 	var ships []shipment
 	for _, r := range rules {
-		firings, err := n.c.plans.Eval(r, n.db, f.Tuple, n.c.funcs)
+		// The rule span brackets the join itself; the EvalObserved hook
+		// annotates it with the firing count the plan produced.
+		rsp := n.c.startSpan(sp.Context(), n.addr, "rule", "rule "+r.Label)
+		var obs engine.EvalObserver
+		if rsp != nil {
+			obs = func(rule string, firings int, evalErr error) {
+				rsp.SetAttr("firings", strconv.Itoa(firings))
+				if evalErr != nil {
+					rsp.SetAttr("error", evalErr.Error())
+				}
+			}
+		}
+		firings, err := n.c.plans.EvalObserved(r, n.db, f.Tuple, n.c.funcs, obs)
+		rsp.End()
 		if err != nil || len(firings) == 0 {
 			continue
 		}
@@ -236,8 +255,11 @@ func (n *Node) processTuple(f *tupleFrame) {
 	}
 
 	for _, s := range ships {
-		frame := (&tupleFrame{Tuple: s.head, Meta: s.meta}).encode()
-		n.send(s.head.Loc(), frame) //nolint:errcheck // a send the node cannot even enqueue is a drop
+		// Shipped heads carry this process span's context so the next
+		// hop's span parents under it; the metadata piggyback bytes are
+		// attributed to the provenance class.
+		frame, metaBytes := (&tupleFrame{Tuple: s.head, Meta: s.meta, Trace: sp.Context()}).encodeSized()
+		n.send(s.head.Loc(), frame, classBase, metaBytes) //nolint:errcheck // a send the node cannot even enqueue is a drop
 	}
 }
 
@@ -245,6 +267,7 @@ func (n *Node) processTuple(f *tupleFrame) {
 // worklist reference stored at this node, then forwards the walk or
 // returns the result.
 func (n *Node) handleWalk(f *walkFrame) {
+	sp := n.c.startSpan(f.Trace, n.addr, "walk", "walk "+f.Root.Rel)
 	n.mu.Lock()
 	for {
 		idx := -1
@@ -285,12 +308,21 @@ func (n *Node) handleWalk(f *walkFrame) {
 	n.mu.Unlock()
 
 	f.Hops++
+	if sp != nil {
+		// Re-parent the frame under this hop's span so the next node (or
+		// the querier's reconstruction) chains beneath it.
+		sp.SetAttr("hop", strconv.FormatUint(uint64(f.Hops), 10))
+		sp.SetAttr("entries", strconv.Itoa(len(f.Entries)))
+		f.Trace = sp.Context()
+	}
 	if len(f.Work) == 0 {
-		n.send(f.Querier, f.encode(frameResult)) //nolint:errcheck
+		n.send(f.Querier, f.encode(frameResult), classQuery, 0) //nolint:errcheck
+		sp.End()
 		return
 	}
 	target := f.Work[len(f.Work)-1].Loc
-	n.send(target, f.encode(frameWalk)) //nolint:errcheck
+	n.send(target, f.encode(frameWalk), classQuery, 0) //nolint:errcheck
+	sp.End()
 }
 
 func hasNilRef(refs []core.Ref) bool {
@@ -327,11 +359,12 @@ func walkEventIDs(f *walkFrame) []types.ID {
 }
 
 // send hands a frame to the fault-tolerant transport for the peer,
-// counting it in flight. The actual dial/write/retry happens on the
-// link's writer goroutine, so handlers never block on the network; every
-// counted frame is settled exactly once, by whichever side finishes with
-// it.
-func (n *Node) send(to types.NodeAddr, frame []byte) error {
+// counting it in flight. class and provBytes drive the per-link byte
+// attribution when the write eventually succeeds. The actual
+// dial/write/retry happens on the link's writer goroutine, so handlers
+// never block on the network; every counted frame is settled exactly
+// once, by whichever side finishes with it.
+func (n *Node) send(to types.NodeAddr, frame []byte, class uint8, provBytes int) error {
 	if n.c.closed.Load() {
 		return fmt.Errorf("cluster: send on closed cluster")
 	}
@@ -344,8 +377,18 @@ func (n *Node) send(to types.NodeAddr, frame []byte) error {
 	}
 	t := n.transportTo(to)
 	epoch := n.c.acctEnqueue(to)
-	t.enqueue(outFrame{payload: frame, epoch: epoch})
+	t.enqueue(outFrame{payload: frame, epoch: epoch, class: class, provBytes: provBytes})
 	return nil
+}
+
+// startSpan opens a child span under a propagated context; it returns
+// nil (a no-op span) when tracing is off or the incoming frame was
+// untraced, so untraced traffic never fabricates single-hop traces.
+func (c *Cluster) startSpan(parent trace.SpanContext, node types.NodeAddr, kind, name string) *trace.ActiveSpan {
+	if c.tracer == nil || !parent.Valid() {
+		return nil
+	}
+	return c.tracer.StartSpan(parent, string(node), kind, name)
 }
 
 // transportTo returns (creating on first use) the outbound link to a peer.
@@ -367,6 +410,9 @@ type QueryResult struct {
 	Trees   []*core.Tree
 	Latency time.Duration
 	Hops    int
+	// TraceID names the query's span tree in the cluster's trace
+	// collector (zero when tracing is off).
+	TraceID trace.TraceID
 }
 
 // queryAttempts bounds how many times Query issues its walk: the first
@@ -397,29 +443,44 @@ func (c *Cluster) QueryContext(ctx context.Context, out types.Tuple, evid types.
 	if querier == nil {
 		return QueryResult{}, fmt.Errorf("cluster: query at unknown node %s", out)
 	}
+	// The query root span anchors the whole distributed walk's tree; a
+	// nil tracer makes qsp a no-op and qctx the zero (untraced) context.
+	var qsp *trace.ActiveSpan
+	if c.tracer != nil {
+		qsp = c.tracer.StartSpan(trace.SpanContext{}, string(querier.addr), "query", "query "+out.Rel)
+		qsp.SetAttr("scheme", c.scheme)
+	}
+	qctx := qsp.Context()
 	start := time.Now()
 	for attempt := 0; attempt < queryAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
+			qsp.End()
 			return QueryResult{}, err
 		}
 		if attempt > 0 {
 			querier.stats.queryRetries.Add(1)
+			qsp.SetAttr("retried", "true")
 		}
-		res, done, err := c.tryQuery(ctx, querier, out, evid, timeout)
+		res, done, err := c.tryQuery(ctx, querier, out, evid, timeout, qctx)
 		if err != nil {
+			qsp.End()
 			return QueryResult{}, err
 		}
 		if done {
 			res.Latency = time.Since(start)
+			res.TraceID = qctx.Trace
+			qsp.End()
 			return res, nil
 		}
 	}
+	qsp.End()
 	return QueryResult{}, errors.New("cluster: query timeout")
 }
 
 // tryQuery issues one walk and waits for its result; done=false means the
-// attempt timed out and the caller may retry.
-func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, bool, error) {
+// attempt timed out and the caller may retry. qctx is the query root
+// span's context (zero when untraced) the walk frames travel under.
+func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, evid types.ID, timeout time.Duration, qctx trace.SpanContext) (QueryResult, bool, error) {
 	qid := c.nextQID.Add(1)
 	ch := make(chan *walkFrame, 1)
 	querier.pendMu.Lock()
@@ -431,7 +492,7 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, 
 		querier.pendMu.Unlock()
 	}
 
-	f := &walkFrame{QID: qid, Querier: querier.addr, Root: out, EvID: evid}
+	f := &walkFrame{QID: qid, Querier: querier.addr, Root: out, EvID: evid, Trace: qctx}
 	querier.mu.Lock()
 	f.RootProvs = querier.state.ProvRows(types.HashTuple(out), evid)
 	querier.mu.Unlock()
@@ -448,7 +509,7 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, 
 	}
 	// Start the walk by sending it to the first target (possibly self).
 	target := f.Work[len(f.Work)-1].Loc
-	if err := querier.send(target, f.encode(frameWalk)); err != nil {
+	if err := querier.send(target, f.encode(frameWalk), classQuery, 0); err != nil {
 		unregister()
 		return QueryResult{}, false, err
 	}
@@ -457,7 +518,12 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, 
 	defer timer.Stop()
 	select {
 	case res := <-ch:
+		// The reconstruction span parents under the last hop's span, so
+		// the tree reads inject→walk…walk→reconstruct end to end.
+		rsp := c.startSpan(res.Trace, querier.addr, "reconstruct", "reconstruct "+res.Root.Rel)
 		trees := reconstructWalk(c, querier, res)
+		rsp.SetAttr("trees", strconv.Itoa(len(trees)))
+		rsp.End()
 		return QueryResult{Trees: trees, Hops: int(res.Hops)}, true, nil
 	case <-timer.C:
 		unregister()

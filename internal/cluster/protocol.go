@@ -4,9 +4,26 @@ import (
 	"fmt"
 
 	"provcompress/internal/core"
+	"provcompress/internal/trace"
 	"provcompress/internal/types"
 	"provcompress/internal/wire"
 )
+
+// Trace header helpers: every tuple and walk frame carries a (trace ID,
+// span ID) pair right after its kind byte. Zero means "untraced"; a
+// receiver parents its own spans under the carried context, which is
+// how one injection or one distributed query becomes a single
+// parent-linked span tree across nodes.
+func encodeTraceCtx(e *wire.Encoder, sc trace.SpanContext) {
+	e.U64(uint64(sc.Trace))
+	e.U64(uint64(sc.Span))
+}
+
+func decodeTraceCtx(d *wire.Decoder) trace.SpanContext {
+	t := d.U64()
+	s := d.U64()
+	return trace.SpanContext{Trace: trace.TraceID(t), Span: trace.SpanID(s)}
+}
 
 // Frame kinds of the cluster protocol.
 const (
@@ -34,26 +51,40 @@ func encodeEnvelope(from types.NodeAddr, incarnation, seq, epoch uint64, inner [
 }
 
 // tupleFrame ships a tuple plus the Advanced metadata. Fresh marks an
-// injected input event whose Stage 1 runs at the receiver.
+// injected input event whose Stage 1 runs at the receiver. Trace is the
+// span context the shipment is causally under (zero when untraced).
 type tupleFrame struct {
 	Tuple types.Tuple
 	Fresh bool
 	Meta  core.AdvMeta
+	Trace trace.SpanContext
 }
 
 func (f *tupleFrame) encode() []byte {
+	b, _ := f.encodeSized()
+	return b
+}
+
+// encodeSized also reports how many of the payload bytes carry the
+// piggybacked provenance metadata, which the transport attributes to
+// the provenance byte class (the rest of a tuple frame is base-tuple
+// shipping).
+func (f *tupleFrame) encodeSized() ([]byte, int) {
 	e := wire.NewEncoder(128)
 	e.U8(frameTuple)
+	encodeTraceCtx(e, f.Trace)
 	e.Tuple(f.Tuple)
 	e.Bool(f.Fresh)
+	metaStart := e.Len()
 	if !f.Fresh {
 		encodeMeta(e, f.Meta)
 	}
-	return e.Bytes()
+	return e.Bytes(), e.Len() - metaStart
 }
 
 func decodeTupleFrame(d *wire.Decoder) (*tupleFrame, error) {
 	f := &tupleFrame{}
+	f.Trace = decodeTraceCtx(d)
 	f.Tuple = d.Tuple()
 	f.Fresh = d.Bool()
 	if !f.Fresh {
@@ -103,6 +134,10 @@ type walkFrame struct {
 	Querier types.NodeAddr
 	Root    types.Tuple
 	EvID    types.ID
+	// Trace is the span context of the previous hop (or the query root);
+	// each node re-parents it to its own walk span before forwarding, so
+	// the walk's spans chain hop to hop.
+	Trace trace.SpanContext
 
 	RootProvs []core.Prov
 	Work      []core.Ref
@@ -117,6 +152,7 @@ type walkFrame struct {
 func (f *walkFrame) encode(kind uint8) []byte {
 	e := wire.NewEncoder(512)
 	e.U8(kind)
+	encodeTraceCtx(e, f.Trace)
 	e.U64(f.QID)
 	e.Str(string(f.Querier))
 	e.Tuple(f.Root)
@@ -166,6 +202,7 @@ const maxWalkItems = 1 << 20
 
 func decodeWalkFrame(d *wire.Decoder) (*walkFrame, error) {
 	f := &walkFrame{}
+	f.Trace = decodeTraceCtx(d)
 	f.QID = d.U64()
 	f.Querier = types.NodeAddr(d.Str())
 	f.Root = d.Tuple()

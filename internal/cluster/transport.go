@@ -78,6 +78,53 @@ type transportStats struct {
 	faultDrops   atomic.Int64
 	faultDelays  atomic.Int64
 	faultResets  atomic.Int64
+	// bytesTotal counts every wire byte successfully written (envelope +
+	// length prefix). The per-class split lives on the node's persistent
+	// per-link counters (linkBytes) so it survives transport teardown on
+	// Kill; total-vs-sum equality is the cross-check the chaos suite
+	// asserts.
+	bytesTotal atomic.Int64
+}
+
+// Byte classes for per-message-class attribution, mirroring the netsim
+// cost model: base-tuple shipping, provenance maintenance (piggybacked
+// metadata and sig broadcasts), and query traffic (walks and results).
+const (
+	classBase uint8 = iota
+	classProv
+	classQuery
+)
+
+// classNames orders the class labels for export.
+var classNames = [...]string{classBase: "base", classProv: "prov", classQuery: "query"}
+
+// linkBytes is the persistent per-(sender, peer) byte attribution. It
+// lives on the sending node, not the transport, because Kill discards
+// transports while the paper-style bandwidth breakdown must survive
+// crash/restart cycles.
+type linkBytes struct {
+	total atomic.Int64
+	base  atomic.Int64
+	prov  atomic.Int64
+	query atomic.Int64
+}
+
+// add attributes one delivered frame of wireBytes total bytes, of which
+// provBytes (≤ wireBytes) carried piggybacked provenance metadata.
+func (lb *linkBytes) add(class uint8, wireBytes, provBytes int) {
+	lb.total.Add(int64(wireBytes))
+	if provBytes > wireBytes {
+		provBytes = wireBytes
+	}
+	switch class {
+	case classProv:
+		lb.prov.Add(int64(wireBytes))
+	case classQuery:
+		lb.query.Add(int64(wireBytes))
+	default:
+		lb.prov.Add(int64(provBytes))
+		lb.base.Add(int64(wireBytes - provBytes))
+	}
 }
 
 // TransportStats is a point-in-time snapshot of the transport counters,
@@ -99,6 +146,13 @@ type TransportStats struct {
 	FaultDrops   int64 // writes discarded by the fault plan
 	FaultDelays  int64 // writes stalled by the fault plan
 	FaultResets  int64 // connections reset by the fault plan
+
+	// Byte attribution (successful writes only, envelope + length prefix):
+	// BytesBase + BytesProv + BytesQuery == BytesTotal.
+	BytesTotal int64 // every wire byte written
+	BytesBase  int64 // base-tuple shipping
+	BytesProv  int64 // provenance maintenance (metadata piggyback + sig)
+	BytesQuery int64 // query walks and results
 }
 
 // accumulate folds one node's live counters into the snapshot.
@@ -117,6 +171,7 @@ func (s *TransportStats) accumulate(ts *transportStats) {
 	s.FaultDrops += ts.faultDrops.Load()
 	s.FaultDelays += ts.faultDelays.Load()
 	s.FaultResets += ts.faultResets.Load()
+	s.BytesTotal += ts.bytesTotal.Load()
 }
 
 // Counters exports the snapshot as an ordered metrics counter set.
@@ -136,6 +191,10 @@ func (s TransportStats) Counters() *metrics.Counters {
 	c.Add("fault-drops", s.FaultDrops)
 	c.Add("fault-delays", s.FaultDelays)
 	c.Add("fault-resets", s.FaultResets)
+	c.Add("bytes-total", s.BytesTotal)
+	c.Add("bytes-base", s.BytesBase)
+	c.Add("bytes-prov", s.BytesProv)
+	c.Add("bytes-query", s.BytesQuery)
 	return c
 }
 
@@ -143,10 +202,14 @@ func (s TransportStats) Counters() *metrics.Counters {
 func (s TransportStats) String() string { return s.Counters().String() }
 
 // outFrame is one queued delivery: the encoded inner frame plus the
-// destination accounting epoch captured at enqueue time.
+// destination accounting epoch captured at enqueue time, the byte class
+// of the payload, and how many payload bytes are piggybacked provenance
+// metadata (for class base frames carrying Advanced metadata).
 type outFrame struct {
-	payload []byte
-	epoch   uint64
+	payload   []byte
+	epoch     uint64
+	class     uint8
+	provBytes int
 }
 
 // transport is one directed link: a bounded outbound queue drained by a
@@ -351,6 +414,11 @@ func (t *transport) deliver(f outFrame) {
 			continue
 		}
 		t.stats.sends.Add(1)
+		// Attribute the wire bytes (envelope + 4-byte length prefix) to
+		// the frame's message class, on the write that actually succeeded.
+		wireBytes := len(env) + 4
+		t.stats.bytesTotal.Add(int64(wireBytes))
+		t.owner.linkBytesTo(t.to).add(f.class, wireBytes, f.provBytes)
 		t.faults.sent()
 		return
 	}

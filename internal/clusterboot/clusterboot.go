@@ -14,6 +14,7 @@ import (
 	"provcompress/internal/apps"
 	"provcompress/internal/cluster"
 	"provcompress/internal/topo"
+	"provcompress/internal/trace"
 )
 
 // Flags bundles the cluster bring-up options shared by the binaries.
@@ -28,6 +29,13 @@ type Flags struct {
 	DelayFor   time.Duration
 	ResetAfter int
 	FaultSeed  int64
+	// GraveyardCap bounds each node's deleted-tuple graveyard
+	// (0 = unbounded; see engine.Database.SetGraveyardCap).
+	GraveyardCap int
+	// Tracer, when set programmatically by the binary (the -trace flags
+	// differ per cmd, so it is not a shared flag), enables distributed
+	// span collection on the booted cluster.
+	Tracer *trace.Collector
 }
 
 // Register installs the shared flags on fs (use flag.CommandLine for a
@@ -41,6 +49,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.DelayFor, "delay-for", 5*time.Millisecond, "fault injection: how long a stalled write waits")
 	fs.IntVar(&f.ResetAfter, "reset-after", 0, "fault injection: reset each link once after N successful writes")
 	fs.Int64Var(&f.FaultSeed, "fault-seed", 1, "fault injection: RNG seed (runs with the same seed inject the same faults)")
+	fs.IntVar(&f.GraveyardCap, "graveyard-cap", 0, "max deleted tuples retained per node for provenance VID resolution (0 = unbounded)")
 	return f
 }
 
@@ -73,11 +82,13 @@ func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 	g := topo.Line(f.Nodes, "n")
 	routes := g.ShortestPaths().RouteTuples()
 	c, err := cluster.New(cluster.Config{
-		Prog:   apps.Forwarding(),
-		Funcs:  apps.Funcs(),
-		Nodes:  g.Nodes(),
-		Scheme: scheme,
-		Faults: f.Plan(),
+		Prog:         apps.Forwarding(),
+		Funcs:        apps.Funcs(),
+		Nodes:        g.Nodes(),
+		Scheme:       scheme,
+		Faults:       f.Plan(),
+		Tracer:       f.Tracer,
+		GraveyardCap: f.GraveyardCap,
 	})
 	if err != nil {
 		return nil, nil, err

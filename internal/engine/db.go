@@ -62,8 +62,14 @@ type Database struct {
 	byVID  map[types.ID]types.Tuple
 	// graveyard retains the contents of deleted tuples so provenance —
 	// which is monotone (Section 5.5: deletions do not affect stored
-	// provenance) — can still resolve the VIDs it recorded.
-	graveyard map[types.ID]types.Tuple
+	// provenance) — can still resolve the VIDs it recorded. Under delete
+	// churn it grows without bound unless a retention cap is set, in
+	// which case the oldest entries are evicted FIFO (graveyardOrder)
+	// and provenance referencing them stops resolving — the
+	// monotonicity/memory tradeoff documented in DESIGN.md §10.
+	graveyard      map[types.ID]types.Tuple
+	graveyardOrder []types.ID
+	graveyardCap   int // 0 = unbounded
 }
 
 // NewDatabase returns an empty database.
@@ -115,7 +121,11 @@ func (db *Database) Delete(t types.Tuple) bool {
 	if db.graveyard == nil {
 		db.graveyard = make(map[types.ID]types.Tuple)
 	}
-	db.graveyard[vid] = t
+	if _, ok := db.graveyard[vid]; !ok {
+		db.graveyard[vid] = t
+		db.graveyardOrder = append(db.graveyardOrder, vid)
+		db.enforceGraveyardCapLocked()
+	}
 	rel := db.tables[t.Rel]
 	if rel == nil {
 		return true
@@ -221,6 +231,42 @@ func (db *Database) LookupVID(vid types.ID) (types.Tuple, bool) {
 	}
 	t, ok := db.graveyard[vid]
 	return t, ok
+}
+
+// SetGraveyardCap bounds the graveyard to at most n deleted tuples,
+// evicting the oldest entries FIFO when the cap is exceeded; n <= 0
+// restores the default unbounded retention. Capping trades provenance
+// monotonicity for memory: a provenance entry recorded before an
+// evicted tuple's deletion can no longer resolve that VID's contents.
+func (db *Database) SetGraveyardCap(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	db.graveyardCap = n
+	db.enforceGraveyardCapLocked()
+}
+
+// enforceGraveyardCapLocked evicts oldest-first down to the cap. Caller
+// holds mu exclusively.
+func (db *Database) enforceGraveyardCapLocked() {
+	if db.graveyardCap <= 0 {
+		return
+	}
+	for len(db.graveyardOrder) > db.graveyardCap {
+		oldest := db.graveyardOrder[0]
+		db.graveyardOrder = db.graveyardOrder[1:]
+		delete(db.graveyard, oldest)
+	}
+}
+
+// GraveyardSize returns the number of deleted tuples retained for VID
+// resolution — the gauge the serving layer exports.
+func (db *Database) GraveyardSize() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.graveyard)
 }
 
 // Count returns the number of tuples in a relation.

@@ -80,3 +80,58 @@ func TestNodeString(t *testing.T) {
 		t.Error("node without database")
 	}
 }
+
+// TestGraveyardCap is the regression test for unbounded graveyard growth
+// under delete churn: with a retention cap set, the oldest deleted
+// tuples are evicted FIFO and stop resolving, while the newest stay
+// queryable; without a cap every deleted tuple is retained.
+func TestGraveyardCap(t *testing.T) {
+	mk := func(i int) types.Tuple {
+		return types.NewTuple("route",
+			types.String("n1"), types.Int(int64(i)), types.String("n2"))
+	}
+
+	// Unbounded by default: churn retains everything.
+	db := NewDatabase()
+	for i := 0; i < 50; i++ {
+		db.Insert(mk(i))
+		db.Delete(mk(i))
+	}
+	if got := db.GraveyardSize(); got != 50 {
+		t.Fatalf("unbounded graveyard size = %d, want 50", got)
+	}
+
+	// Capped: only the newest N survive.
+	db2 := NewDatabase()
+	db2.SetGraveyardCap(10)
+	for i := 0; i < 50; i++ {
+		db2.Insert(mk(i))
+		db2.Delete(mk(i))
+	}
+	if got := db2.GraveyardSize(); got != 10 {
+		t.Fatalf("capped graveyard size = %d, want 10", got)
+	}
+	if _, ok := db2.LookupVID(types.HashTuple(mk(0))); ok {
+		t.Fatal("evicted tuple still resolvable")
+	}
+	if _, ok := db2.LookupVID(types.HashTuple(mk(49))); !ok {
+		t.Fatal("newest deleted tuple not resolvable")
+	}
+
+	// Lowering the cap on a full graveyard evicts immediately.
+	db2.SetGraveyardCap(3)
+	if got := db2.GraveyardSize(); got != 3 {
+		t.Fatalf("size after cap shrink = %d, want 3", got)
+	}
+
+	// Re-deleting an already-buried tuple must not double-count.
+	db3 := NewDatabase()
+	db3.SetGraveyardCap(5)
+	db3.Insert(mk(1))
+	db3.Delete(mk(1))
+	db3.Insert(mk(1))
+	db3.Delete(mk(1))
+	if got := db3.GraveyardSize(); got != 1 {
+		t.Fatalf("re-delete graveyard size = %d, want 1", got)
+	}
+}

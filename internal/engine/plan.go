@@ -241,6 +241,21 @@ func (ps *Plans) Eval(r *ndlog.Rule, db *Database, ev types.Tuple, funcs ndlog.F
 	return ps.For(r).Eval(db, ev, funcs)
 }
 
+// EvalObserver is notified after one rule evaluation with the number of
+// firings it produced. The cluster runtime hangs its per-rule tracing
+// spans off this hook; a nil observer costs one comparison.
+type EvalObserver func(rule string, firings int, err error)
+
+// EvalObserved is Eval plus an observation callback — kept separate so
+// the unobserved hot path stays branch-free.
+func (ps *Plans) EvalObserved(r *ndlog.Rule, db *Database, ev types.Tuple, funcs ndlog.FuncMap, obs EvalObserver) ([]Firing, error) {
+	fs, err := ps.Eval(r, db, ev, funcs)
+	if obs != nil {
+		obs(r.Label, len(fs), err)
+	}
+	return fs, err
+}
+
 // scanEvalOnly forces every evaluation through the scan-based reference
 // path. It exists as the oracle switch: set PROVCOMPRESS_SCAN_EVAL=1 to
 // A/B the indexed pipeline against the original evaluator end to end.

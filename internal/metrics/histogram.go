@@ -101,8 +101,11 @@ func (h *Histogram) BucketCounts() []int64 {
 
 // Quantile estimates the p-quantile (p in [0,1]) from the buckets: it
 // finds the bucket holding the target rank and interpolates linearly
-// inside it. Samples in the overflow bucket are reported as the last
-// finite bound (the histogram cannot see past it).
+// inside it. A quantile landing in the +Inf overflow bucket returns
+// +Inf — the histogram cannot see past its last bound, and clamping to
+// that bound would let a p99 read "30s" when far more than 1% of
+// samples exceeded 30s. Callers rendering quantiles should surface the
+// overflow (e.g. ">30s") rather than print the clamped bound.
 func (h *Histogram) Quantile(p float64) float64 {
 	counts := h.BucketCounts()
 	var total int64
@@ -133,7 +136,7 @@ func (h *Histogram) Quantile(p float64) float64 {
 			continue
 		}
 		if i == len(counts)-1 {
-			return h.bounds[len(h.bounds)-1]
+			return math.Inf(1)
 		}
 		lower := 0.0
 		if i > 0 {
@@ -143,7 +146,7 @@ func (h *Histogram) Quantile(p float64) float64 {
 		frac := (rank - prev) / float64(c)
 		return lower + (upper-lower)*frac
 	}
-	return h.bounds[len(h.bounds)-1]
+	return math.Inf(1)
 }
 
 // Summary returns the p50/p95/p99 estimates in one call — the shape every

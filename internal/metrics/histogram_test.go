@@ -90,15 +90,93 @@ func TestHistogramQuantile(t *testing.T) {
 			t.Fatalf("quantile %g = %g, want within (10,20]", p, q)
 		}
 	}
-	// Overflow mass reports the last finite bound.
+	// Overflow mass reports +Inf: the histogram cannot see past its last
+	// bound, and clamping to it would understate the tail.
 	h3, _ := NewHistogram([]float64{1})
 	h3.Observe(50)
-	if q := h3.Quantile(0.99); q != 1 {
-		t.Fatalf("overflow quantile = %g, want 1 (last finite bound)", q)
+	if q := h3.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Fatalf("overflow quantile = %g, want +Inf", q)
 	}
 	// Out-of-range p clamps.
 	if h.Quantile(-1) > h.Quantile(0) || h.Quantile(2) < h.Quantile(1) {
 		t.Fatal("out-of-range p must clamp to [0,1]")
+	}
+}
+
+// TestHistogramQuantileOverflowHeavy is the regression test for the
+// silent overflow clamp: with most of the mass past the last bound,
+// every tail quantile must read +Inf, not the last finite bound, while
+// quantiles that genuinely land in finite buckets stay finite.
+func TestHistogramQuantileOverflowHeavy(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% finite, 90% overflow — the old clamp reported p50..p99 all as 30.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(1e6)
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99, 1} {
+		if q := h.Quantile(p); !math.IsInf(q, 1) {
+			t.Fatalf("Quantile(%g) = %g, want +Inf (90%% of mass is overflow)", p, q)
+		}
+	}
+	if q := h.Quantile(0.05); math.IsInf(q, 1) || q <= 0 || q > 1 {
+		t.Fatalf("Quantile(0.05) = %g, want finite within (0,1]", q)
+	}
+	// Summary must propagate the overflow, not mask it.
+	if _, p95, p99 := h.Summary(); !math.IsInf(p95, 1) || !math.IsInf(p99, 1) {
+		t.Fatalf("Summary tails = %g/%g, want +Inf", p95, p99)
+	}
+}
+
+// TestHistogramQuantileZero pins p=0 behavior: the minimum-rank sample,
+// which must be finite when any finite bucket is occupied and +Inf only
+// when every sample overflowed.
+func TestHistogramQuantileZero(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(1e9)
+	if q := h.Quantile(0); q <= 0 || q > 1 {
+		t.Fatalf("Quantile(0) = %g, want within (0,1]", q)
+	}
+	hAllOver, _ := NewHistogram([]float64{1})
+	hAllOver.Observe(99)
+	if q := hAllOver.Quantile(0); !math.IsInf(q, 1) {
+		t.Fatalf("Quantile(0) with all-overflow mass = %g, want +Inf", q)
+	}
+	hEmpty, _ := NewHistogram([]float64{1})
+	if q := hEmpty.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) on empty histogram = %g, want 0", q)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	cases := []struct{ name, value, want string }{
+		{"scheme", "advanced", `scheme="advanced"`},
+		{"link", `a"b`, `link="a\"b"`},
+		{"link", `a\b`, `link="a\\b"`},
+		{"note", "line1\nline2", `note="line1\nline2"`},
+		{"bad-name", "v", `bad_name="v"`},
+	}
+	for _, c := range cases {
+		if got := PromLabel(c.name, c.value); got != c.want {
+			t.Fatalf("PromLabel(%q, %q) = %q, want %q", c.name, c.value, got, c.want)
+		}
+	}
+	// An escaped label must survive a full sample line round trip: one
+	// line, parseable, no stray quotes.
+	var b strings.Builder
+	WriteCounter(&b, "provd_bytes", PromLabel("link", "n0\"\nn1\\"), 7)
+	out := b.String()
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("escaped label produced a multi-line sample:\n%q", out)
+	}
+	if !strings.Contains(out, `link="n0\"\nn1\\"`) {
+		t.Fatalf("escaped label wrong:\n%q", out)
 	}
 }
 

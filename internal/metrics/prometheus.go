@@ -35,6 +35,19 @@ func PromName(name string) string {
 	return b.String()
 }
 
+// promLabelEscaper escapes a label value per the exposition format:
+// backslash, double-quote, and newline must be escaped or the sample
+// line is unparseable.
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// PromLabel renders one `name="value"` label pair with the value escaped
+// for the text exposition format. Every label built in this repo must go
+// through it: a raw scheme or link name containing `"`, `\`, or a
+// newline would otherwise corrupt the whole scrape.
+func PromLabel(name, value string) string {
+	return PromName(name) + `="` + promLabelEscaper.Replace(value) + `"`
+}
+
 // joinLabels merges comma-separated label fragments, dropping empties.
 func joinLabels(labels ...string) string {
 	var parts []string
@@ -88,10 +101,10 @@ func (h *Histogram) WritePrometheus(w io.Writer, name, labels string) {
 	for i, bound := range h.bounds {
 		cum += counts[i]
 		le := strconv.FormatFloat(bound, 'g', -1, 64)
-		writeSample(w, name+"_bucket", joinLabels(labels, `le="`+le+`"`), strconv.FormatInt(cum, 10))
+		writeSample(w, name+"_bucket", joinLabels(labels, PromLabel("le", le)), strconv.FormatInt(cum, 10))
 	}
 	cum += counts[len(counts)-1]
-	writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatInt(cum, 10))
+	writeSample(w, name+"_bucket", joinLabels(labels, PromLabel("le", "+Inf")), strconv.FormatInt(cum, 10))
 	writeSample(w, name+"_sum", labels, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
 	writeSample(w, name+"_count", labels, strconv.FormatInt(h.Count(), 10))
 }

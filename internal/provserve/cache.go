@@ -3,6 +3,8 @@ package provserve
 import (
 	"container/list"
 	"sync"
+
+	"provcompress/internal/trace"
 )
 
 // answer is the cached form of one completed provenance query: the
@@ -12,6 +14,9 @@ type answer struct {
 	Hops   int
 	ColdNS int64 // the cold query's cluster-side latency, nanoseconds
 	Epoch  uint64
+	// TraceID names the cold run's span tree (zero when tracing is off);
+	// hits replay it so a cached answer stays explorable.
+	TraceID trace.TraceID
 }
 
 // epochCache is a fixed-capacity LRU keyed by (scheme, output tuple,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -34,7 +35,11 @@ type LoadConfig struct {
 	Timeout time.Duration
 }
 
-// LoadReport is what the generator measured.
+// LoadReport is what the generator measured. A quantile that landed in
+// the histogram's +Inf overflow bucket is reported with its Over flag
+// set and the duration zeroed: the true value is unknown beyond "past
+// the last bucket bound" (TailBound), and pretending otherwise is the
+// clamping bug this struct used to have.
 type LoadReport struct {
 	Requests  int
 	Errors    int
@@ -45,7 +50,30 @@ type LoadReport struct {
 	P50       time.Duration
 	P95       time.Duration
 	P99       time.Duration
+	P50Over   bool
+	P95Over   bool
+	P99Over   bool
+	TailBound time.Duration // last finite histogram bound
 	Hist      *metrics.Histogram
+}
+
+// quantileDuration converts a quantile in seconds into a duration,
+// reporting +Inf (overflow-bucket mass) as a flag instead of silently
+// overflowing time.Duration.
+func quantileDuration(q float64) (time.Duration, bool) {
+	if math.IsInf(q, 1) {
+		return 0, true
+	}
+	return time.Duration(q * float64(time.Second)), false
+}
+
+// fmtQuantile renders one quantile honestly: overflowed tails print as
+// ">bound" rather than a made-up number.
+func fmtQuantile(d time.Duration, over bool, tail time.Duration) string {
+	if over {
+		return ">" + tail.String()
+	}
+	return d.Round(time.Microsecond).String()
 }
 
 // String renders the report as the one-paragraph benchmark summary the
@@ -53,11 +81,13 @@ type LoadReport struct {
 func (r *LoadReport) String() string {
 	return fmt.Sprintf(
 		"%d requests in %v: %.0f qps, %d cache hits (%.0f%%), %d rejected, %d errors\n"+
-			"latency p50 %v  p95 %v  p99 %v",
+			"latency p50 %s  p95 %s  p99 %s",
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.QPS,
 		r.CacheHits, 100*float64(r.CacheHits)/float64(max(1, r.Requests)),
 		r.Rejected, r.Errors,
-		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+		fmtQuantile(r.P50, r.P50Over, r.TailBound),
+		fmtQuantile(r.P95, r.P95Over, r.TailBound),
+		fmtQuantile(r.P99, r.P99Over, r.TailBound))
 }
 
 // fetchOutputs asks the daemon for its output tuples (the query sampling
@@ -179,16 +209,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	elapsed := time.Since(start)
 
 	p50, p95, p99 := hist.Summary()
-	return &LoadReport{
+	r := &LoadReport{
 		Requests:  cfg.Requests,
 		Errors:    int(errs.Load()),
 		Rejected:  int(rejected.Load()),
 		CacheHits: int(hits.Load()),
 		Elapsed:   elapsed,
 		QPS:       float64(cfg.Requests) / elapsed.Seconds(),
-		P50:       time.Duration(p50 * float64(time.Second)),
-		P95:       time.Duration(p95 * float64(time.Second)),
-		P99:       time.Duration(p99 * float64(time.Second)),
 		Hist:      hist,
-	}, nil
+	}
+	bounds := hist.Bounds()
+	r.TailBound = time.Duration(bounds[len(bounds)-1] * float64(time.Second))
+	r.P50, r.P50Over = quantileDuration(p50)
+	r.P95, r.P95Over = quantileDuration(p95)
+	r.P99, r.P99Over = quantileDuration(p99)
+	return r, nil
 }

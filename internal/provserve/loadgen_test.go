@@ -1,0 +1,37 @@
+package provserve
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadReportRendersOverflowHonestly is the regression test for the
+// quantile-clamping bug: a tail quantile that landed past the last
+// histogram bound must render as ">bound", never as a fabricated finite
+// latency, and the +Inf value must not overflow time.Duration.
+func TestLoadReportRendersOverflowHonestly(t *testing.T) {
+	if d, over := quantileDuration(math.Inf(1)); !over || d != 0 {
+		t.Fatalf("quantileDuration(+Inf) = (%v, %v), want (0, true)", d, over)
+	}
+	if d, over := quantileDuration(0.25); over || d != 250*time.Millisecond {
+		t.Fatalf("quantileDuration(0.25) = (%v, %v), want (250ms, false)", d, over)
+	}
+
+	r := &LoadReport{
+		Requests:  100,
+		Elapsed:   time.Second,
+		QPS:       100,
+		P50:       2 * time.Millisecond,
+		P99Over:   true,
+		TailBound: 30 * time.Second,
+	}
+	out := r.String()
+	if !strings.Contains(out, "p99 >30s") {
+		t.Fatalf("overflowed p99 not rendered as >30s:\n%s", out)
+	}
+	if !strings.Contains(out, "p50 2ms") {
+		t.Fatalf("finite p50 rendered wrong:\n%s", out)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"provcompress/internal/trace"
 	"provcompress/internal/workload"
 )
 
@@ -112,6 +113,25 @@ func SelfTest(cfg SelfTestConfig) error {
 		coldNS[scheme] = qr.ServeNS
 		fmt.Fprintf(cfg.Out, "cold query (%s): %d tree(s), %d hops, %.2fms server-side\n",
 			scheme, len(qr.Trees), qr.Hops, float64(qr.ServeNS)/1e6)
+
+		// When the daemon runs with -trace, the query names its span
+		// tree; it must be fetchable as valid Chrome trace JSON.
+		if qr.TraceID != "" {
+			tresp, err := client.Get(cfg.BaseURL + "/v1/trace/" + qr.TraceID)
+			if err != nil {
+				return fmt.Errorf("selftest: trace fetch (%s): %w", scheme, err)
+			}
+			tbody, err := io.ReadAll(tresp.Body)
+			tresp.Body.Close()
+			if err != nil || tresp.StatusCode != http.StatusOK {
+				return fmt.Errorf("selftest: trace fetch (%s): status %s err %v", scheme, tresp.Status, err)
+			}
+			n, err := trace.ValidateChrome(tbody)
+			if err != nil {
+				return fmt.Errorf("selftest: trace %s (%s) is not valid Chrome JSON: %w", qr.TraceID, scheme, err)
+			}
+			fmt.Fprintf(cfg.Out, "trace %s (%s): %d spans, valid Chrome trace JSON\n", qr.TraceID, scheme, n)
+		}
 	}
 
 	// 3. The same query repeated must hit the cache and be >=10x faster

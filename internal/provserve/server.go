@@ -23,7 +23,8 @@
 //     distributed query instead of burning the timeout.
 //
 // Endpoints: POST /v1/events, GET /v1/query, GET /v1/outputs,
-// GET /v1/stats, GET /metrics (Prometheus text), /debug/pprof/*.
+// GET /v1/stats, GET /v1/trace/{id} (Chrome trace JSON), GET /metrics
+// (Prometheus text), /debug/pprof/*.
 package provserve
 
 import (
@@ -43,6 +44,7 @@ import (
 
 	"provcompress/internal/cluster"
 	"provcompress/internal/metrics"
+	"provcompress/internal/trace"
 	"provcompress/internal/types"
 )
 
@@ -65,6 +67,10 @@ type Config struct {
 	QueryTimeout time.Duration
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// Tracer, when set, is the span collector shared by the configured
+	// clusters; it backs GET /v1/trace/{id} and the trace gauges on
+	// /metrics. Nil disables the trace endpoint (404).
+	Tracer *trace.Collector
 
 	// beforeQuery, when set, runs on the worker goroutine before each
 	// admitted query executes. Test hook: lets tests hold workers busy to
@@ -172,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/outputs", s.handleOutputs)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -411,6 +418,19 @@ type queryResponse struct {
 	// server-side handling time.
 	QueryNS int64 `json:"query_ns"`
 	ServeNS int64 `json:"serve_ns"`
+	// TraceID, when the daemon runs with tracing enabled, names the
+	// distributed span tree the walk produced; fetch it from
+	// GET /v1/trace/{trace_id}. Cache hits replay the cold run's ID.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// traceIDString renders a trace ID for the wire: 16 hex chars, or empty
+// for the zero (untraced) ID.
+func traceIDString(id trace.TraceID) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(id))
 }
 
 // handleQuery answers a distributed provenance query, consulting the
@@ -458,6 +478,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Tuple: out.String(), Scheme: scheme, EvID: q.Get("evid"),
 			Cached: true, Epoch: ans.Epoch, Trees: ans.Trees, Hops: ans.Hops,
 			QueryNS: ans.ColdNS, ServeNS: time.Since(began).Nanoseconds(),
+			TraceID: traceIDString(ans.TraceID),
 		})
 		return
 	}
@@ -496,13 +517,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, t := range j.res.Trees {
 		trees[i] = t.String()
 	}
-	ans := answer{Trees: trees, Hops: j.res.Hops, ColdNS: j.res.Latency.Nanoseconds(), Epoch: j.epoch}
+	ans := answer{Trees: trees, Hops: j.res.Hops, ColdNS: j.res.Latency.Nanoseconds(), Epoch: j.epoch, TraceID: j.res.TraceID}
 	s.cache.Put(key, ans)
 	s.coldLatency.ObserveDuration(time.Since(began))
 	writeJSON(w, http.StatusOK, queryResponse{
 		Tuple: out.String(), Scheme: scheme, EvID: q.Get("evid"),
 		Cached: false, Epoch: j.epoch, Trees: trees, Hops: j.res.Hops,
 		QueryNS: j.res.Latency.Nanoseconds(), ServeNS: time.Since(began).Nanoseconds(),
+		TraceID: traceIDString(j.res.TraceID),
 	})
 }
 
@@ -593,9 +615,50 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleTrace serves GET /v1/trace/{id}: the named span tree rendered as
+// Chrome trace-event JSON (load it in chrome://tracing or Perfetto). The
+// ID is the 16-hex-char trace_id a /v1/query response carries. 404 when
+// tracing is disabled or the trace is unknown (it may have been evicted
+// under the span budget).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.Tracer == nil {
+		jsonError(w, http.StatusNotFound, "tracing disabled (start the daemon with -trace)")
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if raw == "" {
+		// No ID: list the collected trace IDs so callers can discover
+		// what is fetchable.
+		ids := s.cfg.Tracer.TraceIDs()
+		hexIDs := make([]string, len(ids))
+		for i, id := range ids {
+			hexIDs[i] = traceIDString(id)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": hexIDs})
+		return
+	}
+	id, err := strconv.ParseUint(raw, 16, 64)
+	if err != nil || id == 0 {
+		jsonError(w, http.StatusBadRequest, "trace ID must be hex (got %q)", raw)
+		return
+	}
+	if len(s.cfg.Tracer.Trace(trace.TraceID(id))) == 0 {
+		jsonError(w, http.StatusNotFound, "unknown trace %s (evicted or never collected)", raw)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.cfg.Tracer.WriteChromeTrace(w, trace.TraceID(id)) //nolint:errcheck
+}
+
 // handleMetrics renders the Prometheus text exposition: serving counters,
-// latency histograms split by cache outcome, and per-scheme transport and
-// storage series.
+// latency histograms split by cache outcome, and per-scheme transport,
+// byte-class, storage, graveyard, and trace series. Every label value
+// goes through metrics.PromLabel so a hostile scheme name cannot corrupt
+// the scrape.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		jsonError(w, http.StatusMethodNotAllowed, "GET only")
@@ -611,10 +674,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.WriteGauge(w, "provd_uptime_seconds", "", time.Since(s.start).Seconds())
 	s.coldLatency.WritePrometheus(w, "provd_query_seconds", `cache="miss"`)
 	s.hitLatency.WritePrometheus(w, "provd_query_seconds", `cache="hit"`)
+	if tr := s.cfg.Tracer; tr != nil {
+		metrics.WriteGauge(w, "provd_traces", "", float64(tr.TraceCount()))
+		metrics.WriteGauge(w, "provd_trace_spans", "", float64(tr.SpanCount()))
+		metrics.WriteCounter(w, "provd_trace_spans_dropped_total", "", int64(tr.Dropped()))
+	}
 	for _, name := range s.schemes {
 		c := s.cfg.Clusters[name]
-		label := fmt.Sprintf("scheme=%q", name)
-		metrics.WritePrometheus(w, c.TransportStats().Counters(), "provd_transport", label)
+		label := metrics.PromLabel("scheme", name)
+		ts := c.TransportStats()
+		metrics.WritePrometheus(w, ts.Counters(), "provd_transport", label)
 		metrics.WriteGauge(w, "provd_storage_bytes", label, float64(c.TotalStorageBytes()))
+		metrics.WriteGauge(w, "provd_graveyard_tuples", label, float64(c.GraveyardSize()))
+		// Per-class byte attribution: the three classes sum to the
+		// transport byte total by construction (see cluster.linkBytes).
+		for _, cl := range []struct {
+			class string
+			bytes int64
+		}{{"base", ts.BytesBase}, {"prov", ts.BytesProv}, {"query", ts.BytesQuery}} {
+			metrics.WriteCounter(w, "provd_bytes_total",
+				label+","+metrics.PromLabel("class", cl.class), cl.bytes)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,7 @@ import (
 	"provcompress/internal/apps"
 	"provcompress/internal/cluster"
 	"provcompress/internal/topo"
+	"provcompress/internal/trace"
 	"provcompress/internal/types"
 	"provcompress/internal/workload"
 )
@@ -457,4 +459,172 @@ func TestMultiSchemeQueryAndOutputs(t *testing.T) {
 	if tup.Loc() != types.NodeAddr("n2") {
 		t.Fatalf("round-tripped output at %s, want n2", tup.Loc())
 	}
+}
+
+// TestTraceEndpoint drives the serving layer's trace surface end to end:
+// a traced daemon returns a trace_id on /v1/query, serves that trace as
+// valid parent-linked Chrome JSON on /v1/trace/{id}, replays the ID on
+// cache hits, exposes per-class byte counters on /metrics that sum to
+// the transport byte total, and 404s unknown IDs.
+func TestTraceEndpoint(t *testing.T) {
+	tr := trace.NewCollector(0)
+	g := topo.Line(4, "n")
+	c, err := cluster.New(cluster.Config{
+		Prog:   apps.Forwarding(),
+		Funcs:  apps.Funcs(),
+		Nodes:  g.Nodes(),
+		Scheme: "advanced",
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.LoadBase(g.ShortestPaths().RouteTuples()); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		Clusters: map[string]*cluster.Cluster{"advanced": c},
+		Tracer:   tr,
+	})
+
+	postEvents(t, ts.URL, 10000, packetSpec("n0", "n3", "traced"))
+	qr, resp := get(t, ts.URL, tupleSpec{Rel: "recv", Args: []any{"n3", "n0", "n3", "traced"}})
+	if resp.StatusCode != http.StatusOK || len(qr.Trees) == 0 {
+		t.Fatalf("query: status %d, %d trees", resp.StatusCode, len(qr.Trees))
+	}
+	if qr.TraceID == "" {
+		t.Fatal("traced query returned no trace_id")
+	}
+
+	// The cache hit must replay the cold run's trace ID.
+	hit, _ := get(t, ts.URL, tupleSpec{Rel: "recv", Args: []any{"n3", "n0", "n3", "traced"}})
+	if !hit.Cached || hit.TraceID != qr.TraceID {
+		t.Fatalf("cache hit: cached=%v trace_id=%q, want cold run's %q", hit.Cached, hit.TraceID, qr.TraceID)
+	}
+
+	// /v1/trace/{id} serves the span tree as valid Chrome trace JSON.
+	tresp, err := http.Get(ts.URL + "/v1/trace/" + qr.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(tresp.Body) //nolint:errcheck
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: %s: %s", tresp.Status, body)
+	}
+	n, err := trace.ValidateChrome(body)
+	if err != nil {
+		t.Fatalf("trace export invalid: %v", err)
+	}
+	id, err := strconv.ParseUint(qr.TraceID, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Trace(trace.TraceID(id))
+	if n != len(spans) {
+		t.Fatalf("chrome export has %d events, collector has %d spans", n, len(spans))
+	}
+	if err := trace.CheckLinked(spans); err != nil {
+		t.Fatalf("served trace not parent-linked: %v", err)
+	}
+
+	// The ID listing must include the trace we just fetched.
+	lresp, err := http.Get(ts.URL + "/v1/trace/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Traces []string `json:"traces"`
+	}
+	err = json.NewDecoder(lresp.Body).Decode(&listing)
+	lresp.Body.Close()
+	if err != nil || lresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace listing: status %d err %v", lresp.StatusCode, err)
+	}
+	found := false
+	for _, tid := range listing.Traces {
+		if tid == qr.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace listing %v missing %s", listing.Traces, qr.TraceID)
+	}
+
+	// Unknown and malformed IDs answer 404/400, not 200.
+	for path, want := range map[string]int{
+		"/v1/trace/ffffffffffffffff": http.StatusNotFound,
+		"/v1/trace/nothex":           http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// /metrics: the per-class byte counters must sum to the aggregate
+	// transport byte total, and the trace gauges must be live.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body) //nolint:errcheck
+	mresp.Body.Close()
+	exposition := string(mbody)
+	classSum := 0.0
+	for _, class := range []string{"base", "prov", "query"} {
+		v, ok := promSample(exposition, "provd_bytes_total", fmt.Sprintf(`{scheme="advanced",class=%q}`, class))
+		if !ok {
+			t.Fatalf("/metrics missing provd_bytes_total class %q:\n%s", class, exposition)
+		}
+		classSum += v
+	}
+	if total := float64(c.TransportStats().BytesTotal); classSum != total {
+		t.Fatalf("/metrics class sum %g != transport total %g", classSum, total)
+	}
+	if v, ok := promSample(exposition, "provd_trace_spans", ""); !ok || v <= 0 {
+		t.Fatalf("/metrics provd_trace_spans = %g (ok=%v), want > 0", v, ok)
+	}
+	if _, ok := promSample(exposition, "provd_graveyard_tuples", `{scheme="advanced"}`); !ok {
+		t.Fatal("/metrics missing provd_graveyard_tuples")
+	}
+}
+
+// TestTraceEndpointDisabled pins the untraced daemon's behavior: 404 on
+// /v1/trace/, no trace_id in query responses.
+func TestTraceEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", "plain"))
+	qr, _ := get(t, ts.URL, tupleSpec{Rel: "recv", Args: []any{"n2", "n0", "n2", "plain"}})
+	if qr.TraceID != "" {
+		t.Fatalf("untraced daemon returned trace_id %q", qr.TraceID)
+	}
+	resp, err := http.Get(ts.URL + "/v1/trace/0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace endpoint on untraced daemon: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// promSample scans an exposition for one sample line with the exact
+// label set (pass "" for unlabeled) and returns its value.
+func promSample(exposition, name, labels string) (float64, bool) {
+	prefix := name + labels + " "
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, prefix), "%g", &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). We emit "X" (complete) events with
+// microsecond timestamps plus "M" (metadata) events naming each node as
+// a process.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid,omitempty"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Cat  string            `json:"cat,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func toMicros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// appendChrome converts spans to Chrome events, assigning one pid per
+// distinct node (stable across calls via the pids map).
+func appendChrome(events []chromeEvent, spans []Span, pids map[string]int) []chromeEvent {
+	for _, sp := range spans {
+		pid, ok := pids[sp.Node]
+		if !ok {
+			pid = len(pids) + 1
+			pids[sp.Node] = pid
+			events = append(events, chromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  pid,
+				Args: map[string]string{"name": sp.Node},
+			})
+		}
+		dur := toMicros(sp.End - sp.Start)
+		if dur < 0 {
+			dur = 0
+		}
+		args := map[string]string{
+			"trace":  fmt.Sprintf("%d", sp.Trace),
+			"span":   fmt.Sprintf("%d", sp.ID),
+			"parent": fmt.Sprintf("%d", sp.Parent),
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Pid:  pid,
+			Tid:  1,
+			Ts:   toMicros(sp.Start),
+			Dur:  dur,
+			Cat:  sp.Kind,
+			Args: args,
+		})
+	}
+	return events
+}
+
+// WriteChromeTrace writes one trace as Chrome trace-event JSON. An
+// unknown (or nil-collector) trace writes an empty traceEvents array.
+func (c *Collector) WriteChromeTrace(w io.Writer, id TraceID) error {
+	events := appendChrome(nil, c.Trace(id), map[string]int{})
+	return writeChrome(w, events)
+}
+
+// WriteChromeTraceAll writes every retained trace into one Chrome trace
+// document, oldest trace first.
+func (c *Collector) WriteChromeTraceAll(w io.Writer) error {
+	var events []chromeEvent
+	pids := map[string]int{}
+	for _, id := range c.TraceIDs() {
+		events = appendChrome(events, c.Trace(id), pids)
+	}
+	return writeChrome(w, events)
+}
+
+func writeChrome(w io.Writer, events []chromeEvent) error {
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}
+
+// ValidateChrome parses data as Chrome trace-event JSON and checks it is
+// non-empty and well-formed: at least one "X" event, every event carries
+// a name and phase, and no negative timestamps or durations. It returns
+// the number of "X" (span) events.
+func ValidateChrome(data []byte) (int, error) {
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("trace: invalid chrome trace JSON: %w", err)
+	}
+	complete := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			return 0, fmt.Errorf("trace: event %d missing phase", i)
+		}
+		if ev.Name == "" {
+			return 0, fmt.Errorf("trace: event %d missing name", i)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return 0, fmt.Errorf("trace: event %d has negative ts/dur", i)
+		}
+		if ev.Ph == "X" {
+			complete++
+		}
+	}
+	if complete == 0 {
+		return 0, fmt.Errorf("trace: chrome trace has no span events")
+	}
+	return complete, nil
+}
+
+// CheckLinked verifies spans form a single parent-linked tree: exactly
+// one root (Parent == 0), every other span's parent present in the set,
+// and every span on the same trace. It is the structural assertion the
+// chaos and smoke gates run against collected traces.
+func CheckLinked(spans []Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("trace: no spans")
+	}
+	tid := spans[0].Trace
+	ids := make(map[SpanID]bool, len(spans))
+	for _, sp := range spans {
+		if sp.Trace != tid {
+			return fmt.Errorf("trace: span %d on trace %d, want %d", sp.ID, sp.Trace, tid)
+		}
+		if ids[sp.ID] {
+			return fmt.Errorf("trace: duplicate span id %d", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+	roots := 0
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			roots++
+			continue
+		}
+		if !ids[sp.Parent] {
+			return fmt.Errorf("trace: span %d has unknown parent %d", sp.ID, sp.Parent)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("trace: %d roots, want exactly 1", roots)
+	}
+	return nil
+}
+
+// Nodes returns the distinct node names appearing in spans, sorted.
+func Nodes(spans []Span) []string {
+	set := map[string]bool{}
+	for _, sp := range spans {
+		set[sp.Node] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

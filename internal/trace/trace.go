@@ -1,0 +1,241 @@
+// Package trace is the lightweight distributed-tracing layer of the
+// cluster runtime. A span records one unit of work (an event injection,
+// a per-node derivation step, a query walk hop) on a monotonic clock;
+// spans are parent-linked into a tree per trace, and the (trace, span)
+// context rides inside the cluster's wire frames so one injected event
+// or one distributed query produces a single tree spanning every node
+// it touched.
+//
+// The API is nil-safe end to end: a nil *Collector hands out nil
+// *ActiveSpan values whose methods are all no-ops, so instrumented code
+// paths pay one pointer test when tracing is off.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceID names one causally-linked tree of spans. Zero means "no trace"
+// on the wire.
+type TraceID uint64
+
+// SpanID names one span within a trace. Zero means "no parent".
+type SpanID uint64
+
+// SpanContext is the propagated part of a span: enough to parent a child
+// span on another node. The zero value is the empty context.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a real trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one finished unit of work. Start and End are offsets on the
+// collector's monotonic clock (time since the collector was created), so
+// spans recorded on different goroutines order consistently even if the
+// wall clock steps.
+type Span struct {
+	Trace  TraceID       `json:"trace"`
+	ID     SpanID        `json:"id"`
+	Parent SpanID        `json:"parent"`
+	Node   string        `json:"node"`
+	Kind   string        `json:"kind"`
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start"`
+	End    time.Duration `json:"end"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// DefaultMaxSpans bounds a collector's retained spans unless overridden.
+const DefaultMaxSpans = 1 << 16
+
+// Collector allocates IDs and retains finished spans, bounded by a span
+// budget: when the budget is exceeded the oldest whole trace is evicted
+// (partial trees are worse than absent ones) and counted as dropped.
+type Collector struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	nextID   uint64
+	maxSpans int
+	spans    map[TraceID][]Span
+	order    []TraceID // trace insertion order, oldest first
+	total    int
+	dropped  uint64
+}
+
+// NewCollector returns a collector retaining at most maxSpans spans
+// (DefaultMaxSpans if maxSpans <= 0).
+func NewCollector(maxSpans int) *Collector {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Collector{
+		epoch:    time.Now(),
+		maxSpans: maxSpans,
+		spans:    make(map[TraceID][]Span),
+	}
+}
+
+// now returns the monotonic offset since the collector was created.
+func (c *Collector) now() time.Duration { return time.Since(c.epoch) }
+
+func (c *Collector) nextSpanID() uint64 {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	return id
+}
+
+// ActiveSpan is an in-flight span. It is owned by one goroutine; End
+// publishes it to the collector. All methods are no-ops on nil.
+type ActiveSpan struct {
+	c    *Collector
+	span Span
+}
+
+// StartSpan opens a span under parent. A zero parent context starts a
+// new trace rooted at this span. Safe on a nil collector (returns nil).
+func (c *Collector) StartSpan(parent SpanContext, node, kind, name string) *ActiveSpan {
+	if c == nil {
+		return nil
+	}
+	s := &ActiveSpan{c: c}
+	s.span = Span{
+		Trace:  parent.Trace,
+		ID:     SpanID(c.nextSpanID()),
+		Parent: parent.Span,
+		Node:   node,
+		Kind:   kind,
+		Name:   name,
+		Start:  c.now(),
+	}
+	if s.span.Trace == 0 {
+		// A root span starts a fresh trace; reuse the span ID as the
+		// trace ID so both are unique under the same counter.
+		s.span.Trace = TraceID(s.span.ID)
+		s.span.Parent = 0
+	}
+	return s
+}
+
+// Context returns the propagatable (trace, span) pair. Zero on nil.
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.span.Trace, Span: s.span.ID}
+}
+
+// SetAttr annotates the span. No-op on nil.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and records it in the collector. No-op on nil;
+// calling End twice records the span twice, so don't.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.End = s.c.now()
+	s.c.record(s.span)
+}
+
+func (c *Collector) record(sp Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.spans[sp.Trace]; !ok {
+		c.order = append(c.order, sp.Trace)
+	}
+	c.spans[sp.Trace] = append(c.spans[sp.Trace], sp)
+	c.total++
+	for c.total > c.maxSpans && len(c.order) > 1 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		n := len(c.spans[oldest])
+		delete(c.spans, oldest)
+		c.total -= n
+		c.dropped += uint64(n)
+	}
+}
+
+// Trace returns the finished spans of one trace, sorted by start time,
+// or nil if unknown. Safe on a nil collector.
+func (c *Collector) Trace(id TraceID) []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	src := c.spans[id]
+	out := make([]Span, len(src))
+	copy(out, src)
+	c.mu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TraceIDs returns the retained trace IDs, oldest first. Safe on nil.
+func (c *Collector) TraceIDs() []TraceID {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TraceID, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// SpanCount returns the number of retained spans. Safe on nil.
+func (c *Collector) SpanCount() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// TraceCount returns the number of retained traces. Safe on nil.
+func (c *Collector) TraceCount() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
+
+// Dropped returns the number of spans evicted under the budget. Safe on
+// nil.
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}

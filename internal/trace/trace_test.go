@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	s := c.StartSpan(SpanContext{}, "n0", "test", "noop")
+	if s != nil {
+		t.Fatalf("nil collector returned non-nil span")
+	}
+	s.SetAttr("k", "v")
+	s.End()
+	if got := s.Context(); got.Valid() {
+		t.Fatalf("nil span context = %+v, want invalid", got)
+	}
+	if c.Trace(1) != nil || c.SpanCount() != 0 || c.Dropped() != 0 || c.TraceCount() != 0 {
+		t.Fatalf("nil collector accessors not zero")
+	}
+}
+
+func TestSpanTreeAcrossNodes(t *testing.T) {
+	c := NewCollector(0)
+	root := c.StartSpan(SpanContext{}, "n0", "inject", "inject packet")
+	rootCtx := root.Context()
+	if !rootCtx.Valid() {
+		t.Fatalf("root context invalid")
+	}
+
+	// Children on two other "nodes", one nested grandchild.
+	c1 := c.StartSpan(rootCtx, "n1", "process", "process recv")
+	g1 := c.StartSpan(c1.Context(), "n1", "rule", "fire r2")
+	g1.SetAttr("rule", "r2")
+	g1.End()
+	c1.End()
+	c2 := c.StartSpan(rootCtx, "n2", "process", "process recv")
+	c2.End()
+	root.End()
+
+	spans := c.Trace(rootCtx.Trace)
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if err := CheckLinked(spans); err != nil {
+		t.Fatalf("CheckLinked: %v", err)
+	}
+	if got := Nodes(spans); len(got) != 3 || got[0] != "n0" || got[2] != "n2" {
+		t.Fatalf("Nodes = %v", got)
+	}
+	// Spans are sorted by start; the root started first.
+	if spans[0].ID != SpanID(rootCtx.Span) || spans[0].Parent != 0 {
+		t.Fatalf("first span is not the root: %+v", spans[0])
+	}
+	for _, sp := range spans {
+		if sp.End < sp.Start {
+			t.Fatalf("span %d ends before it starts", sp.ID)
+		}
+	}
+}
+
+func TestCheckLinkedRejectsBrokenTrees(t *testing.T) {
+	if err := CheckLinked(nil); err == nil {
+		t.Fatalf("empty span set accepted")
+	}
+	// Orphan parent.
+	spans := []Span{
+		{Trace: 1, ID: 1, Parent: 0},
+		{Trace: 1, ID: 2, Parent: 99},
+	}
+	if err := CheckLinked(spans); err == nil || !strings.Contains(err.Error(), "unknown parent") {
+		t.Fatalf("orphan accepted: %v", err)
+	}
+	// Two roots.
+	spans = []Span{
+		{Trace: 1, ID: 1, Parent: 0},
+		{Trace: 1, ID: 2, Parent: 0},
+	}
+	if err := CheckLinked(spans); err == nil || !strings.Contains(err.Error(), "roots") {
+		t.Fatalf("forest accepted: %v", err)
+	}
+	// Mixed traces.
+	spans = []Span{
+		{Trace: 1, ID: 1, Parent: 0},
+		{Trace: 2, ID: 2, Parent: 1},
+	}
+	if err := CheckLinked(spans); err == nil {
+		t.Fatalf("mixed traces accepted")
+	}
+}
+
+func TestEvictionDropsOldestTrace(t *testing.T) {
+	c := NewCollector(4)
+	mk := func() TraceID {
+		s := c.StartSpan(SpanContext{}, "n0", "t", "root")
+		ctx := s.Context()
+		child := c.StartSpan(ctx, "n0", "t", "child")
+		child.End()
+		s.End()
+		return ctx.Trace
+	}
+	t1 := mk()
+	t2 := mk()
+	t3 := mk() // 6 spans total; budget 4 → t1 evicted
+	if got := c.Trace(t1); got != nil {
+		t.Fatalf("oldest trace survived eviction: %d spans", len(got))
+	}
+	if c.Trace(t2) == nil || c.Trace(t3) == nil {
+		t.Fatalf("newer traces evicted")
+	}
+	if c.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", c.Dropped())
+	}
+	if c.SpanCount() != 4 {
+		t.Fatalf("span count = %d, want 4", c.SpanCount())
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	c := NewCollector(0)
+	root := c.StartSpan(SpanContext{}, "n0", "query", "query recv")
+	root.SetAttr("scheme", "advanced")
+	child := c.StartSpan(root.Context(), "n1", "walk", "walk hop")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf, root.Context().Trace); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	n, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("span events = %d, want 2", n)
+	}
+	// Must carry process metadata naming both nodes and the attr.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"process_name"`, `"n0"`, `"n1"`, `"scheme":"advanced"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("chrome trace missing %s:\n%s", want, s)
+		}
+	}
+
+	// Unknown trace → empty but valid JSON that fails validation.
+	buf.Reset()
+	if err := c.WriteChromeTrace(&buf, 999999); err != nil {
+		t.Fatalf("WriteChromeTrace(unknown): %v", err)
+	}
+	if _, err := ValidateChrome(buf.Bytes()); err == nil {
+		t.Fatalf("empty trace passed validation")
+	}
+
+	// All-traces writer covers everything retained.
+	buf.Reset()
+	if err := c.WriteChromeTraceAll(&buf); err != nil {
+		t.Fatalf("WriteChromeTraceAll: %v", err)
+	}
+	if n, err := ValidateChrome(buf.Bytes()); err != nil || n != 2 {
+		t.Fatalf("ValidateChrome(all) = %d, %v", n, err)
+	}
+}
+
+func TestValidateChromeRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"ph":"X","ts":1}]}`,             // no name
+		`{"traceEvents":[{"name":"a","ts":1}]}`,           // no phase
+		`{"traceEvents":[{"name":"a","ph":"X","ts":-5}]}`, // negative ts
+	}
+	for _, in := range cases {
+		if _, err := ValidateChrome([]byte(in)); err == nil {
+			t.Fatalf("ValidateChrome accepted %q", in)
+		}
+	}
+}

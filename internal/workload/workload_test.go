@@ -243,11 +243,60 @@ func TestDNSTrafficByDuration(t *testing.T) {
 		Alpha:    1,
 		Duration: time.Second,
 	}
-	if n := w.Schedule(rt, 0); n != 10 {
-		t.Fatalf("scheduled = %d, want 10", n)
+	// 1s at 10 rps is an exact multiple of the 100ms interval: requests
+	// fire at t = 0, 100ms, ..., 1s inclusive — 11 of them.
+	if n := w.Schedule(rt, 0); n != 11 {
+		t.Fatalf("scheduled = %d, want 11", n)
 	}
 	rt.Run()
-	if rt.NumOutputs() != 10 {
+	if rt.NumOutputs() != 11 {
 		t.Errorf("outputs = %d", rt.NumOutputs())
+	}
+}
+
+// TestDNSTrafficExactMultipleFencePost is the regression test for the
+// fence-post bug where a Duration that divided evenly by the interval
+// dropped the final request firing at start + Duration.
+func TestDNSTrafficExactMultipleFencePost(t *testing.T) {
+	rt, urls, clients := dnsRT(t)
+	w := DNSTraffic{
+		URLs:     []string{urls[0].URL},
+		Clients:  clients[:1],
+		Rate:     4, // 250ms interval
+		Alpha:    1,
+		Duration: 500 * time.Millisecond, // exact multiple: t = 0, 250ms, 500ms
+	}
+	if n := w.Schedule(rt, 0); n != 3 {
+		t.Fatalf("scheduled = %d, want 3 (0ms, 250ms, and the 500ms edge)", n)
+	}
+	rt.Run()
+	if rt.NumOutputs() != 3 {
+		t.Errorf("outputs = %d, want 3", rt.NumOutputs())
+	}
+
+	// Non-multiples keep their old count: 625ms at 4 rps still covers
+	// t = 0, 250ms, 500ms and nothing else fits before 625ms.
+	rt2, urls2, clients2 := dnsRT(t)
+	w2 := DNSTraffic{
+		URLs:     []string{urls2[0].URL},
+		Clients:  clients2[:1],
+		Rate:     4,
+		Alpha:    1,
+		Duration: 625 * time.Millisecond,
+	}
+	if n := w2.Schedule(rt2, 0); n != 3 {
+		t.Fatalf("non-multiple scheduled = %d, want 3", n)
+	}
+
+	// Duration 0 degenerates to the single request at the start instant.
+	rt3, urls3, clients3 := dnsRT(t)
+	w3 := DNSTraffic{
+		URLs:    []string{urls3[0].URL},
+		Clients: clients3[:1],
+		Rate:    4,
+		Alpha:   1,
+	}
+	if n := w3.Schedule(rt3, 0); n != 1 {
+		t.Fatalf("zero-duration scheduled = %d, want 1", n)
 	}
 }

@@ -76,10 +76,13 @@ func (w DNSTraffic) Schedule(rt *engine.Runtime, start time.Duration) int64 {
 	if w.Count > 0 {
 		total = int64(w.Count)
 	} else {
-		total = int64(w.Duration / interval)
-		if w.Duration%interval != 0 || total == 0 {
-			total++
-		}
+		// Requests fire at start + k*interval for k = 0..total-1, so a
+		// stream covering [start, start+Duration] holds Duration/interval
+		// intervals plus the request at the starting instant. Computing
+		// just floor(Duration/interval) and bumping only on a remainder
+		// dropped the final request firing exactly at start + Duration
+		// whenever Duration was an exact multiple of the interval.
+		total = int64(w.Duration/interval) + 1
 	}
 	z := NewZipf(rand.New(rand.NewSource(w.Seed)), len(w.URLs), w.Alpha)
 	var inject func(k int64)
