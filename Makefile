@@ -17,6 +17,11 @@
 #   bench-smoke  the benchmark harness at reduced scale, written to a
 #                scratch directory (committed BENCH_*.json baselines stay
 #                untouched) — proves the perf suite itself still runs
+#   recover-smoke  crash-recovery end to end against real processes: boot a
+#                child provd on a temp -data-dir, inject + record every
+#                provenance tree, kill -9 mid-load, reboot and require WAL
+#                replay plus identical trees, then a clean SIGTERM
+#                (checkpoint) followed by a zero-replay boot
 #
 # The chaos tests use fixed FaultPlan seeds, so a failure reproduces
 # deterministically; -count=1 defeats the test cache to make sure the
@@ -26,9 +31,9 @@ GO ?= go
 BENCH_SMOKE_DIR := $(or $(TMPDIR),/tmp)/provcompress-bench-smoke
 TRACE_SMOKE_FILE := $(or $(TMPDIR),/tmp)/provcompress-trace-smoke.json
 
-.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke
+.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke recover-smoke
 
-verify: vet build test chaos serve-smoke trace-smoke bench-smoke
+verify: vet build test chaos serve-smoke trace-smoke bench-smoke recover-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,3 +61,6 @@ bench:
 
 bench-smoke:
 	$(GO) run ./cmd/provsim -bench-out $(BENCH_SMOKE_DIR) -bench-smoke
+
+recover-smoke:
+	$(GO) run ./cmd/provd -recover-smoke

@@ -62,12 +62,20 @@ func main() {
 	cacheSize := flag.Int("cache", 1024, "result cache entries")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-attempt distributed query timeout")
 	selftest := flag.Bool("selftest", false, "boot on a random port, run the HTTP smoke + load phase, and exit")
+	recoverSmoke := flag.Bool("recover-smoke", false, "run the crash-recovery smoke test (spawns child provd processes on a temp -data-dir, kill -9 mid-load, asserts query equivalence) and exit")
 	traced := flag.Bool("trace", false, "collect distributed spans for every event and query; serves them on /v1/trace/{id}")
 	flag.Parse()
 
 	names := splitSchemes(*schemes)
 	if len(names) == 0 {
 		log.Fatal("provd: no schemes configured")
+	}
+	if *recoverSmoke {
+		if err := runRecoverSmoke(os.Stdout); err != nil {
+			log.Fatalf("provd: recover-smoke FAILED: %v", err)
+		}
+		fmt.Println("provd: recover-smoke ok")
+		return
 	}
 	if *selftest {
 		*listen = "127.0.0.1:0"
@@ -137,6 +145,14 @@ func main() {
 	case s := <-sig:
 		fmt.Printf("provd: %v, shutting down\n", s)
 		shutdown(httpSrv)
+		// Clean shutdown: flush the WAL and write a final snapshot on
+		// every durable cluster, so the next boot recovers instantly with
+		// zero replay. No-op without -data-dir.
+		for name, c := range clusters {
+			if err := c.Checkpoint(); err != nil {
+				log.Printf("provd: final checkpoint %s: %v", name, err)
+			}
+		}
 	case err := <-errCh:
 		if err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)

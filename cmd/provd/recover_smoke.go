@@ -1,0 +1,351 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// The -recover-smoke harness drives the crash-recovery path end to end
+// with real processes: it re-execs this binary as a child provd with a
+// temp -data-dir, injects events over HTTP, SIGKILLs the child mid-load,
+// restarts it on the same directory, and asserts that the recovered
+// daemon answers the same provenance queries with the same trees and that
+// recovery stayed inside its time budget. A final phase terminates the
+// daemon cleanly (SIGTERM → checkpoint) and asserts the next boot replays
+// zero WAL records.
+
+// recoveryBudget bounds one restart's total recovery wall time.
+const recoveryBudget = 30 * time.Second
+
+// smokeScheme is the scheme the harness exercises; one is enough — every
+// scheme shares the same log/replay machinery.
+const smokeScheme = "advanced"
+
+func runRecoverSmoke(out io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "provd-recover-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fmt.Fprintf(out, "recover-smoke: data dir %s\n", dir)
+
+	// Phase 1: boot fresh, load a quiesced batch, record its provenance.
+	a, err := startSmokeChild(exe, dir)
+	if err != nil {
+		return err
+	}
+	defer a.kill()
+	if err := rsPostEvents(a.base, smokeEvents(0, 16), 10000); err != nil {
+		return fmt.Errorf("inject batch 1: %w", err)
+	}
+	outs, err := rsOutputs(a.base)
+	if err != nil {
+		return err
+	}
+	if len(outs) == 0 {
+		return fmt.Errorf("no outputs after batch 1")
+	}
+	if len(outs) > 5 {
+		outs = outs[:5]
+	}
+	want := make(map[string][]string, len(outs))
+	for _, o := range outs {
+		trees, err := rsQuery(a.base, o)
+		if err != nil {
+			return fmt.Errorf("pre-crash query: %w", err)
+		}
+		if len(trees) == 0 {
+			return fmt.Errorf("pre-crash query of %s returned no trees", o.Rel)
+		}
+		want[rsKey(o)] = trees
+	}
+	fmt.Fprintf(out, "recover-smoke: recorded %d pre-crash queries\n", len(want))
+
+	// Crash mid-load: a second burst is accepted but not quiesced when the
+	// SIGKILL lands, so the logs end somewhere inside it.
+	if err := rsPostEvents(a.base, smokeEvents(100, 16), 0); err != nil {
+		return fmt.Errorf("inject batch 2: %w", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	a.kill()
+
+	// Phase 2: restart on the same dir; replay must restore batch-1 state.
+	start := time.Now()
+	b, err := startSmokeChild(exe, dir)
+	if err != nil {
+		return fmt.Errorf("restart after crash: %w", err)
+	}
+	defer b.kill()
+	restartWall := time.Since(start)
+	dur, err := rsDurability(b.base)
+	if err != nil {
+		return err
+	}
+	if dur == nil {
+		return fmt.Errorf("no durability stats after crash restart")
+	}
+	if dur.ReplayedRecords == 0 {
+		return fmt.Errorf("crash restart replayed no WAL records")
+	}
+	if budget := recoveryBudget.Seconds(); dur.RecoverySeconds > budget {
+		return fmt.Errorf("recovery took %.2fs (budget %.0fs)", dur.RecoverySeconds, budget)
+	}
+	fmt.Fprintf(out, "recover-smoke: crash restart replayed %d records on %d nodes in %.3fs (boot-to-serving %.2fs)\n",
+		dur.ReplayedRecords, dur.RecoveredNodes, dur.RecoverySeconds, restartWall.Seconds())
+	for _, o := range outs {
+		trees, err := rsQuery(b.base, o)
+		if err != nil {
+			return fmt.Errorf("post-crash query: %w", err)
+		}
+		if !equalTrees(want[rsKey(o)], trees) {
+			return fmt.Errorf("post-crash provenance of %s diverged:\n  want %v\n  got  %v", rsKey(o), want[rsKey(o)], trees)
+		}
+	}
+	fmt.Fprintf(out, "recover-smoke: post-crash provenance matches pre-crash\n")
+
+	// Phase 3: clean shutdown checkpoints, so the next boot replays zero.
+	if err := b.terminate(); err != nil {
+		return fmt.Errorf("clean shutdown: %w", err)
+	}
+	c, err := startSmokeChild(exe, dir)
+	if err != nil {
+		return fmt.Errorf("restart after clean shutdown: %w", err)
+	}
+	defer c.kill()
+	dur, err = rsDurability(c.base)
+	if err != nil {
+		return err
+	}
+	if dur == nil {
+		return fmt.Errorf("no durability stats after clean restart")
+	}
+	if dur.ReplayedRecords != 0 {
+		return fmt.Errorf("clean restart replayed %d WAL records; want 0 (final checkpoint missing?)", dur.ReplayedRecords)
+	}
+	for _, o := range outs {
+		trees, err := rsQuery(c.base, o)
+		if err != nil {
+			return fmt.Errorf("post-clean-restart query: %w", err)
+		}
+		if !equalTrees(want[rsKey(o)], trees) {
+			return fmt.Errorf("post-clean-restart provenance of %s diverged", rsKey(o))
+		}
+	}
+	fmt.Fprintf(out, "recover-smoke: clean restart recovered from snapshot with zero replay\n")
+	return nil
+}
+
+// smokeEvents builds n distinct packet events traveling the chain n0→n5.
+func smokeEvents(base, n int) []rsTuple {
+	evs := make([]rsTuple, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, rsTuple{Rel: "packet", Args: []any{"n0", "n0", "n5", fmt.Sprintf("pkt-%03d", base+i)}})
+	}
+	return evs
+}
+
+// --- child process management ----------------------------------------
+
+type smokeChild struct {
+	cmd  *exec.Cmd
+	base string
+	done bool
+}
+
+// startSmokeChild re-execs this binary as a durable provd on a random
+// port and waits for its listening banner.
+func startSmokeChild(exe, dir string) (*smokeChild, error) {
+	cmd := exec.Command(exe,
+		"-listen", "127.0.0.1:0",
+		"-schemes", smokeScheme,
+		"-nodes", "6",
+		"-data-dir", dir,
+		"-fsync", "always",
+		"-snapshot-every", "500",
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "provd listening on http://") {
+				fields := strings.Fields(line)
+				select {
+				case addrCh <- strings.TrimPrefix(fields[3], "http://"):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &smokeChild{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(recoveryBudget):
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+		return nil, fmt.Errorf("child provd did not report listening within %s", recoveryBudget)
+	}
+}
+
+// kill SIGKILLs the child — the crash. Idempotent.
+func (c *smokeChild) kill() {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.cmd.Process.Kill() //nolint:errcheck
+	c.cmd.Wait()         //nolint:errcheck
+}
+
+// terminate SIGTERMs the child — the clean shutdown — and waits for it.
+func (c *smokeChild) terminate() error {
+	if c.done {
+		return nil
+	}
+	c.done = true
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- c.cmd.Wait() }()
+	select {
+	case err := <-waited:
+		return err
+	case <-time.After(recoveryBudget):
+		c.cmd.Process.Kill() //nolint:errcheck
+		return fmt.Errorf("child did not exit within %s of SIGTERM", recoveryBudget)
+	}
+}
+
+// --- HTTP helpers -----------------------------------------------------
+
+var rsClient = &http.Client{Timeout: 30 * time.Second}
+
+type rsTuple struct {
+	Rel  string `json:"rel"`
+	Args []any  `json:"args"`
+}
+
+func rsKey(t rsTuple) string {
+	b, _ := json.Marshal(t) //nolint:errcheck
+	return string(b)
+}
+
+func rsPostEvents(base string, events []rsTuple, waitMS int) error {
+	body, err := json.Marshal(map[string]any{"events": events, "wait_ms": waitMS})
+	if err != nil {
+		return err
+	}
+	resp, err := rsClient.Post(base+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body) //nolint:errcheck
+		return fmt.Errorf("POST /v1/events: %s: %s", resp.Status, raw)
+	}
+	return nil
+}
+
+func rsOutputs(base string) ([]rsTuple, error) {
+	resp, err := rsClient.Get(base + "/v1/outputs?scheme=" + smokeScheme)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Outputs []rsTuple `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Outputs, nil
+}
+
+// rsQuery returns the provenance trees of one output, sorted so two
+// equivalent answers compare equal regardless of walk order.
+func rsQuery(base string, t rsTuple) ([]string, error) {
+	args, err := json.Marshal(t.Args)
+	if err != nil {
+		return nil, err
+	}
+	u := fmt.Sprintf("%s/v1/query?scheme=%s&rel=%s&args=%s", base, smokeScheme, t.Rel, string(args))
+	resp, err := rsClient.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body) //nolint:errcheck
+		return nil, fmt.Errorf("GET /v1/query: %s: %s", resp.Status, raw)
+	}
+	var body struct {
+		Trees []string `json:"trees"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	sort.Strings(body.Trees)
+	return body.Trees, nil
+}
+
+type rsDurabilityStats struct {
+	ReplayedRecords int64   `json:"replayed_records"`
+	TornRecords     int64   `json:"torn_records"`
+	RecoveredNodes  int     `json:"recovered_nodes"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	WALRecords      int64   `json:"wal_records"`
+	Snapshots       int64   `json:"snapshots"`
+}
+
+func rsDurability(base string) (*rsDurabilityStats, error) {
+	resp, err := rsClient.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Schemes map[string]struct {
+			Durability *rsDurabilityStats `json:"durability"`
+		} `json:"schemes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Schemes[smokeScheme].Durability, nil
+}
+
+func equalTrees(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -26,10 +26,12 @@ import (
 
 	"provcompress/internal/apps"
 	"provcompress/internal/cluster"
+	"provcompress/internal/core"
 	"provcompress/internal/engine"
 	"provcompress/internal/experiments"
 	"provcompress/internal/ndlog"
 	"provcompress/internal/provserve"
+	"provcompress/internal/store"
 	"provcompress/internal/topo"
 	"provcompress/internal/types"
 )
@@ -56,15 +58,30 @@ type engineBenchFile struct {
 }
 
 type serveBenchFile struct {
-	GeneratedBy  string  `json:"generated_by"`
-	Smoke        bool    `json:"smoke,omitempty"`
-	Nodes        int     `json:"nodes"`
-	Events       int     `json:"events"`
-	IngestWallMS float64 `json:"ingest_wall_ms"`
-	Queries      int     `json:"queries"`
-	ColdMeanMS   float64 `json:"cold_mean_ms"`
-	CachedMeanMS float64 `json:"cached_mean_ms"`
-	CacheSpeedup float64 `json:"cache_speedup"`
+	GeneratedBy  string                  `json:"generated_by"`
+	Smoke        bool                    `json:"smoke,omitempty"`
+	Nodes        int                     `json:"nodes"`
+	Events       int                     `json:"events"`
+	IngestWallMS float64                 `json:"ingest_wall_ms"`
+	Queries      int                     `json:"queries"`
+	ColdMeanMS   float64                 `json:"cold_mean_ms"`
+	CachedMeanMS float64                 `json:"cached_mean_ms"`
+	CacheSpeedup float64                 `json:"cache_speedup"`
+	Durability   []durabilityBenchRecord `json:"durability"`
+}
+
+// durabilityBenchRecord measures what durability costs and buys per
+// scheme: WAL bytes per injected event (cost, summed over every hop the
+// event touches) and cold-start recovery time for a full-log replay
+// (what a crash pays).
+type durabilityBenchRecord struct {
+	Scheme           string  `json:"scheme"`
+	Events           int     `json:"events"`
+	WALRecords       int64   `json:"wal_records"`
+	WALBytes         int64   `json:"wal_bytes"`
+	WALBytesPerEvent float64 `json:"wal_bytes_per_event"`
+	ReplayedRecords  int64   `json:"replayed_records"`
+	RecoveryMS       float64 `json:"recovery_ms"`
 }
 
 // runBench executes the suite and writes the two baseline files into dir.
@@ -297,6 +314,10 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 	}
 	cold := float64(coldTotal.Microseconds()) / float64(events) / 1000
 	cached := float64(cachedTotal.Microseconds()) / float64(events) / 1000
+	dur, err := benchDurability(smoke)
+	if err != nil {
+		return nil, err
+	}
 	return &serveBenchFile{
 		GeneratedBy:  "provsim -bench-out",
 		Smoke:        smoke,
@@ -307,5 +328,96 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 		ColdMeanMS:   cold,
 		CachedMeanMS: cached,
 		CacheSpeedup: cold / cached,
+		Durability:   dur,
 	}, nil
+}
+
+// benchDurability runs the same forwarding workload once per scheme on a
+// durable cluster (fsync off, no automatic snapshots, so the whole run
+// stays in the WAL), then cold-starts a second cluster from the same data
+// dir and measures the full-log replay.
+func benchDurability(smoke bool) ([]durabilityBenchRecord, error) {
+	nodes, events := 8, 40
+	if smoke {
+		nodes, events = 5, 6
+	}
+	g := topo.Line(nodes, "n")
+	routes := g.ShortestPaths().RouteTuples()
+	dst := fmt.Sprintf("n%d", nodes-1)
+	var out []durabilityBenchRecord
+	for _, scheme := range []string{core.SchemeExSPAN, core.SchemeBasic, core.SchemeAdvanced} {
+		dir, err := os.MkdirTemp("", "provsim-dur-")
+		if err != nil {
+			return nil, err
+		}
+		cfg := cluster.Config{
+			Prog:       apps.Forwarding(),
+			Funcs:      apps.Funcs(),
+			Nodes:      g.Nodes(),
+			Scheme:     scheme,
+			DataDir:    dir,
+			Durability: store.Options{Fsync: store.SyncOff},
+		}
+		rec, err := benchDurabilityScheme(cfg, routes, dst, events)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		rec.Scheme = scheme
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func benchDurabilityScheme(cfg cluster.Config, routes []types.Tuple, dst string, events int) (durabilityBenchRecord, error) {
+	var rec durabilityBenchRecord
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return rec, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			c.Close()
+		}
+	}()
+	if err := c.LoadBase(routes); err != nil {
+		return rec, err
+	}
+	// The route load is logged too; subtract it so the deltas attribute
+	// bytes to the injected events alone.
+	base := c.DurabilityStats()
+	for i := 0; i < events; i++ {
+		ev := types.NewTuple("packet",
+			types.String("n0"), types.String("n0"), types.String(dst),
+			types.String(fmt.Sprintf("d%d", i)))
+		if err := c.Inject(ev); err != nil {
+			return rec, err
+		}
+	}
+	if err := c.Quiesce(time.Minute); err != nil {
+		return rec, err
+	}
+	after := c.DurabilityStats()
+	wantOutputs := len(c.AllOutputs())
+	closed = true
+	c.Close()
+
+	rec.Events = events
+	rec.WALRecords = after.WALRecords - base.WALRecords
+	rec.WALBytes = after.WALBytes - base.WALBytes
+	rec.WALBytesPerEvent = float64(rec.WALBytes) / float64(events)
+
+	start := time.Now()
+	c2, err := cluster.New(cfg)
+	if err != nil {
+		return rec, fmt.Errorf("bench durability %s: recovery: %w", cfg.Scheme, err)
+	}
+	defer c2.Close()
+	rec.RecoveryMS = float64(time.Since(start).Microseconds()) / 1000
+	rec.ReplayedRecords = c2.DurabilityStats().ReplayedRecords
+	if got := len(c2.AllOutputs()); got != wantOutputs {
+		return rec, fmt.Errorf("bench durability %s: recovered %d outputs, want %d", cfg.Scheme, got, wantOutputs)
+	}
+	return rec, nil
 }

@@ -36,6 +36,7 @@ import (
 	"provcompress/internal/core"
 	"provcompress/internal/engine"
 	"provcompress/internal/ndlog"
+	"provcompress/internal/store"
 	"provcompress/internal/trace"
 	"provcompress/internal/types"
 )
@@ -71,6 +72,14 @@ type Config struct {
 	// (0 = unbounded). See Database.SetGraveyardCap for the provenance
 	// monotonicity tradeoff.
 	GraveyardCap int
+	// DataDir, when non-empty, makes every node durable: each member keeps
+	// a write-ahead log plus snapshots in DataDir/<node>/ and recovers its
+	// state from them at boot and on Restart. Empty keeps the cluster
+	// volatile (provenance survives Kill/Restart only in RAM).
+	DataDir string
+	// Durability tunes the per-node stores (fsync policy, snapshot
+	// cadence); ignored when DataDir is empty.
+	Durability store.Options
 }
 
 // Cluster is a set of live nodes on loopback TCP.
@@ -82,6 +91,10 @@ type Cluster struct {
 	tcfg   TransportConfig
 	faults *FaultPlan
 	tracer *trace.Collector
+
+	// dataDir / dopts configure durability ("" = volatile cluster).
+	dataDir string
+	dopts   store.Options
 
 	// plans holds the join plans compiled from the program at boot; every
 	// node evaluates through them (the deploy-time rule compiler).
@@ -136,6 +149,15 @@ type Node struct {
 	db      *engine.Database
 	state   core.NodeState
 	outputs []types.Tuple
+
+	// dur is set at boot when the cluster has a data dir; durMu then
+	// serializes every {WAL append + apply} pair so log order equals apply
+	// order (see durability.go). dstore is only swapped on Restart, under
+	// durMu, with the node dead.
+	dur       bool
+	durMu     sync.Mutex
+	dstore    *store.NodeStore
+	durErrors atomic.Int64
 
 	transMu sync.Mutex
 	trans   map[types.NodeAddr]*transport
@@ -208,6 +230,8 @@ func New(cfg Config) (*Cluster, error) {
 		tcfg:      cfg.Transport.withDefaults(),
 		faults:    cfg.Faults,
 		tracer:    cfg.Tracer,
+		dataDir:   cfg.DataDir,
+		dopts:     cfg.Durability,
 		plans:     engine.CompileProgram(cfg.Prog),
 		shardKeys: shardKeys,
 		nshards:   nshards,
@@ -247,6 +271,16 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		if cfg.GraveyardCap > 0 {
 			n.db.SetGraveyardCap(cfg.GraveyardCap)
+		}
+		if c.dataDir != "" {
+			// Recover before anything runs: the restore/replay callbacks
+			// rebuild db, state, and outputs with the node still quiescent.
+			n.dur = true
+			if err := c.openStore(n); err != nil {
+				ln.Close()
+				c.Close()
+				return nil, err
+			}
 		}
 		n.alive.Store(true)
 		c.nodes[addr] = n
@@ -401,7 +435,7 @@ func (c *Cluster) LoadBase(tuples []types.Tuple) error {
 		if n == nil {
 			return fmt.Errorf("cluster: base tuple %s at unknown node", t)
 		}
-		n.db.Insert(t)
+		n.insertDurable(t)
 	}
 	return nil
 }
@@ -445,7 +479,7 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 	if n == nil {
 		return fmt.Errorf("cluster: slow insert %s at unknown node", t)
 	}
-	if !n.db.Insert(t) {
+	if !n.insertDurable(t) {
 		return nil
 	}
 	frame := encodeSig()
@@ -469,7 +503,7 @@ func (c *Cluster) DeleteSlow(t types.Tuple) error {
 	if n == nil {
 		return fmt.Errorf("cluster: slow delete %s at unknown node", t)
 	}
-	if n.db.Delete(t) {
+	if n.deleteDurable(t) {
 		c.fireEventHook()
 	}
 	return nil
@@ -696,6 +730,14 @@ func (c *Cluster) Restart(addr types.NodeAddr) error {
 	if n.alive.Load() {
 		return fmt.Errorf("cluster: restart live node %s", addr)
 	}
+	if n.durable() {
+		// A durable restart is a real recovery: the crashed in-memory state
+		// is discarded and rebuilt from the snapshot + WAL tail before the
+		// node accepts traffic again.
+		if err := c.recoverForRestart(n); err != nil {
+			return err
+		}
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fmt.Errorf("cluster: relisten for %s: %w", addr, err)
@@ -726,5 +768,14 @@ func (c *Cluster) Close() {
 	close(c.stopCh)
 	for _, n := range c.nodes {
 		n.wg.Wait()
+	}
+	// With every worker stopped, flush and close the durable stores.
+	for _, n := range c.nodes {
+		n.durMu.Lock()
+		if n.dstore != nil {
+			n.dstore.Close() //nolint:errcheck // shutdown path
+			n.dstore = nil
+		}
+		n.durMu.Unlock()
 	}
 }

@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"provcompress/internal/core"
+	"provcompress/internal/store"
+	"provcompress/internal/types"
+	"provcompress/internal/wire"
+)
+
+// Durability glue: when Config.DataDir is set, every node owns a
+// store.NodeStore (WAL + snapshots) in its own subdirectory. The write
+// discipline is log-then-apply under the node's durMu: the WAL record is
+// appended first, then the in-memory apply runs, and no other apply can
+// interleave — so WAL order equals apply order, and replaying the log
+// through the same apply path (with head-shipping disabled) rebuilds the
+// exact pre-crash state. A crash between append and apply just means the
+// record replays on recovery, which is idempotent against the snapshot it
+// follows.
+//
+// The durMu serialization is the durability tradeoff: shards that would
+// evaluate concurrently on a volatile node serialize their applies on a
+// durable one. With DataDir unset nothing here runs and the concurrent
+// fast path is unchanged.
+
+// WAL record kinds. Each record payload starts with one of these bytes.
+const (
+	recEvent  = 1 // processed tuple frame (fresh event or derived head)
+	recInsert = 2 // slow-changing insert (LoadBase / InsertSlow)
+	recDelete = 3 // slow-changing delete
+	recSig    = 4 // equivalence-table reset broadcast (Section 5.5)
+)
+
+// nodeSnapVersion tags the per-node snapshot payload layout: the database
+// snapshot, the scheme state, and the node's output list.
+const nodeSnapVersion = 1
+
+// maxDurItems bounds decoded collection sizes in durable payloads.
+const maxDurItems = 1 << 26
+
+// durable reports whether this node persists its state. Set once at boot
+// and never changed, so it is readable without a lock.
+func (n *Node) durable() bool { return n.dur }
+
+// nodeDataDir names one member's storage directory.
+func (c *Cluster) nodeDataDir(addr types.NodeAddr) string {
+	return filepath.Join(c.dataDir, sanitizeAddr(string(addr)))
+}
+
+// sanitizeAddr maps a node address onto a safe directory name.
+func sanitizeAddr(addr string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, addr)
+}
+
+// openStore runs recovery for one node and attaches its NodeStore. The
+// caller guarantees no apply is running (boot, or a restart with the node
+// dead and durMu held).
+func (c *Cluster) openStore(n *Node) error {
+	ns, err := store.Open(c.nodeDataDir(n.addr), c.dopts, n.restoreSnapshot, n.applyRecord)
+	if err != nil {
+		return fmt.Errorf("cluster: open store for %s: %w", n.addr, err)
+	}
+	n.dstore = ns
+	return nil
+}
+
+// durFail records a durability error. The node keeps running on its
+// in-memory state — an engine that stops accepting events because a disk
+// write failed would violate the availability the rest of the fault model
+// works for — but the error is counted, logged, and surfaced in stats so
+// operators see the durability guarantee is degraded.
+func (n *Node) durFail(op string, err error) {
+	if n.durErrors.Add(1) <= 3 {
+		log.Printf("cluster: %s: durability %s failed: %v", n.addr, op, err)
+	}
+}
+
+// logApply appends rec and reports whether the store now wants a
+// checkpoint. Callers hold durMu.
+func (n *Node) logApply(rec []byte) bool {
+	if n.dstore == nil {
+		return false
+	}
+	want, err := n.dstore.Append(rec)
+	if err != nil {
+		n.durFail("append", err)
+		return false
+	}
+	return want
+}
+
+// checkpointLocked snapshots the node and truncates its WAL. Callers hold
+// durMu, so the payload reflects every appended record.
+func (n *Node) checkpointLocked() {
+	if n.dstore == nil {
+		return
+	}
+	if err := n.dstore.Checkpoint(n.snapshotPayload()); err != nil {
+		n.durFail("checkpoint", err)
+	}
+}
+
+// snapshotPayload serializes the node's full recoverable state: the
+// database (live tuples + graveyard), the scheme's provenance tables, and
+// the output tuples that arrived here.
+func (n *Node) snapshotPayload() []byte {
+	e := wire.NewEncoder(4096)
+	e.U8(nodeSnapVersion)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.db.EncodeSnapshot(e)
+	n.state.Persist(e)
+	e.U32(uint32(len(n.outputs)))
+	for _, t := range n.outputs {
+		e.Tuple(t)
+	}
+	return e.Bytes()
+}
+
+// restoreSnapshot is the recovery callback: it rebuilds the node from a
+// snapshot payload. It runs with the node quiescent (boot or dead).
+func (n *Node) restoreSnapshot(payload []byte) error {
+	d := wire.NewDecoder(payload)
+	if v := d.U8(); d.Err() == nil && v != nodeSnapVersion {
+		return fmt.Errorf("cluster: unsupported node snapshot version %d", v)
+	}
+	if err := n.db.RestoreSnapshot(d); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.state.Restore(d); err != nil {
+		return err
+	}
+	nOut := d.U32()
+	if nOut > maxDurItems {
+		return fmt.Errorf("cluster: node snapshot with %d outputs", nOut)
+	}
+	n.outputs = n.outputs[:0]
+	for i := uint32(0); i < nOut && d.Err() == nil; i++ {
+		n.outputs = append(n.outputs, d.Tuple())
+	}
+	return d.Err()
+}
+
+// applyRecord is the recovery callback: it re-runs one WAL record through
+// the same apply path the live node used, with head-shipping disabled —
+// each node's log holds exactly the frames it processed, so per-node
+// replay is independent and nothing travels the network.
+func (n *Node) applyRecord(rec []byte) error {
+	d := wire.NewDecoder(rec)
+	switch kind := d.U8(); kind {
+	case recEvent:
+		f, err := decodeDurEvent(d)
+		if err != nil {
+			return fmt.Errorf("cluster: corrupt event record: %w", err)
+		}
+		n.applyTuple(f)
+	case recInsert:
+		t := d.Tuple()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("cluster: corrupt insert record: %w", err)
+		}
+		n.db.Insert(t)
+	case recDelete:
+		t := d.Tuple()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("cluster: corrupt delete record: %w", err)
+		}
+		n.db.Delete(t)
+	case recSig:
+		n.mu.Lock()
+		n.state.ClearEquiKeys()
+		n.mu.Unlock()
+	default:
+		return fmt.Errorf("cluster: unknown WAL record kind %d", kind)
+	}
+	return nil
+}
+
+// encodeDurEvent frames a processed tuple for the WAL. The trace context
+// is deliberately dropped: replay is untraced.
+func encodeDurEvent(f *tupleFrame) []byte {
+	e := wire.NewEncoder(128)
+	e.U8(recEvent)
+	e.Tuple(f.Tuple)
+	e.Bool(f.Fresh)
+	if !f.Fresh {
+		encodeMeta(e, f.Meta)
+	}
+	return e.Bytes()
+}
+
+func decodeDurEvent(d *wire.Decoder) (*tupleFrame, error) {
+	f := &tupleFrame{}
+	f.Tuple = d.Tuple()
+	f.Fresh = d.Bool()
+	if !f.Fresh {
+		f.Meta = decodeMeta(d)
+	}
+	return f, d.Err()
+}
+
+func encodeDurTuple(kind uint8, t types.Tuple) []byte {
+	e := wire.NewEncoder(64)
+	e.U8(kind)
+	e.Tuple(t)
+	return e.Bytes()
+}
+
+var recSigPayload = []byte{recSig}
+
+// insertDurable inserts a slow-changing tuple, logging it first on a
+// durable node. It reports whether the tuple was new.
+func (n *Node) insertDurable(t types.Tuple) bool {
+	if !n.durable() {
+		return n.db.Insert(t)
+	}
+	n.durMu.Lock()
+	defer n.durMu.Unlock()
+	if n.db.Contains(t) {
+		return false // already stored; no record, matching the volatile path
+	}
+	want := n.logApply(encodeDurTuple(recInsert, t))
+	n.db.Insert(t)
+	if want {
+		n.checkpointLocked()
+	}
+	return true
+}
+
+// deleteDurable removes a slow-changing tuple, logging it first on a
+// durable node. It reports whether the tuple was present.
+func (n *Node) deleteDurable(t types.Tuple) bool {
+	if !n.durable() {
+		return n.db.Delete(t)
+	}
+	n.durMu.Lock()
+	defer n.durMu.Unlock()
+	if !n.db.Contains(t) {
+		return false
+	}
+	want := n.logApply(encodeDurTuple(recDelete, t))
+	n.db.Delete(t)
+	if want {
+		n.checkpointLocked()
+	}
+	return true
+}
+
+// applySig handles a sig broadcast: on a durable node the reset is logged
+// so a replayed log clears the equivalence table at the same point in the
+// apply order the live node did.
+func (n *Node) applySig() {
+	if !n.durable() {
+		n.mu.Lock()
+		n.state.ClearEquiKeys()
+		n.mu.Unlock()
+		return
+	}
+	n.durMu.Lock()
+	defer n.durMu.Unlock()
+	want := n.logApply(recSigPayload)
+	n.mu.Lock()
+	n.state.ClearEquiKeys()
+	n.mu.Unlock()
+	if want {
+		n.checkpointLocked()
+	}
+}
+
+// recoverForRestart rebuilds a dead durable node from disk: the crashed
+// in-memory state is discarded — database, scheme state, outputs — and the
+// newest snapshot plus WAL tail replayed in its place, so Restart proves
+// the durability path instead of relying on RAM survival. Any apply still
+// in flight from before the kill finishes (or lands in the old WAL
+// generation) before the lock admits us.
+func (c *Cluster) recoverForRestart(n *Node) error {
+	n.durMu.Lock()
+	defer n.durMu.Unlock()
+	if n.dstore != nil {
+		n.dstore.Close() //nolint:errcheck // discarded for a fresh recovery
+		n.dstore = nil
+	}
+	state, err := core.NewNodeState(c.scheme, c.keys)
+	if err != nil {
+		return err
+	}
+	n.db.Reset()
+	n.mu.Lock()
+	n.state = state
+	n.outputs = nil
+	n.mu.Unlock()
+	return c.openStore(n)
+}
+
+// Checkpoint forces a snapshot + WAL truncation on every durable member
+// (a clean shutdown writes one so the next boot recovers with zero
+// replay). It is a no-op on a cluster without a data dir.
+func (c *Cluster) Checkpoint() error {
+	if c.dataDir == "" {
+		return nil
+	}
+	var firstErr error
+	for _, n := range c.nodes {
+		n.durMu.Lock()
+		if n.dstore != nil {
+			if err := n.dstore.Checkpoint(n.snapshotPayload()); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cluster: checkpoint %s: %w", n.addr, err)
+			}
+		}
+		n.durMu.Unlock()
+	}
+	return firstErr
+}
+
+// SyncWAL flushes every durable member's WAL to stable storage regardless
+// of the fsync policy.
+func (c *Cluster) SyncWAL() error {
+	if c.dataDir == "" {
+		return nil
+	}
+	var firstErr error
+	for _, n := range c.nodes {
+		n.durMu.Lock()
+		if n.dstore != nil {
+			if err := n.dstore.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		n.durMu.Unlock()
+	}
+	return firstErr
+}
+
+// DurabilityStats aggregates the durability counters across members.
+type DurabilityStats struct {
+	// Enabled reports whether the cluster persists state at all.
+	Enabled bool
+	// Fsync is the WAL sync policy in effect.
+	Fsync string
+	// WALRecords / WALBytes count appends since boot (or last restart).
+	WALRecords int64
+	WALBytes   int64
+	// Snapshots / SnapshotBytes count checkpoints written since boot.
+	Snapshots     int64
+	SnapshotBytes int64
+	// SnapshotAgeSeconds is the age of the stalest member snapshot
+	// (negative when some member has never checkpointed).
+	SnapshotAgeSeconds float64
+	// ReplayedRecords / TornRecords / TornBytes describe the recoveries the
+	// members performed at their most recent (re)open.
+	ReplayedRecords int64
+	TornRecords     int64
+	TornBytes       int64
+	// RecoveredNodes counts members whose last open restored a snapshot or
+	// replayed records.
+	RecoveredNodes int
+	// RecoverySeconds sums the members' recovery wall times.
+	RecoverySeconds float64
+	// Errors counts durability failures the cluster survived (appends or
+	// checkpoints that could not reach disk).
+	Errors int64
+}
+
+// DurabilityStats snapshots the cluster's durability counters.
+func (c *Cluster) DurabilityStats() DurabilityStats {
+	ds := DurabilityStats{Enabled: c.dataDir != "", Fsync: c.dopts.Fsync.String()}
+	if !ds.Enabled {
+		return ds
+	}
+	var age time.Duration
+	neverSnapped := false
+	for _, n := range c.nodes {
+		ds.Errors += n.durErrors.Load()
+		n.durMu.Lock()
+		dstore := n.dstore
+		n.durMu.Unlock()
+		if dstore == nil {
+			continue
+		}
+		s := dstore.Stats()
+		ds.WALRecords += s.WALRecords
+		ds.WALBytes += s.WALBytes
+		ds.Snapshots += s.Snapshots
+		ds.SnapshotBytes += s.SnapshotBytes
+		if s.SnapshotAge < 0 {
+			neverSnapped = true
+		} else if s.SnapshotAge > age {
+			age = s.SnapshotAge
+		}
+		ds.ReplayedRecords += s.Recovery.ReplayedRecords
+		ds.TornRecords += s.Recovery.TornRecords
+		ds.TornBytes += s.Recovery.TornBytes
+		if s.Recovery.SnapshotLoaded || s.Recovery.ReplayedRecords > 0 {
+			ds.RecoveredNodes++
+		}
+		ds.RecoverySeconds += s.Recovery.WallTime.Seconds()
+	}
+	ds.SnapshotAgeSeconds = age.Seconds()
+	if neverSnapped {
+		ds.SnapshotAgeSeconds = -1
+	}
+	return ds
+}
+
+// DataDir returns the cluster's storage root ("" when volatile).
+func (c *Cluster) DataDir() string { return c.dataDir }

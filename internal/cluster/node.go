@@ -132,9 +132,7 @@ func (n *Node) handleFrame(payload []byte) {
 		settled = true // the shard worker settles after processing
 		n.enqueueShard(f, epoch)
 	case frameSig:
-		n.mu.Lock()
-		n.state.ClearEquiKeys()
-		n.mu.Unlock()
+		n.applySig()
 	case frameWalk:
 		f, err := decodeWalkFrame(d)
 		if err != nil {
@@ -197,14 +195,53 @@ func (n *Node) shardWorker(ch chan shardWork) {
 	}
 }
 
-// processTuple runs the DELP pipeline step for an arriving tuple: join the
-// local slow tables, fire the matching rules, maintain provenance via the
-// scheme's state machine, and ship the heads. The join runs against the
-// database's own read-write lock — outside n.mu — so shards evaluate
-// concurrently; only the provenance state transitions serialize on n.mu.
-// Events of one equivalence class are processed by one shard in arrival
-// order, which is what keeps per-class provenance chains consistent.
+// processTuple runs the DELP pipeline step for an arriving tuple. On a
+// volatile node the apply runs directly; on a durable one the frame is
+// logged to the WAL first and {append + apply} hold durMu so log order
+// equals apply order (durability.go). Shipping the derived heads happens
+// outside the lock either way.
 func (n *Node) processTuple(f *tupleFrame) {
+	if !n.durable() {
+		n.shipAll(n.applyTuple(f))
+		return
+	}
+	n.durMu.Lock()
+	want := n.logApply(encodeDurEvent(f))
+	ships := n.applyTuple(f)
+	if want {
+		n.checkpointLocked()
+	}
+	n.durMu.Unlock()
+	n.shipAll(ships)
+}
+
+// outShip is a derived head ready to travel: its destination, the encoded
+// frame, and the piggybacked provenance metadata size for byte
+// attribution.
+type outShip struct {
+	to        types.NodeAddr
+	frame     []byte
+	provBytes int
+}
+
+// shipAll sends the derived heads of one apply.
+func (n *Node) shipAll(ships []outShip) {
+	for _, s := range ships {
+		n.send(s.to, s.frame, classBase, s.provBytes) //nolint:errcheck // a send the node cannot even enqueue is a drop
+	}
+}
+
+// applyTuple is the pipeline step proper: join the local slow tables, fire
+// the matching rules, maintain provenance via the scheme's state machine,
+// and return the heads to ship. The join runs against the database's own
+// read-write lock — outside n.mu — so shards evaluate concurrently; only
+// the provenance state transitions serialize on n.mu. Events of one
+// equivalence class are processed by one shard in arrival order, which is
+// what keeps per-class provenance chains consistent. WAL replay re-runs
+// this same function and discards the returned shipments: each node's log
+// holds exactly the frames it processed, so nothing re-travels the
+// network.
+func (n *Node) applyTuple(f *tupleFrame) []outShip {
 	sp := n.c.startSpan(f.Trace, n.addr, "process", "process "+f.Tuple.Rel)
 	defer sp.End()
 	n.db.Insert(f.Tuple)
@@ -221,7 +258,7 @@ func (n *Node) processTuple(f *tupleFrame) {
 		n.outputs = append(n.outputs, f.Tuple)
 		n.mu.Unlock()
 		sp.SetAttr("output", "true")
-		return
+		return nil
 	}
 	type shipment struct {
 		head types.Tuple
@@ -254,13 +291,15 @@ func (n *Node) processTuple(f *tupleFrame) {
 		n.mu.Unlock()
 	}
 
+	out := make([]outShip, 0, len(ships))
 	for _, s := range ships {
 		// Shipped heads carry this process span's context so the next
 		// hop's span parents under it; the metadata piggyback bytes are
 		// attributed to the provenance class.
 		frame, metaBytes := (&tupleFrame{Tuple: s.head, Meta: s.meta, Trace: sp.Context()}).encodeSized()
-		n.send(s.head.Loc(), frame, classBase, metaBytes) //nolint:errcheck // a send the node cannot even enqueue is a drop
+		out = append(out, outShip{to: s.head.Loc(), frame: frame, provBytes: metaBytes})
 	}
+	return out
 }
 
 // handleWalk advances a traveling provenance query: it collects every

@@ -9,10 +9,12 @@ package clusterboot
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"provcompress/internal/apps"
 	"provcompress/internal/cluster"
+	"provcompress/internal/store"
 	"provcompress/internal/topo"
 	"provcompress/internal/trace"
 )
@@ -32,6 +34,17 @@ type Flags struct {
 	// GraveyardCap bounds each node's deleted-tuple graveyard
 	// (0 = unbounded; see engine.Database.SetGraveyardCap).
 	GraveyardCap int
+	// DataDir, when non-empty, makes the cluster durable: each node keeps
+	// a WAL + snapshots under DataDir/<scheme>/<node>/ and recovers from
+	// them on boot and restart. Empty keeps the cluster in-memory only.
+	DataDir string
+	// Fsync selects the WAL sync policy (always, interval, off).
+	Fsync string
+	// FsyncInterval is the flush period under -fsync=interval.
+	FsyncInterval time.Duration
+	// SnapshotEvery checkpoints a node after this many WAL records
+	// (0 = only explicit checkpoints, e.g. clean shutdown).
+	SnapshotEvery int
 	// Tracer, when set programmatically by the binary (the -trace flags
 	// differ per cmd, so it is not a shared flag), enables distributed
 	// span collection on the booted cluster.
@@ -50,7 +63,25 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.ResetAfter, "reset-after", 0, "fault injection: reset each link once after N successful writes")
 	fs.Int64Var(&f.FaultSeed, "fault-seed", 1, "fault injection: RNG seed (runs with the same seed inject the same faults)")
 	fs.IntVar(&f.GraveyardCap, "graveyard-cap", 0, "max deleted tuples retained per node for provenance VID resolution (0 = unbounded)")
+	fs.StringVar(&f.DataDir, "data-dir", "", "directory for the durable provenance store (WAL + snapshots); empty runs in-memory only")
+	fs.StringVar(&f.Fsync, "fsync", "always", "WAL fsync policy: always (per record), interval, or off")
+	fs.DurationVar(&f.FsyncInterval, "fsync-interval", 50*time.Millisecond, "flush period under -fsync=interval")
+	fs.IntVar(&f.SnapshotEvery, "snapshot-every", 10000, "checkpoint a node after this many WAL records (0 = only on clean shutdown)")
 	return f
+}
+
+// Durability returns the store options the flags describe; the error names
+// a bad -fsync spelling.
+func (f *Flags) Durability() (store.Options, error) {
+	policy, err := store.ParseSyncPolicy(f.Fsync)
+	if err != nil {
+		return store.Options{}, err
+	}
+	return store.Options{
+		Fsync:         policy,
+		FsyncInterval: f.FsyncInterval,
+		SnapshotEvery: f.SnapshotEvery,
+	}, nil
 }
 
 // Plan returns the FaultPlan the flags describe, or nil when no fault
@@ -81,7 +112,7 @@ func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 	}
 	g := topo.Line(f.Nodes, "n")
 	routes := g.ShortestPaths().RouteTuples()
-	c, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Prog:         apps.Forwarding(),
 		Funcs:        apps.Funcs(),
 		Nodes:        g.Nodes(),
@@ -89,13 +120,51 @@ func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 		Faults:       f.Plan(),
 		Tracer:       f.Tracer,
 		GraveyardCap: f.GraveyardCap,
-	})
+	}
+	// Validate the policy spelling even on a volatile run, so a typo'd
+	// -fsync fails fast instead of being discovered the day -data-dir is
+	// finally set.
+	opts, err := f.Durability()
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := c.LoadBase(routes); err != nil {
-		c.Close()
+	recovering := false
+	if f.DataDir != "" {
+		// Per-scheme subdirectory: a daemon serving several schemes from
+		// one -data-dir must not replay one scheme's log into another's
+		// state machine.
+		cfg.DataDir = filepath.Join(f.DataDir, scheme)
+		cfg.Durability = opts
+		recovering = dirHasState(cfg.DataDir)
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
 		return nil, nil, err
 	}
+	// A recovered cluster already holds its base tuples (and everything
+	// since); reloading them would be harmless no-op inserts, but skipping
+	// keeps the recovery counters honest.
+	if !recovering {
+		if err := c.LoadBase(routes); err != nil {
+			c.Close()
+			return nil, nil, err
+		}
+	}
 	return c, g, nil
+}
+
+// dirHasState reports whether a scheme data dir holds prior state to
+// recover (any snapshot or WAL file in any node subdirectory).
+func dirHasState(dir string) bool {
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*"))
+	if err != nil {
+		return false
+	}
+	for _, m := range matches {
+		base := filepath.Base(m)
+		if filepath.Ext(base) == ".snap" || filepath.Ext(base) == ".log" {
+			return true
+		}
+	}
+	return false
 }

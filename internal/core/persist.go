@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"provcompress/internal/types"
+	"provcompress/internal/wire"
+)
+
+// Persistence codec for the per-node provenance state machines: the
+// durability layer (internal/cluster + internal/store) checkpoints a
+// NodeState into a snapshot and restores it on crash recovery. All three
+// schemes share one store layout, so one codec covers them; the byte
+// accounting is carried verbatim rather than recomputed, which keeps
+// StorageBytes — the paper's headline metric — bit-identical across a
+// crash.
+
+// statePersistVersion tags the NodeState snapshot layout.
+const statePersistVersion = 1
+
+// maxPersistItems bounds decoded collection sizes; anything larger is a
+// corrupt snapshot, not a plausible node state.
+const maxPersistItems = 1 << 26
+
+// Persist serializes the state machine into the encoder.
+func (s *AdvancedState) Persist(e *wire.Encoder) { s.st.persist(e) }
+
+// Restore rebuilds the state machine from an encoded snapshot.
+func (s *AdvancedState) Restore(d *wire.Decoder) error { return s.st.restore(d) }
+
+// Persist serializes the state machine into the encoder.
+func (s *BasicState) Persist(e *wire.Encoder) { s.st.persist(e) }
+
+// Restore rebuilds the state machine from an encoded snapshot.
+func (s *BasicState) Restore(d *wire.Decoder) error { return s.st.restore(d) }
+
+// Persist serializes the state machine into the encoder.
+func (s *ExSPANState) Persist(e *wire.Encoder) { s.st.persist(e) }
+
+// Restore rebuilds the state machine from an encoded snapshot.
+func (s *ExSPANState) Restore(d *wire.Decoder) error { return s.st.restore(d) }
+
+func encodePersistRef(e *wire.Encoder, r Ref) {
+	e.Str(string(r.Loc))
+	e.ID(r.RID)
+}
+
+func decodePersistRef(d *wire.Decoder) Ref {
+	loc := d.Str()
+	rid := d.ID()
+	return Ref{Loc: types.NodeAddr(loc), RID: rid}
+}
+
+// persist writes every table of the store plus its running byte
+// accounting. Iteration order is whatever the maps yield — restore is
+// order-insensitive, and the measurement serialization (serialize.go)
+// remains the deterministic form.
+func (s *store) persist(e *wire.Encoder) {
+	e.U8(statePersistVersion)
+
+	e.U32(uint32(len(s.ruleExec)))
+	for _, row := range s.ruleExec {
+		e.Str(string(row.Loc))
+		e.ID(row.RID)
+		e.Str(row.Rule)
+		e.U32(uint32(len(row.VIDs)))
+		for _, v := range row.VIDs {
+			e.ID(v)
+		}
+		encodePersistRef(e, row.Next)
+	}
+
+	e.U32(uint32(len(s.links)))
+	for rid, refs := range s.links {
+		e.ID(rid)
+		e.U32(uint32(len(refs)))
+		for _, r := range refs {
+			encodePersistRef(e, r)
+		}
+	}
+
+	nProv := 0
+	for _, rows := range s.prov {
+		nProv += len(rows)
+	}
+	e.U32(uint32(nProv))
+	for _, rows := range s.prov {
+		for _, p := range rows {
+			e.Str(string(p.Loc))
+			e.ID(p.VID)
+			encodePersistRef(e, p.Ref)
+			e.ID(p.EvID)
+		}
+	}
+
+	e.U32(uint32(len(s.htequi)))
+	for h, seen := range s.htequi {
+		e.ID(h)
+		e.Bool(seen)
+	}
+
+	e.U32(uint32(len(s.hmap)))
+	for k, entry := range s.hmap {
+		e.ID(k.eq)
+		e.Str(k.rel)
+		e.ID(entry.evid)
+		e.U32(uint32(len(entry.refs)))
+		for _, r := range entry.refs {
+			encodePersistRef(e, r)
+		}
+	}
+
+	nPend := 0
+	for _, ps := range s.pending {
+		nPend += len(ps)
+	}
+	e.U32(uint32(nPend))
+	for k, ps := range s.pending {
+		for _, p := range ps {
+			e.ID(k.eq)
+			e.Str(k.rel)
+			e.ID(p.vid)
+			e.ID(p.evid)
+		}
+	}
+
+	e.U64(uint64(s.ruleExecBytes))
+	e.U64(uint64(s.provBytes))
+	e.U64(uint64(s.htequiBytes))
+	e.U64(uint64(s.hmapBytes))
+}
+
+// restore resets the store and rebuilds it from an encoded snapshot. The
+// scheme flags (withNext/withEvID/useLinks) stay as constructed — they
+// derive from the scheme name, not from persisted state.
+func (s *store) restore(d *wire.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != statePersistVersion {
+		return fmt.Errorf("core: unsupported state snapshot version %d", v)
+	}
+	s.ruleExec = make(map[types.ID]*RuleExec)
+	s.links = nil
+	s.prov = make(map[types.ID][]Prov)
+	s.htequi = nil
+	s.hmap = nil
+	s.pending = nil
+
+	n := d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d ruleExec rows", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var row RuleExec
+		row.Loc = types.NodeAddr(d.Str())
+		row.RID = d.ID()
+		row.Rule = d.Str()
+		vn := d.U32()
+		if vn > maxPersistItems {
+			return fmt.Errorf("core: ruleExec row with %d vids", vn)
+		}
+		// Non-nil even when empty: rows are built that way (slowVIDs), so a
+		// restored row is indistinguishable from the original. Capacity is
+		// clamped so a corrupt in-bounds count cannot force a huge allocation.
+		row.VIDs = make([]types.ID, 0, min(vn, 64))
+		for j := uint32(0); j < vn && d.Err() == nil; j++ {
+			row.VIDs = append(row.VIDs, d.ID())
+		}
+		row.Next = decodePersistRef(d)
+		s.ruleExec[row.RID] = &row
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d link rows", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		rid := d.ID()
+		rn := d.U32()
+		if rn > maxPersistItems {
+			return fmt.Errorf("core: link row with %d refs", rn)
+		}
+		refs := make([]Ref, 0, rn)
+		for j := uint32(0); j < rn && d.Err() == nil; j++ {
+			refs = append(refs, decodePersistRef(d))
+		}
+		if s.links == nil {
+			s.links = make(map[types.ID][]Ref)
+		}
+		s.links[rid] = refs
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d prov rows", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var p Prov
+		p.Loc = types.NodeAddr(d.Str())
+		p.VID = d.ID()
+		p.Ref = decodePersistRef(d)
+		p.EvID = d.ID()
+		s.prov[p.VID] = append(s.prov[p.VID], p)
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d htequi entries", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		h := d.ID()
+		seen := d.Bool()
+		if s.htequi == nil {
+			s.htequi = make(map[types.ID]bool)
+		}
+		s.htequi[h] = seen
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d hmap entries", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		eq := d.ID()
+		rel := d.Str()
+		entry := &hmapEntry{evid: d.ID()}
+		rn := d.U32()
+		if rn > maxPersistItems {
+			return fmt.Errorf("core: hmap entry with %d refs", rn)
+		}
+		for j := uint32(0); j < rn && d.Err() == nil; j++ {
+			entry.refs = append(entry.refs, decodePersistRef(d))
+		}
+		if s.hmap == nil {
+			s.hmap = make(map[hmapKey]*hmapEntry)
+		}
+		s.hmap[hmapKey{eq: eq, rel: rel}] = entry
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d pending outputs", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		eq := d.ID()
+		rel := d.Str()
+		var p pendingOutput
+		p.vid = d.ID()
+		p.evid = d.ID()
+		if s.pending == nil {
+			s.pending = make(map[hmapKey][]pendingOutput)
+		}
+		k := hmapKey{eq: eq, rel: rel}
+		s.pending[k] = append(s.pending[k], p)
+	}
+
+	s.ruleExecBytes = int64(d.U64())
+	s.provBytes = int64(d.U64())
+	s.htequiBytes = int64(d.U64())
+	s.hmapBytes = int64(d.U64())
+
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("core: corrupt state snapshot: %w", err)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"provcompress/internal/engine"
 	"provcompress/internal/ndlog"
 	"provcompress/internal/types"
+	"provcompress/internal/wire"
 )
 
 // AdvMeta is the exported form of the per-execution metadata transport
@@ -65,6 +66,12 @@ type NodeState interface {
 		entries map[Ref]CollectedEntry, tuples map[types.ID]types.Tuple, provs map[types.ID][]Prov) []*Tree
 	// StorageBytes returns the serialized size of the node's tables.
 	StorageBytes() int64
+	// Persist serializes the full state machine (all tables plus byte
+	// accounting) into the encoder, for durability checkpoints.
+	Persist(e *wire.Encoder)
+	// Restore resets the state machine and rebuilds it from a Persist
+	// snapshot.
+	Restore(d *wire.Decoder) error
 }
 
 // NewNodeState builds the per-node state machine for a scheme name

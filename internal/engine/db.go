@@ -67,8 +67,15 @@ type Database struct {
 	// which case the oldest entries are evicted FIFO (graveyardOrder)
 	// and provenance referencing them stops resolving — the
 	// monotonicity/memory tradeoff documented in DESIGN.md §10.
-	graveyard      map[types.ID]types.Tuple
+	graveyard map[types.ID]types.Tuple
+	// graveyardOrder is a head-compacted FIFO of graveyard VIDs:
+	// graveyardOrder[graveyardHead:] are the live entries, oldest first.
+	// Eviction advances the head (zeroing the vacated slot so the ID is
+	// collectable) and copy-compacts once the dead prefix outgrows the
+	// live tail, so a long-running capped node never pins the backing
+	// array of every entry it ever evicted.
 	graveyardOrder []types.ID
+	graveyardHead  int
 	graveyardCap   int // 0 = unbounded
 }
 
@@ -249,15 +256,24 @@ func (db *Database) SetGraveyardCap(n int) {
 }
 
 // enforceGraveyardCapLocked evicts oldest-first down to the cap. Caller
-// holds mu exclusively.
+// holds mu exclusively. Eviction advances graveyardHead instead of
+// re-slicing (which would pin the evicted prefix in the backing array
+// forever); the dead prefix is copy-compacted away once it exceeds the
+// live tail.
 func (db *Database) enforceGraveyardCapLocked() {
 	if db.graveyardCap <= 0 {
 		return
 	}
-	for len(db.graveyardOrder) > db.graveyardCap {
-		oldest := db.graveyardOrder[0]
-		db.graveyardOrder = db.graveyardOrder[1:]
+	for len(db.graveyardOrder)-db.graveyardHead > db.graveyardCap {
+		oldest := db.graveyardOrder[db.graveyardHead]
+		db.graveyardOrder[db.graveyardHead] = types.ID{}
+		db.graveyardHead++
 		delete(db.graveyard, oldest)
+	}
+	if db.graveyardHead > len(db.graveyardOrder)-db.graveyardHead {
+		n := copy(db.graveyardOrder, db.graveyardOrder[db.graveyardHead:])
+		db.graveyardOrder = db.graveyardOrder[:n]
+		db.graveyardHead = 0
 	}
 }
 

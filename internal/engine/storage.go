@@ -1,0 +1,157 @@
+// Storage contract of the engine: Store is the interface carved out of
+// Database so the durability layer (internal/store, internal/cluster) and
+// alternative backends program against a contract instead of the concrete
+// in-memory implementation. Database is the canonical implementation; the
+// snapshot codec below is what the write-ahead-log subsystem checkpoints
+// and restores.
+package engine
+
+import (
+	"fmt"
+
+	"provcompress/internal/types"
+	"provcompress/internal/wire"
+)
+
+// Store is the tuple-storage contract the evaluator and the provenance
+// protocols consume: the mutable tuple store with set semantics, the
+// scan/probe read surface the join plans run over, and the deleted-tuple
+// graveyard that keeps provenance VIDs resolvable after deletion.
+type Store interface {
+	// Insert adds a tuple (set semantics) and reports whether it was new.
+	Insert(t types.Tuple) bool
+	// Delete removes a tuple, retaining its contents in the graveyard,
+	// and reports whether it was present.
+	Delete(t types.Tuple) bool
+	// Contains reports whether a live (non-deleted) tuple is stored.
+	Contains(t types.Tuple) bool
+	// Scan returns the tuples of a relation (stability caveats on Database.Scan).
+	Scan(rel string) []types.Tuple
+	// Probe returns the tuples matching key at the given attribute positions.
+	Probe(rel string, positions []int, key []byte) []types.Tuple
+	// Count returns the number of live tuples in a relation.
+	Count(rel string) int
+	// LookupVID resolves a tuple by content hash, live or deleted.
+	LookupVID(vid types.ID) (types.Tuple, bool)
+	// SetGraveyardCap bounds deleted-tuple retention (0 = unbounded).
+	SetGraveyardCap(n int)
+	// GraveyardSize returns the number of deleted tuples retained.
+	GraveyardSize() int
+}
+
+var _ Store = (*Database)(nil)
+
+// Contains reports whether a live tuple is stored (deleted tuples are not
+// contained even though their contents remain resolvable). The durability
+// layer uses it to decide whether a mutation will be accepted before
+// writing its WAL record.
+func (db *Database) Contains(t types.Tuple) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.byVID[types.HashTuple(t)]
+	return ok
+}
+
+// GraveyardVIDs returns the retained deleted-tuple VIDs oldest-first — the
+// FIFO eviction order. Exposed for the snapshot codec and for tests that
+// pin eviction behavior.
+func (db *Database) GraveyardVIDs() []types.ID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]types.ID(nil), db.graveyardOrder[db.graveyardHead:]...)
+}
+
+// Reset empties the database in place: tables, indexes, VID map, and
+// graveyard all drop; the graveyard cap is retained. Recovery uses it to
+// discard a crashed node's in-memory state before replaying the durable
+// log, without invalidating the *Database pointers other goroutines hold.
+func (db *Database) Reset() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables = make(map[string]*relation)
+	db.byVID = make(map[types.ID]types.Tuple)
+	db.graveyard = nil
+	db.graveyardOrder = nil
+	db.graveyardHead = 0
+}
+
+// snapshotVersion tags the Database snapshot layout.
+const snapshotVersion = 1
+
+// EncodeSnapshot serializes the database — every relation's rows in slice
+// order, the graveyard contents in FIFO order, and the retention cap —
+// into the encoder. Secondary indexes are deliberately not persisted: they
+// rebuild lazily on first probe, so a snapshot stays small and a restore
+// answers probes identically without trusting on-disk index state.
+func (db *Database) EncodeSnapshot(e *wire.Encoder) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e.U8(snapshotVersion)
+	e.U32(uint32(len(db.tables)))
+	for rel, r := range db.tables {
+		e.Str(rel)
+		e.U32(uint32(len(r.rows)))
+		for _, t := range r.rows {
+			e.Tuple(t)
+		}
+	}
+	live := db.graveyardOrder[db.graveyardHead:]
+	e.U32(uint32(len(live)))
+	for _, vid := range live {
+		e.Tuple(db.graveyard[vid])
+	}
+	e.U32(uint32(db.graveyardCap))
+}
+
+// maxSnapshotItems bounds a decoded collection; larger counts indicate a
+// corrupt snapshot rather than a plausible state.
+const maxSnapshotItems = 1 << 26
+
+// RestoreSnapshot resets the database and rebuilds it from an encoded
+// snapshot: rows re-insert in their recorded order (so scans and the
+// swap-remove position map come back identical), and the graveyard
+// re-populates in FIFO order (so future cap evictions pick the same
+// victims as the pre-crash store would have).
+func (db *Database) RestoreSnapshot(d *wire.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != snapshotVersion {
+		return fmt.Errorf("engine: unsupported database snapshot version %d", v)
+	}
+	db.Reset()
+	nTables := d.U32()
+	if nTables > maxSnapshotItems {
+		return fmt.Errorf("engine: snapshot with %d tables", nTables)
+	}
+	for i := uint32(0); i < nTables && d.Err() == nil; i++ {
+		rel := d.Str()
+		nRows := d.U32()
+		if nRows > maxSnapshotItems {
+			return fmt.Errorf("engine: snapshot relation %q with %d rows", rel, nRows)
+		}
+		for j := uint32(0); j < nRows && d.Err() == nil; j++ {
+			db.Insert(d.Tuple())
+		}
+	}
+	nGrave := d.U32()
+	if nGrave > maxSnapshotItems {
+		return fmt.Errorf("engine: snapshot with %d graveyard entries", nGrave)
+	}
+	db.mu.Lock()
+	for i := uint32(0); i < nGrave && d.Err() == nil; i++ {
+		t := d.Tuple()
+		vid := types.HashTuple(t)
+		if db.graveyard == nil {
+			db.graveyard = make(map[types.ID]types.Tuple)
+		}
+		if _, ok := db.graveyard[vid]; !ok {
+			db.graveyard[vid] = t
+			db.graveyardOrder = append(db.graveyardOrder, vid)
+		}
+	}
+	db.graveyardCap = int(d.U32())
+	db.enforceGraveyardCapLocked()
+	db.mu.Unlock()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("engine: corrupt database snapshot: %w", err)
+	}
+	return nil
+}

@@ -567,6 +567,46 @@ type schemeStats struct {
 	Transport    map[string]int64 `json:"transport"`
 	StorageBytes int64            `json:"storage_bytes"`
 	Outputs      int              `json:"outputs"`
+	// Durability is present only when the scheme's cluster runs with a
+	// data dir (WAL + snapshots).
+	Durability *durabilityStats `json:"durability,omitempty"`
+}
+
+// durabilityStats is the wire form of cluster.DurabilityStats.
+type durabilityStats struct {
+	Fsync              string  `json:"fsync"`
+	WALRecords         int64   `json:"wal_records"`
+	WALBytes           int64   `json:"wal_bytes"`
+	Snapshots          int64   `json:"snapshots"`
+	SnapshotBytes      int64   `json:"snapshot_bytes"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	ReplayedRecords    int64   `json:"replayed_records"`
+	TornRecords        int64   `json:"torn_records"`
+	TornBytes          int64   `json:"torn_bytes"`
+	RecoveredNodes     int     `json:"recovered_nodes"`
+	RecoverySeconds    float64 `json:"recovery_seconds"`
+	Errors             int64   `json:"errors"`
+}
+
+func durabilityOf(c *cluster.Cluster) *durabilityStats {
+	ds := c.DurabilityStats()
+	if !ds.Enabled {
+		return nil
+	}
+	return &durabilityStats{
+		Fsync:              ds.Fsync,
+		WALRecords:         ds.WALRecords,
+		WALBytes:           ds.WALBytes,
+		Snapshots:          ds.Snapshots,
+		SnapshotBytes:      ds.SnapshotBytes,
+		SnapshotAgeSeconds: ds.SnapshotAgeSeconds,
+		ReplayedRecords:    ds.ReplayedRecords,
+		TornRecords:        ds.TornRecords,
+		TornBytes:          ds.TornBytes,
+		RecoveredNodes:     ds.RecoveredNodes,
+		RecoverySeconds:    ds.RecoverySeconds,
+		Errors:             ds.Errors,
+	}
 }
 
 func (s *Server) serverCounters() *metrics.Counters {
@@ -610,6 +650,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Transport:    tm,
 			StorageBytes: c.TotalStorageBytes(),
 			Outputs:      len(c.AllOutputs()),
+			Durability:   durabilityOf(c),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -694,6 +735,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}{{"base", ts.BytesBase}, {"prov", ts.BytesProv}, {"query", ts.BytesQuery}} {
 			metrics.WriteCounter(w, "provd_bytes_total",
 				label+","+metrics.PromLabel("class", cl.class), cl.bytes)
+		}
+		if ds := c.DurabilityStats(); ds.Enabled {
+			metrics.WriteCounter(w, "provd_wal_records_total", label, ds.WALRecords)
+			metrics.WriteCounter(w, "provd_wal_bytes_total", label, ds.WALBytes)
+			metrics.WriteCounter(w, "provd_snapshots_total", label, ds.Snapshots)
+			metrics.WriteCounter(w, "provd_snapshot_bytes_total", label, ds.SnapshotBytes)
+			metrics.WriteGauge(w, "provd_snapshot_age_seconds", label, ds.SnapshotAgeSeconds)
+			metrics.WriteGauge(w, "provd_recovery_replayed_records", label, float64(ds.ReplayedRecords))
+			metrics.WriteCounter(w, "provd_recovery_torn_records_total", label, ds.TornRecords)
+			metrics.WriteGauge(w, "provd_recovery_seconds", label, ds.RecoverySeconds)
+			metrics.WriteCounter(w, "provd_durability_errors_total", label, ds.Errors)
 		}
 	}
 }

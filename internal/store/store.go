@@ -1,0 +1,297 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options tunes one node's durability.
+type Options struct {
+	// Fsync selects when WAL appends reach stable storage.
+	Fsync SyncPolicy
+	// FsyncInterval is the SyncInterval flush period (default 50ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery triggers an automatic checkpoint after this many WAL
+	// records since the last snapshot (0 = only explicit checkpoints).
+	SnapshotEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 50 * time.Millisecond
+	}
+	return o
+}
+
+// RecoveryStats describes one completed recovery.
+type RecoveryStats struct {
+	// SnapshotLoaded reports whether a valid snapshot was restored.
+	SnapshotLoaded bool
+	// SnapshotBytes is the restored snapshot's payload size.
+	SnapshotBytes int64
+	// SnapshotAge is how stale the restored snapshot was at recovery
+	// (time since it was written); zero when none was loaded.
+	SnapshotAge time.Duration
+	// ReplayedRecords is the number of WAL records applied on top of the
+	// snapshot.
+	ReplayedRecords int64
+	// TornRecords counts torn WAL tails detected and skipped (at most one
+	// per log generation).
+	TornRecords int64
+	// TornBytes is the total size of the discarded torn tails.
+	TornBytes int64
+	// WallTime is how long the whole recovery took.
+	WallTime time.Duration
+}
+
+// Stats is a point-in-time snapshot of one NodeStore's durability
+// counters.
+type Stats struct {
+	// WALRecords / WALBytes count appends since the store was opened.
+	WALRecords int64
+	WALBytes   int64
+	// Snapshots / SnapshotBytes count checkpoints written since open.
+	Snapshots     int64
+	SnapshotBytes int64
+	// SnapshotAge is the time since the last checkpoint was written (or
+	// restored); negative when no snapshot exists yet.
+	SnapshotAge time.Duration
+	// Recovery describes the recovery this store performed at open.
+	Recovery RecoveryStats
+}
+
+// NodeStore is the durable state of one cluster member: its current WAL
+// generation plus the newest snapshot. Methods are safe for concurrent
+// use; the caller is responsible for ordering Append calls consistently
+// with the in-memory applies they describe (the cluster runtime holds its
+// per-node durability lock across both).
+type NodeStore struct {
+	dir  string
+	opts Options
+
+	mu           sync.Mutex
+	w            *wal
+	gen          uint64 // generation the open WAL appends to
+	sinceSnap    int    // records appended since the last checkpoint
+	lastSnapshot time.Time
+	closed       bool
+
+	walRecords    int64
+	walBytes      int64
+	snapshots     int64
+	snapshotBytes int64
+	recovery      RecoveryStats
+}
+
+// Open prepares a node directory (creating it if needed) and runs
+// recovery: restore is called at most once with the newest valid
+// snapshot's payload, then apply is called for every intact WAL record
+// newer than it, in append order. Both callbacks may be nil when the
+// caller has no state to rebuild (a fresh boot directory). On return the
+// store is ready to Append.
+func Open(dir string, opts Options, restore func(snapshot []byte) error, apply func(rec []byte) error) (*NodeStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ns := &NodeStore{dir: dir, opts: opts.withDefaults()}
+	start := time.Now()
+	if err := ns.recover(restore, apply); err != nil {
+		return nil, err
+	}
+	ns.recovery.WallTime = time.Since(start)
+
+	w, err := openWAL(walPath(dir, ns.gen), ns.opts.Fsync, ns.opts.FsyncInterval)
+	if err != nil {
+		return nil, err
+	}
+	ns.w = w
+	return ns, nil
+}
+
+// recover restores the newest valid snapshot and replays the WAL
+// generations after it. A snapshot that fails its checksum falls back to
+// the previous one (whose WAL generations are only deleted after a newer
+// snapshot is durable, so the full history is still on disk).
+func (ns *NodeStore) recover(restore func([]byte) error, apply func([]byte) error) error {
+	snaps, wals, err := scanDir(ns.dir)
+	if err != nil {
+		return err
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })    // oldest first
+
+	var fromGen uint64
+	for _, gen := range snaps {
+		payload, err := readSnapshotFile(snapPath(ns.dir, gen))
+		if err != nil {
+			continue // damaged snapshot: fall back to the previous one
+		}
+		if restore != nil {
+			if err := restore(payload); err != nil {
+				return fmt.Errorf("store: restore snapshot gen %d: %w", gen, err)
+			}
+		}
+		ns.recovery.SnapshotLoaded = true
+		ns.recovery.SnapshotBytes = int64(len(payload))
+		if fi, err := os.Stat(snapPath(ns.dir, gen)); err == nil {
+			ns.recovery.SnapshotAge = time.Since(fi.ModTime())
+			ns.lastSnapshot = fi.ModTime()
+		}
+		fromGen = gen
+		break
+	}
+
+	maxGen := fromGen
+	for _, gen := range wals {
+		if gen > maxGen {
+			maxGen = gen
+		}
+		if gen < fromGen {
+			continue // covered by the restored snapshot
+		}
+		records, torn, tornBytes, err := replayWAL(walPath(ns.dir, gen), apply)
+		if err != nil {
+			return fmt.Errorf("store: replay wal gen %d: %w", gen, err)
+		}
+		ns.recovery.ReplayedRecords += int64(records)
+		if torn {
+			ns.recovery.TornRecords++
+			ns.recovery.TornBytes += tornBytes
+		}
+	}
+	// Append to a fresh generation: the torn tail (if any) stays behind
+	// in the old file instead of being overwritten mid-log, and the next
+	// checkpoint truncates the lot.
+	ns.gen = maxGen
+	if ns.recovery.ReplayedRecords > 0 || ns.recovery.TornRecords > 0 {
+		ns.gen = maxGen + 1
+	}
+	return nil
+}
+
+// Append logs one record. The record is durable according to the sync
+// policy once Append returns. It reports whether the store now wants a
+// checkpoint (SnapshotEvery records have accumulated); the caller decides
+// when to actually Checkpoint.
+func (ns *NodeStore) Append(rec []byte) (wantSnapshot bool, err error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.closed {
+		return false, fmt.Errorf("store: append on closed store %s", ns.dir)
+	}
+	n, err := ns.w.append(rec)
+	if err != nil {
+		return false, err
+	}
+	ns.walRecords++
+	ns.walBytes += int64(n)
+	ns.sinceSnap++
+	return ns.opts.SnapshotEvery > 0 && ns.sinceSnap >= ns.opts.SnapshotEvery, nil
+}
+
+// Checkpoint durably writes payload as the new snapshot, rotates the WAL
+// to a fresh generation, and truncates (deletes) every older generation
+// and snapshot. The caller must guarantee payload reflects every record
+// appended so far (the cluster runtime serializes Checkpoint against its
+// appends with the same per-node lock).
+func (ns *NodeStore) Checkpoint(payload []byte) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.closed {
+		return fmt.Errorf("store: checkpoint on closed store %s", ns.dir)
+	}
+	// Write the snapshot and open the next generation before touching the
+	// live WAL: a failure anywhere in here leaves the store appending to
+	// the old generation, fully recoverable.
+	newGen := ns.gen + 1
+	if _, err := writeSnapshotFile(ns.dir, newGen, payload); err != nil {
+		return err
+	}
+	w, err := openWAL(walPath(ns.dir, newGen), ns.opts.Fsync, ns.opts.FsyncInterval)
+	if err != nil {
+		return err
+	}
+	// Seal the old generation; its records are all inside the snapshot.
+	if err := ns.w.close(); err != nil {
+		w.close() //nolint:errcheck
+		return err
+	}
+	// The new snapshot is durable and the new log open: everything older
+	// is dead weight. Deleting it is safe even if we crash mid-loop —
+	// recovery picks the newest valid snapshot first.
+	snaps, wals, err := scanDir(ns.dir)
+	if err == nil {
+		for _, g := range snaps {
+			if g < newGen {
+				os.Remove(snapPath(ns.dir, g)) //nolint:errcheck
+			}
+		}
+		for _, g := range wals {
+			if g < newGen {
+				os.Remove(walPath(ns.dir, g)) //nolint:errcheck
+			}
+		}
+		syncDir(ns.dir)
+	}
+	ns.w = w
+	ns.gen = newGen
+	ns.sinceSnap = 0
+	ns.snapshots++
+	ns.snapshotBytes += int64(len(payload))
+	ns.lastSnapshot = time.Now()
+	return nil
+}
+
+// Sync forces buffered WAL appends to stable storage regardless of the
+// sync policy (clean shutdown, or a checkpoint boundary).
+func (ns *NodeStore) Sync() error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.closed {
+		return nil
+	}
+	return ns.w.sync()
+}
+
+// Close flushes and closes the WAL. The store cannot be reused; reopen
+// the directory with Open to recover.
+func (ns *NodeStore) Close() error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.closed {
+		return nil
+	}
+	ns.closed = true
+	return ns.w.close()
+}
+
+// Dir returns the node directory.
+func (ns *NodeStore) Dir() string { return ns.dir }
+
+// Stats snapshots the durability counters.
+func (ns *NodeStore) Stats() Stats {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	age := -time.Second
+	if !ns.lastSnapshot.IsZero() {
+		age = time.Since(ns.lastSnapshot)
+	}
+	return Stats{
+		WALRecords:    ns.walRecords,
+		WALBytes:      ns.walBytes,
+		Snapshots:     ns.snapshots,
+		SnapshotBytes: ns.snapshotBytes,
+		SnapshotAge:   age,
+		Recovery:      ns.recovery,
+	}
+}
+
+// Recovery returns the stats of the recovery performed at Open.
+func (ns *NodeStore) Recovery() RecoveryStats {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.recovery
+}

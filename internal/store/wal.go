@@ -1,0 +1,214 @@
+// Package store is the durability subsystem: a length-prefixed,
+// CRC-checksummed write-ahead log of accepted state changes with a
+// configurable fsync policy, periodic checksummed snapshots of the
+// compacted state, and log truncation after a successful snapshot.
+//
+// The unit of durability is one node directory (NodeStore): the cluster
+// runtime gives every member its own directory under the configured data
+// dir and appends one record per accepted event, slow-changing
+// insert/delete, and sig reset. On recovery the newest valid snapshot is
+// restored and the WAL tail replayed; a torn final record — the signature
+// of a crash mid-append — is detected by its checksum and skipped instead
+// of aborting recovery (everything before it was already durable,
+// everything after it never finished).
+//
+// Crash consistency comes from two rules: snapshots are written to a temp
+// file and renamed into place (atomic on POSIX), and WAL generations are
+// only deleted after the snapshot covering them is durably on disk. A
+// crash at any point therefore leaves either the old snapshot plus its
+// full log, or the new snapshot plus the (possibly empty) next
+// generation's log — both recover to the same state.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// SyncPolicy selects when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended record: no accepted event is
+	// ever lost, at the price of one fsync per event.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per configured interval (on the
+	// first append after it elapses) and on close/checkpoint: a crash can
+	// lose up to one interval of tail records, all of which the transport
+	// retry budget may still redeliver.
+	SyncInterval
+	// SyncOff never fsyncs explicitly; the OS flushes on its own schedule.
+	// Fastest, and still torn-record-safe (the checksum catches partial
+	// writes), but a crash can lose any unflushed tail.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always", "record", "per-record":
+		return SyncAlways, nil
+	case "interval", "batch":
+		return SyncInterval, nil
+	case "off", "none", "never":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// String renders the policy as its canonical flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return "always"
+	}
+}
+
+// walHeaderSize is the per-record framing: u32 payload length, u32
+// CRC-32C of the payload.
+const walHeaderSize = 8
+
+// maxWALRecord bounds one record; larger lengths indicate corruption.
+const maxWALRecord = 64 << 20
+
+// crcTable is the Castagnoli table (hardware-accelerated on most CPUs).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is one open write-ahead log file.
+type wal struct {
+	f        *os.File
+	policy   SyncPolicy
+	interval time.Duration
+	lastSync time.Time
+	dirty    bool
+	hdr      [walHeaderSize]byte
+}
+
+func openWAL(path string, policy SyncPolicy, interval time.Duration) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, policy: policy, interval: interval, lastSync: time.Now()}, nil
+}
+
+// append frames and writes one record, then applies the sync policy. It
+// returns the number of file bytes the record occupied.
+func (w *wal) append(payload []byte) (int, error) {
+	if len(payload) > maxWALRecord {
+		return 0, fmt.Errorf("store: WAL record of %d bytes exceeds limit", len(payload))
+	}
+	binary.BigEndian.PutUint32(w.hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(w.hdr[4:8], crc32.Checksum(payload, crcTable))
+	// One writev-style call: header and payload in a single Write so a
+	// crash tears at most the final record, never interleaves two.
+	buf := make([]byte, 0, walHeaderSize+len(payload))
+	buf = append(buf, w.hdr[:]...)
+	buf = append(buf, payload...)
+	if _, err := w.f.Write(buf); err != nil {
+		return 0, err
+	}
+	w.dirty = true
+	switch w.policy {
+	case SyncAlways:
+		if err := w.sync(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.interval {
+			if err := w.sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return walHeaderSize + len(payload), nil
+}
+
+// sync flushes the file if it has unsynced appends.
+func (w *wal) sync() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.lastSync = time.Now()
+	return nil
+}
+
+// close flushes (best-effort under SyncOff semantics is still a flush:
+// close is a clean shutdown, not a crash) and closes the file.
+func (w *wal) close() error {
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// replayWAL streams every intact record of one log file through fn, in
+// append order. The first damaged record — an incomplete header or
+// payload, a checksum mismatch, or an implausible length — ends replay
+// with torn=true and tornBytes counting the discarded tail: each record
+// is written in a single append, so damage means the crash landed
+// mid-write and nothing after the tear ever committed. This is the
+// truncate-at-first-bad-record discipline of production WALs; fn errors
+// abort replay and are returned verbatim.
+func replayWAL(path string, fn func(rec []byte) error) (records int, torn bool, tornBytes int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, false, 0, nil
+	}
+	if err != nil {
+		return 0, false, 0, err
+	}
+	defer f.Close()
+	size := int64(0)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	var off int64
+	var hdr [walHeaderSize]byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return records, false, 0, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return records, true, size - off, nil // torn header
+		}
+		if err != nil {
+			return records, false, 0, err
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		want := binary.BigEndian.Uint32(hdr[4:8])
+		if n > maxWALRecord {
+			return records, true, size - off, nil // implausible length: torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, true, size - off, nil // torn payload
+			}
+			return records, false, 0, err
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			return records, true, size - off, nil // torn checksum
+		}
+		if err := fn(payload); err != nil {
+			return records, false, 0, err
+		}
+		off += walHeaderSize + int64(n)
+		records++
+	}
+}
