@@ -22,6 +22,12 @@
 #                provenance tree, kill -9 mid-load, reboot and require WAL
 #                replay plus identical trees, then a clean SIGTERM
 #                (checkpoint) followed by a zero-replay boot
+#   elastic-smoke  the membership lifecycle on a small replicated cluster:
+#                rendezvous ownership movement at 1000 simulated members,
+#                then boot 5 live nodes with 2 replicas and walk through
+#                kill (replica failover), restart (read-repair), two joins
+#                and a leave (partition handoff) with provenance queries
+#                answering and byte-class accounting exact at every step
 #
 # The chaos tests use fixed FaultPlan seeds, so a failure reproduces
 # deterministically; -count=1 defeats the test cache to make sure the
@@ -31,9 +37,9 @@ GO ?= go
 BENCH_SMOKE_DIR := $(or $(TMPDIR),/tmp)/provcompress-bench-smoke
 TRACE_SMOKE_FILE := $(or $(TMPDIR),/tmp)/provcompress-trace-smoke.json
 
-.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke recover-smoke
+.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke recover-smoke elastic-smoke
 
-verify: vet build test chaos serve-smoke trace-smoke bench-smoke recover-smoke
+verify: vet build test chaos serve-smoke trace-smoke bench-smoke recover-smoke elastic-smoke
 
 vet:
 	$(GO) vet ./...
@@ -64,3 +70,6 @@ bench-smoke:
 
 recover-smoke:
 	$(GO) run ./cmd/provd -recover-smoke
+
+elastic-smoke:
+	$(GO) run ./cmd/provsim -elastic-nodes 5 -elastic-replicas 2 elastic

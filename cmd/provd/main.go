@@ -10,6 +10,10 @@
 //	GET  /v1/query     distributed provenance query (rel, args, scheme, evid)
 //	GET  /v1/outputs   list output tuples (the query sampling frame)
 //	GET  /v1/stats     transport counters + storage bytes + server counters
+//	GET  /v1/members   membership view + elastic counters per scheme
+//	GET  /readyz       200 when serving; 503 during boot/WAL replay or
+//	                   while a partition handoff is rebalancing
+//	                   (use -replicas k and -join to run elastically)
 //	GET  /v1/trace/ID  one distributed span tree as Chrome trace JSON
 //	                   (IDs come from /v1/query trace_id; needs -trace)
 //	GET  /metrics      Prometheus text exposition
@@ -44,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -89,6 +94,30 @@ func main() {
 		boot.Tracer = tracer
 	}
 
+	// Listen before booting the clusters so /readyz answers 503 during
+	// WAL replay and elastic joins instead of connection-refused; the
+	// real handler is swapped in once the serving layer is up. The box
+	// keeps the atomic.Value's concrete type constant across the swap.
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value
+	handler.Store(handlerBox{http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"booting: cluster recovery in progress"}`)
+	})})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(handlerBox).h.ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	addr := ln.Addr().String()
+	fmt.Printf("provd listening on http://%s (schemes %s, %d nodes, %d workers, queue %d)\n",
+		addr, strings.Join(names, ","), boot.Nodes, *workers, *queue)
+
 	clusters := make(map[string]*cluster.Cluster, len(names))
 	for _, name := range names {
 		c, _, err := boot.Boot(name)
@@ -112,17 +141,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		log.Fatal(err)
-	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.Serve(ln) }()
-	addr := ln.Addr().String()
-	fmt.Printf("provd listening on http://%s (schemes %s, %d nodes, %d workers, queue %d)\n",
-		addr, strings.Join(names, ","), boot.Nodes, *workers, *queue)
+	handler.Store(handlerBox{srv.Handler()})
 
 	if *selftest {
 		err := provserve.SelfTest(provserve.SelfTestConfig{

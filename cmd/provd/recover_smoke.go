@@ -167,7 +167,10 @@ type smokeChild struct {
 }
 
 // startSmokeChild re-execs this binary as a durable provd on a random
-// port and waits for its listening banner.
+// port and waits for its listening banner, then for /readyz to report
+// 200 — the daemon listens before WAL replay finishes and answers 503
+// until it can serve, which is precisely the window a load balancer
+// (and this harness) must wait out.
 func startSmokeChild(exe, dir string) (*smokeChild, error) {
 	cmd := exec.Command(exe,
 		"-listen", "127.0.0.1:0",
@@ -201,12 +204,39 @@ func startSmokeChild(exe, dir string) (*smokeChild, error) {
 	}()
 	select {
 	case addr := <-addrCh:
-		return &smokeChild{cmd: cmd, base: "http://" + addr}, nil
+		base := "http://" + addr
+		if err := rsWaitReady(base, recoveryBudget); err != nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+			return nil, err
+		}
+		return &smokeChild{cmd: cmd, base: base}, nil
 	case <-time.After(recoveryBudget):
 		cmd.Process.Kill() //nolint:errcheck
 		cmd.Wait()         //nolint:errcheck
 		return nil, fmt.Errorf("child provd did not report listening within %s", recoveryBudget)
 	}
+}
+
+// rsWaitReady polls /readyz until the child reports 200.
+func rsWaitReady(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := rsClient.Get(base + "/readyz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		} else {
+			last = err.Error()
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("child provd not ready within %s (last: %s)", budget, last)
 }
 
 // kill SIGKILLs the child — the crash. Idempotent.

@@ -68,6 +68,23 @@ type serveBenchFile struct {
 	CachedMeanMS float64                 `json:"cached_mean_ms"`
 	CacheSpeedup float64                 `json:"cache_speedup"`
 	Durability   []durabilityBenchRecord `json:"durability"`
+	Rebalance    rebalanceBenchRecord    `json:"rebalance"`
+}
+
+// rebalanceBenchRecord measures the elastic membership subsystem: a
+// replicated chain cluster absorbs one join and one leave after ingesting
+// a workload, and the record tracks how long each rebalance took and how
+// many bytes the average partition handoff moved.
+type rebalanceBenchRecord struct {
+	Nodes            int     `json:"nodes"`
+	Replicas         int     `json:"replicas"`
+	Events           int     `json:"events"`
+	JoinMS           float64 `json:"join_ms"`
+	LeaveMS          float64 `json:"leave_ms"`
+	Handoffs         int64   `json:"handoffs"`
+	HandoffBytes     int64   `json:"handoff_bytes"`
+	BytesPerHandoff  float64 `json:"bytes_per_handoff"`
+	RebalanceSeconds float64 `json:"rebalance_seconds"`
 }
 
 // durabilityBenchRecord measures what durability costs and buys per
@@ -318,6 +335,10 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	reb, err := benchRebalance(smoke)
+	if err != nil {
+		return nil, err
+	}
 	return &serveBenchFile{
 		GeneratedBy:  "provsim -bench-out",
 		Smoke:        smoke,
@@ -329,7 +350,73 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 		CachedMeanMS: cached,
 		CacheSpeedup: cold / cached,
 		Durability:   dur,
+		Rebalance:    reb,
 	}, nil
+}
+
+// benchRebalance loads a replicated chain cluster with provenance, then
+// times one member joining (bootstrap handoff of the partitions it wins)
+// and one member leaving (drain handoff of everything it held).
+func benchRebalance(smoke bool) (rebalanceBenchRecord, error) {
+	nodes, events := 8, 40
+	if smoke {
+		nodes, events = 5, 6
+	}
+	rec := rebalanceBenchRecord{Nodes: nodes, Replicas: 2, Events: events}
+	g := topo.Line(nodes, "n")
+	c, err := cluster.New(cluster.Config{
+		Prog:     apps.Forwarding(),
+		Funcs:    apps.Funcs(),
+		Nodes:    g.Nodes(),
+		Replicas: rec.Replicas,
+	})
+	if err != nil {
+		return rec, err
+	}
+	defer c.Close()
+	if err := c.LoadBase(g.ShortestPaths().RouteTuples()); err != nil {
+		return rec, err
+	}
+	dst := fmt.Sprintf("n%d", nodes-1)
+	for i := 0; i < events; i++ {
+		ev := types.NewTuple("packet",
+			types.String("n0"), types.String("n0"), types.String(dst),
+			types.String(fmt.Sprintf("r%d", i)))
+		if err := c.Inject(ev); err != nil {
+			return rec, err
+		}
+	}
+	if err := c.Quiesce(time.Minute); err != nil {
+		return rec, err
+	}
+
+	start := time.Now()
+	if err := c.Join("zbench0"); err != nil {
+		return rec, fmt.Errorf("bench rebalance: join: %w", err)
+	}
+	if err := c.Quiesce(time.Minute); err != nil {
+		return rec, err
+	}
+	rec.JoinMS = float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	if err := c.Leave("n1"); err != nil {
+		return rec, fmt.Errorf("bench rebalance: leave: %w", err)
+	}
+	if err := c.Quiesce(time.Minute); err != nil {
+		return rec, err
+	}
+	rec.LeaveMS = float64(time.Since(start).Microseconds()) / 1000
+
+	s := c.MembershipStats()
+	if s.Handoffs == 0 || s.HandoffBytes == 0 {
+		return rec, fmt.Errorf("bench rebalance: no partition data moved: %+v", s)
+	}
+	rec.Handoffs = s.Handoffs
+	rec.HandoffBytes = s.HandoffBytes
+	rec.BytesPerHandoff = float64(s.HandoffBytes) / float64(s.Handoffs)
+	rec.RebalanceSeconds = s.RebalanceSeconds
+	return rec, nil
 }
 
 // benchDurability runs the same forwarding workload once per scheme on a

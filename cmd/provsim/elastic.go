@@ -1,0 +1,286 @@
+// Elastic membership simulation: provsim elastic drives the membership
+// subsystem at two scales and fails non-zero if any invariant breaks.
+//
+// Phase A runs the rendezvous ownership map at 1000+ simulated members
+// and measures how much of the key space moves when members fail or
+// join: rendezvous hashing promises ~f/N movement for f changed members,
+// and the phase asserts the observed fraction stays within 3x of that.
+//
+// Phase B boots a real-socket cluster (size -elastic-nodes, replication
+// -elastic-replicas) and walks it through the full elastic lifecycle —
+// inject, kill a member mid-chain (queries must stay answerable through
+// replica failover), restart it (read-repair), join two newcomers
+// (bootstrap handoffs), leave one member (partition handoff + hosted
+// forwarding for traffic still addressed to it) — asserting after every
+// step that provenance queries answer and the per-class byte accounting
+// still sums exactly to the transport total.
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/cluster"
+	"provcompress/internal/membership"
+	"provcompress/internal/topo"
+	"provcompress/internal/types"
+)
+
+// runElastic executes both phases; nodes is the live-cluster size.
+func runElastic(w io.Writer, nodes, replicas int) error {
+	if nodes < 5 {
+		return fmt.Errorf("elastic: need at least 5 nodes, have %d", nodes)
+	}
+	if replicas < 1 {
+		return fmt.Errorf("elastic: need -elastic-replicas >= 1 for failover, have %d", replicas)
+	}
+	start := time.Now()
+	if err := elasticOwnershipSim(w, nodes); err != nil {
+		return err
+	}
+	if err := elasticLiveRun(w, nodes, replicas); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "elastic: ok in %v wall clock\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// elasticOwnershipSim is phase A: the ownership map at simulated scale.
+func elasticOwnershipSim(w io.Writer, nodes int) error {
+	members := 1000
+	if nodes > members {
+		members = nodes
+	}
+	const keys = 4000
+	cands := make([]types.NodeAddr, members)
+	for i := range cands {
+		cands[i] = types.NodeAddr(fmt.Sprintf("m%04d", i))
+	}
+	eqs := make([]types.ID, keys)
+	for i := range eqs {
+		eqs[i] = types.HashTuple(types.NewTuple("eq", types.Int(int64(i))))
+	}
+	owners := make([]types.NodeAddr, keys)
+	start := time.Now()
+	for i, eq := range eqs {
+		owners[i] = membership.PartitionOwner(eq, cands)
+	}
+	fmt.Fprintf(w, "elastic: ownership map for %d keys over %d members in %v\n",
+		keys, members, time.Since(start).Round(time.Millisecond))
+
+	moved := func(after []types.NodeAddr, what string, changed int) error {
+		n := 0
+		for i, eq := range eqs {
+			if membership.PartitionOwner(eq, after) != owners[i] {
+				n++
+			}
+		}
+		frac := float64(n) / float64(keys)
+		expect := float64(changed) / float64(members)
+		fmt.Fprintf(w, "elastic: %s moved %d/%d keys (%.2f%%, rendezvous expectation %.2f%%)\n",
+			what, n, keys, 100*frac, 100*expect)
+		if frac > 3*expect {
+			return fmt.Errorf("elastic: %s moved %.2f%% of keys, > 3x the rendezvous expectation %.2f%%",
+				what, 100*frac, 100*expect)
+		}
+		if n == 0 {
+			return fmt.Errorf("elastic: %s moved no keys at all — the ownership map is not responding to membership", what)
+		}
+		return nil
+	}
+
+	// 10 members fail: only their keys may move.
+	failed := append([]types.NodeAddr(nil), cands[:members-10]...)
+	if err := moved(failed, fmt.Sprintf("killing 10/%d members", members), 10); err != nil {
+		return err
+	}
+	// 10 members join: only keys they win may move.
+	joined := append(append([]types.NodeAddr(nil), cands...), make([]types.NodeAddr, 10)...)
+	for i := 0; i < 10; i++ {
+		joined[members+i] = types.NodeAddr(fmt.Sprintf("j%04d", i))
+	}
+	return moved(joined, fmt.Sprintf("joining 10 members to %d", members), 10)
+}
+
+// elasticLiveRun is phase B: the real-socket elastic lifecycle.
+func elasticLiveRun(w io.Writer, nodes, replicas int) error {
+	g := topo.Line(nodes, "n")
+	c, err := cluster.New(cluster.Config{
+		Prog:     apps.Forwarding(),
+		Funcs:    apps.Funcs(),
+		Nodes:    g.Nodes(),
+		Replicas: replicas,
+		// A dead in-process peer fails dials instantly (connection
+		// refused), so even a generous budget suspects it within ~2s.
+		// The generosity is for LIVE peers: at 1000 nodes on few cores a
+		// gossip epidemic saturates the scheduler and dials to healthy
+		// members stall; a short budget would falsely suspect them and
+		// the refutation epidemics would feed the very overload that
+		// caused them.
+		// IdleConnTimeout matters at 1000 nodes: a gossip epidemic opens
+		// O(N log N) burst connections, and with a 20k file-descriptor
+		// rlimit they must be reaped once quiet or the next listen() fails.
+		Transport: cluster.TransportConfig{
+			RetryBudget:     10,
+			BackoffMax:      250 * time.Millisecond,
+			DialTimeout:     10 * time.Second,
+			IdleConnTimeout: 2 * time.Second,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Scale the settle windows with the cluster: a 1000-node epidemic on
+	// one core is loopback-bound, not logic-bound.
+	settle := time.Minute
+	converge := 15 * time.Second
+	if nodes > 100 {
+		settle = 5 * time.Minute
+		converge = 2 * time.Minute
+	}
+
+	// Route a single destination chain segment (at most 400 hops, so the
+	// provenance walk stays well under the orbit guard at any -elastic-nodes).
+	span := nodes - 1
+	if span > 400 {
+		span = 400
+	}
+	srcIdx, dstIdx := nodes-1-span, nodes-1
+	name := func(i int) string { return fmt.Sprintf("n%d", i) }
+	src, dst := name(srcIdx), name(dstIdx)
+	var routes []types.Tuple
+	for i := srcIdx; i < dstIdx; i++ {
+		routes = append(routes, types.NewTuple("route",
+			types.String(name(i)), types.String(dst), types.String(name(i+1))))
+	}
+	if err := c.LoadBase(routes); err != nil {
+		return err
+	}
+
+	checkBytes := func(when string) error {
+		s := c.TransportStats()
+		if sum := s.BytesBase + s.BytesProv + s.BytesQuery; sum != s.BytesTotal {
+			return fmt.Errorf("elastic: %s: byte class sum %d != transport total %d", when, sum, s.BytesTotal)
+		}
+		return nil
+	}
+	inject := func(payload string) (types.Tuple, error) {
+		ev := types.NewTuple("packet",
+			types.String(src), types.String(src), types.String(dst), types.String(payload))
+		if err := c.Inject(ev); err != nil {
+			return ev, err
+		}
+		return ev, c.Quiesce(settle)
+	}
+	query := func(when string, ev types.Tuple) error {
+		out := types.NewTuple("recv",
+			types.String(dst), types.String(src), types.String(dst), types.String(ev.Args[3].AsString()))
+		res, err := c.Query(out, types.HashTuple(ev), settle)
+		if err != nil {
+			return fmt.Errorf("elastic: query %s: %w", when, err)
+		}
+		if len(res.Trees) != 1 {
+			return fmt.Errorf("elastic: query %s: %d trees, want 1", when, len(res.Trees))
+		}
+		return checkBytes(when)
+	}
+
+	// Baseline: a packet crosses the segment, its provenance answers.
+	p1, err := inject("p1")
+	if err != nil {
+		return err
+	}
+	if err := query("baseline", p1); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "elastic: booted %d nodes (replicas %d), baseline query ok\n", nodes, replicas)
+
+	// Kill the member that owns the query output; traffic toward it
+	// raises the suspicion, and the baseline provenance must stay
+	// answerable — a replica acts as the querier from its shadow.
+	victim := types.NodeAddr(dst)
+	c.Node(victim).Kill()
+	// The prime packet drops at the dead member — that is the point; the
+	// quiesce still settles because abandoned frames balance the books.
+	if _, err := inject("prime"); err != nil {
+		return err
+	}
+	if err := c.WaitMemberState(victim, membership.Down, converge); err != nil {
+		return fmt.Errorf("elastic: suspicion of killed %s did not converge: %w", victim, err)
+	}
+	if err := query("during outage of "+string(victim), p1); err != nil {
+		return err
+	}
+	if s := c.MembershipStats(); s.Failovers == 0 {
+		return fmt.Errorf("elastic: outage query answered without a failover: %+v", s)
+	}
+	fmt.Fprintf(w, "elastic: killed %s, provenance still answerable via replica failover\n", victim)
+
+	// Restart: the member re-announces and read-repairs from its replicas.
+	if err := c.Restart(victim); err != nil {
+		return err
+	}
+	if err := c.WaitMemberState(victim, membership.Up, converge); err != nil {
+		return err
+	}
+	if err := c.Quiesce(settle); err != nil {
+		return err
+	}
+	if err := query("after restart", p1); err != nil {
+		return err
+	}
+
+	// Join two newcomers through the membership protocol.
+	for _, addr := range []types.NodeAddr{"zjoin0", "zjoin1"} {
+		if err := c.Join(addr); err != nil {
+			return fmt.Errorf("elastic: join %s: %w", addr, err)
+		}
+		if err := c.WaitMemberState(addr, membership.Up, converge); err != nil {
+			ts := c.TransportStats()
+			return fmt.Errorf("%w (drops %d, queue drops %d)", err, ts.Drops, ts.QueueDrops)
+		}
+	}
+	if err := c.Quiesce(settle); err != nil {
+		return err
+	}
+	if got := len(c.Members()); got != nodes+2 {
+		return fmt.Errorf("elastic: after 2 joins the view has %d members, want %d", got, nodes+2)
+	}
+	if err := query("after joins", p1); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "elastic: joined 2 members, view converged to %d\n", nodes+2)
+
+	// Leave a mid-segment member: its partition streams to the rendezvous
+	// successors and traffic still addressed to it is redirected and
+	// applied by the acting owner.
+	leaver := types.NodeAddr(name(dstIdx - 1))
+	if err := c.Leave(leaver); err != nil {
+		return fmt.Errorf("elastic: leave %s: %w", leaver, err)
+	}
+	p2, err := inject("p2")
+	if err != nil {
+		return err
+	}
+	if err := query("after leave of "+string(leaver), p2); err != nil {
+		return err
+	}
+	if err := query("pre-leave provenance", p1); err != nil {
+		return err
+	}
+
+	s := c.MembershipStats()
+	if s.Handoffs == 0 || s.HandoffBytes == 0 {
+		return fmt.Errorf("elastic: lifecycle moved no partition data: %+v", s)
+	}
+	ts := c.TransportStats()
+	fmt.Fprintf(w, "elastic: left %s (handoffs %d, %d bytes, rebalance %.3fs); failovers %d, repairs %d\n",
+		leaver, s.Handoffs, s.HandoffBytes, s.RebalanceSeconds, s.Failovers, s.Repairs)
+	fmt.Fprintf(w, "elastic: byte classes intact: base %d + prov %d + query %d = %d total\n",
+		ts.BytesBase, ts.BytesProv, ts.BytesQuery, ts.BytesTotal)
+	return nil
+}

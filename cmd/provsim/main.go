@@ -5,6 +5,7 @@
 // Usage:
 //
 //	provsim [flags] fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all
+//	provsim [-elastic-nodes N] [-elastic-replicas K] elastic
 //
 // By default the experiments run at a reduced scale that finishes in
 // seconds; -paper selects the paper's full parameters (100 pairs at 100
@@ -39,6 +40,8 @@ func main() {
 	ic := flag.Bool("ic", false, "add the Section 5.4 inter-class variant as a fourth series")
 	benchOut := flag.String("bench-out", "", "run the benchmark suite and write BENCH_engine.json and BENCH_serve.json into this directory")
 	benchSmoke := flag.Bool("bench-smoke", false, "with -bench-out: shrink the benchmark workloads to finish in seconds")
+	elasticNodes := flag.Int("elastic-nodes", 1000, "live cluster size for the elastic target")
+	elasticReplicas := flag.Int("elastic-replicas", 2, "replication factor for the elastic target")
 	flag.Parse()
 
 	if *benchOut != "" {
@@ -151,6 +154,13 @@ func main() {
 	target := flag.Arg(0)
 	if target == "tables" {
 		printWorkedExampleTables()
+		return
+	}
+	if target == "elastic" {
+		if err := runElastic(os.Stdout, *elasticNodes, *elasticReplicas); err != nil {
+			fmt.Fprintf(os.Stderr, "provsim: elastic: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if target == "all" {

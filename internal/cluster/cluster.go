@@ -35,6 +35,7 @@ import (
 	"provcompress/internal/analysis"
 	"provcompress/internal/core"
 	"provcompress/internal/engine"
+	"provcompress/internal/membership"
 	"provcompress/internal/ndlog"
 	"provcompress/internal/store"
 	"provcompress/internal/trace"
@@ -80,6 +81,12 @@ type Config struct {
 	// Durability tunes the per-node stores (fsync policy, snapshot
 	// cadence); ignored when DataDir is empty.
 	Durability store.Options
+	// Replicas is the k of k-way provenance replication: every member
+	// streams its accepted records to k rendezvous-chosen peers, which
+	// maintain shadow copies of its partition so distributed queries fail
+	// over during an outage instead of exhausting their retry budget.
+	// 0 disables replication (the pre-membership behavior).
+	Replicas int
 }
 
 // Cluster is a set of live nodes on loopback TCP.
@@ -107,7 +114,23 @@ type Cluster struct {
 	// waiting to enqueue) when the cluster closes.
 	stopCh chan struct{}
 
-	nodes map[types.NodeAddr]*Node
+	// graveyardCap is remembered from Config so members added at runtime
+	// (Join) get the same retention bound as boot-time members.
+	graveyardCap int
+	// replicas is the k of k-way provenance replication (Config.Replicas).
+	replicas int
+
+	// nodes is copy-on-write: readers load the current map wholesale from
+	// the atomic (no lock on any hot path), and the rare mutation — Join
+	// adding a member — swaps in a fresh copy under nodesMu. Nodes are
+	// never removed: a departed member stays in the map dead, exactly like
+	// a killed one, so late frames addressed to it settle normally.
+	nodesMu  sync.Mutex
+	nodesVal atomic.Value // of map[types.NodeAddr]*Node
+
+	// membStats aggregates the membership-subsystem counters
+	// (membership.go); hot paths touch it only when the feature is active.
+	memb membStats
 
 	// In-flight accounting: inflight is the global count Quiesce watches;
 	// destCount/destEpoch track per-destination counts so a crash can
@@ -122,6 +145,7 @@ type Cluster struct {
 	idleCh chan struct{}
 
 	nextQID atomic.Uint64
+	nextHID atomic.Uint64
 	closed  atomic.Bool
 
 	// eventHook, when set, is called after every accepted state change
@@ -182,6 +206,23 @@ type Node struct {
 	pendMu  sync.Mutex
 	pending map[uint64]chan *walkFrame
 
+	// Membership state (membership.go): the node's copy of the gossiped
+	// cluster view, its own announcement epoch, the cached replica target
+	// set, and the partition copies it holds for other members (replica
+	// shadows while the owner is alive, handed-off partitions after the
+	// owner left).
+	viewMu         sync.Mutex
+	view           *membership.View
+	downLeft       atomic.Int64 // members not Alive() in view; gates hot-path view checks
+	memberEpoch    atomic.Uint64
+	replTargets    atomic.Value // of []types.NodeAddr
+	replVersion    uint64       // view version replTargets was computed at (under viewMu)
+	partsMu        sync.Mutex
+	parts          map[types.NodeAddr]*partition
+	ackMu          sync.Mutex
+	handoffWaits   map[uint64]chan struct{}
+	handoffsActive atomic.Int64 // acked handoffs in flight; Ready gates on zero
+
 	stats transportStats
 
 	wg sync.WaitGroup
@@ -223,80 +264,138 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{
-		prog:      cfg.Prog,
-		funcs:     cfg.Funcs,
-		keys:      graph.EquivalenceKeys(),
-		scheme:    scheme,
-		tcfg:      cfg.Transport.withDefaults(),
-		faults:    cfg.Faults,
-		tracer:    cfg.Tracer,
-		dataDir:   cfg.DataDir,
-		dopts:     cfg.Durability,
-		plans:     engine.CompileProgram(cfg.Prog),
-		shardKeys: shardKeys,
-		nshards:   nshards,
-		stopCh:    make(chan struct{}),
-		nodes:     make(map[types.NodeAddr]*Node, len(cfg.Nodes)),
-		destCount: make(map[types.NodeAddr]int64, len(cfg.Nodes)),
-		destEpoch: make(map[types.NodeAddr]uint64, len(cfg.Nodes)),
+		prog:         cfg.Prog,
+		funcs:        cfg.Funcs,
+		keys:         graph.EquivalenceKeys(),
+		scheme:       scheme,
+		tcfg:         cfg.Transport.withDefaults(),
+		faults:       cfg.Faults,
+		tracer:       cfg.Tracer,
+		dataDir:      cfg.DataDir,
+		dopts:        cfg.Durability,
+		plans:        engine.CompileProgram(cfg.Prog),
+		shardKeys:    shardKeys,
+		nshards:      nshards,
+		graveyardCap: cfg.GraveyardCap,
+		replicas:     cfg.Replicas,
+		stopCh:       make(chan struct{}),
+		destCount:    make(map[types.NodeAddr]int64, len(cfg.Nodes)),
+		destEpoch:    make(map[types.NodeAddr]uint64, len(cfg.Nodes)),
+	}
+	nodes := make(map[types.NodeAddr]*Node, len(cfg.Nodes))
+	c.nodesVal.Store(nodes)
+	// Every boot member starts with the same static view: everyone Up at
+	// epoch 1. A static view needs no gossip — membership frames only flow
+	// when something changes — so a healthy fixed-membership run stays
+	// byte-identical to the pre-membership transport.
+	bootView := membership.NewView()
+	for _, addr := range cfg.Nodes {
+		bootView.Set(membership.Member{Addr: addr, Epoch: 1, State: membership.Up})
 	}
 	for _, addr := range cfg.Nodes {
-		if _, dup := c.nodes[addr]; dup {
+		if _, dup := nodes[addr]; dup {
 			c.Close()
 			return nil, fmt.Errorf("cluster: duplicate node %s", addr)
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		n, err := c.newNode(addr, bootView.Clone())
 		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("cluster: listen for %s: %w", addr, err)
-		}
-		state, err := core.NewNodeState(scheme, c.keys)
-		if err != nil {
-			ln.Close()
 			c.Close()
 			return nil, err
 		}
-		n := &Node{
-			c:       c,
-			addr:    addr,
-			ln:      ln,
-			tcpAddr: ln.Addr().String(),
-			db:      engine.NewDatabase(),
-			state:   state,
-			trans:   make(map[types.NodeAddr]*transport),
-			links:   make(map[types.NodeAddr]*linkBytes),
-			inConns: make(map[net.Conn]struct{}),
-			lastSeq: make(map[types.NodeAddr]*seqTracker),
-			pending: make(map[uint64]chan *walkFrame),
-		}
-		if cfg.GraveyardCap > 0 {
-			n.db.SetGraveyardCap(cfg.GraveyardCap)
-		}
-		if c.dataDir != "" {
-			// Recover before anything runs: the restore/replay callbacks
-			// rebuild db, state, and outputs with the node still quiescent.
-			n.dur = true
-			if err := c.openStore(n); err != nil {
-				ln.Close()
-				c.Close()
-				return nil, err
-			}
-		}
-		n.alive.Store(true)
-		c.nodes[addr] = n
+		nodes[addr] = n
 	}
-	for _, n := range c.nodes {
-		n.shardCh = make([]chan shardWork, nshards)
-		for i := range n.shardCh {
-			ch := make(chan shardWork, shardQueueDepth)
-			n.shardCh[i] = ch
-			n.wg.Add(1)
-			go n.shardWorker(ch)
-		}
-		n.wg.Add(1)
-		go n.acceptLoop(n.ln)
+	for _, n := range nodes {
+		c.startNode(n)
 	}
 	return c, nil
+}
+
+// newNode builds one member — listener, database, scheme state, durable
+// store when configured — without starting its goroutines. The caller
+// registers it in the nodes map and calls startNode.
+func (c *Cluster) newNode(addr types.NodeAddr, view *membership.View) (*Node, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen for %s: %w", addr, err)
+	}
+	state, err := core.NewNodeState(c.scheme, c.keys)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	n := &Node{
+		c:            c,
+		addr:         addr,
+		ln:           ln,
+		tcpAddr:      ln.Addr().String(),
+		db:           engine.NewDatabase(),
+		state:        state,
+		trans:        make(map[types.NodeAddr]*transport),
+		links:        make(map[types.NodeAddr]*linkBytes),
+		inConns:      make(map[net.Conn]struct{}),
+		lastSeq:      make(map[types.NodeAddr]*seqTracker),
+		pending:      make(map[uint64]chan *walkFrame),
+		view:         view,
+		parts:        make(map[types.NodeAddr]*partition),
+		handoffWaits: make(map[uint64]chan struct{}),
+	}
+	if row, ok := view.Get(addr); ok {
+		n.memberEpoch.Store(row.Epoch)
+	}
+	n.refreshViewLocked(false)
+	if c.graveyardCap > 0 {
+		n.db.SetGraveyardCap(c.graveyardCap)
+	}
+	if c.dataDir != "" {
+		// Recover before anything runs: the restore/replay callbacks
+		// rebuild db, state, and outputs with the node still quiescent.
+		n.dur = true
+		if err := c.openStore(n); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	n.alive.Store(true)
+	return n, nil
+}
+
+// startNode launches a member's shard workers and accept loop.
+func (c *Cluster) startNode(n *Node) {
+	n.shardCh = make([]chan shardWork, c.nshards)
+	for i := range n.shardCh {
+		ch := make(chan shardWork, shardQueueDepth)
+		n.shardCh[i] = ch
+		n.wg.Add(1)
+		go n.shardWorker(ch)
+	}
+	n.wg.Add(1)
+	go n.acceptLoop(n.ln)
+}
+
+// nodeMap returns the current copy-on-write member map. The map must not
+// be mutated; Join swaps in a new one.
+func (c *Cluster) nodeMap() map[types.NodeAddr]*Node {
+	return c.nodesVal.Load().(map[types.NodeAddr]*Node)
+}
+
+// node returns a member by address, or nil.
+func (c *Cluster) node(addr types.NodeAddr) *Node { return c.nodeMap()[addr] }
+
+// addNode registers a runtime-joined member in a fresh copy of the map.
+func (c *Cluster) addNode(n *Node) error {
+	c.nodesMu.Lock()
+	defer c.nodesMu.Unlock()
+	old := c.nodeMap()
+	if _, dup := old[n.addr]; dup {
+		return fmt.Errorf("cluster: member %s already exists", n.addr)
+	}
+	next := make(map[types.NodeAddr]*Node, len(old)+1)
+	for a, m := range old {
+		next[a] = m
+	}
+	next[n.addr] = n
+	c.nodesVal.Store(next)
+	return nil
 }
 
 // shardQueueDepth bounds each shard's pending-event queue; a full queue
@@ -336,7 +435,7 @@ func (c *Cluster) shardOf(t types.Tuple) int {
 func (c *Cluster) Shards() int { return c.nshards }
 
 // Node returns a member by address, or nil.
-func (c *Cluster) Node(addr types.NodeAddr) *Node { return c.nodes[addr] }
+func (c *Cluster) Node(addr types.NodeAddr) *Node { return c.node(addr) }
 
 // SetEventHook installs fn to run after every accepted state change
 // (successful Inject or InsertSlow). Pass nil to clear. The hook must be
@@ -431,7 +530,7 @@ func (c *Cluster) kickIdle() {
 // initial configuration step).
 func (c *Cluster) LoadBase(tuples []types.Tuple) error {
 	for _, t := range tuples {
-		n := c.nodes[t.Loc()]
+		n := c.node(t.Loc())
 		if n == nil {
 			return fmt.Errorf("cluster: base tuple %s at unknown node", t)
 		}
@@ -453,7 +552,7 @@ func (c *Cluster) Inject(ev types.Tuple) error {
 // tree's root; every downstream derivation step on every node parents
 // under it through the frame trace headers.
 func (c *Cluster) InjectTraced(ev types.Tuple) (trace.TraceID, error) {
-	origin := c.nodes[ev.Loc()]
+	origin := c.node(ev.Loc())
 	if origin == nil {
 		return 0, fmt.Errorf("cluster: inject %s at unknown node", ev)
 	}
@@ -475,7 +574,7 @@ func (c *Cluster) Tracer() *trace.Collector { return c.tracer }
 // InsertSlow inserts a slow-changing tuple at runtime and broadcasts sig
 // (Section 5.5).
 func (c *Cluster) InsertSlow(t types.Tuple) error {
-	n := c.nodes[t.Loc()]
+	n := c.node(t.Loc())
 	if n == nil {
 		return fmt.Errorf("cluster: slow insert %s at unknown node", t)
 	}
@@ -483,7 +582,7 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 		return nil
 	}
 	frame := encodeSig()
-	for addr := range c.nodes {
+	for addr := range c.nodeMap() {
 		// Sig broadcasts are provenance maintenance (Section 5.5).
 		if err := n.send(addr, frame, classProv, 0); err != nil {
 			return err
@@ -499,7 +598,7 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 // the database graveyard for later provenance queries. The secondary join
 // indexes are kept consistent by the delete itself.
 func (c *Cluster) DeleteSlow(t types.Tuple) error {
-	n := c.nodes[t.Loc()]
+	n := c.node(t.Loc())
 	if n == nil {
 		return fmt.Errorf("cluster: slow delete %s at unknown node", t)
 	}
@@ -552,7 +651,7 @@ func (c *Cluster) Quiesce(deadline time.Duration) error {
 
 // Outputs returns the output tuples that arrived at one node.
 func (c *Cluster) Outputs(addr types.NodeAddr) []types.Tuple {
-	n := c.nodes[addr]
+	n := c.node(addr)
 	if n == nil {
 		return nil
 	}
@@ -564,7 +663,7 @@ func (c *Cluster) Outputs(addr types.NodeAddr) []types.Tuple {
 // AllOutputs returns every output across the cluster.
 func (c *Cluster) AllOutputs() []types.Tuple {
 	var out []types.Tuple
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		out = append(out, c.Outputs(n.addr)...)
 	}
 	return out
@@ -572,7 +671,7 @@ func (c *Cluster) AllOutputs() []types.Tuple {
 
 // StorageBytes returns the provenance storage at one node.
 func (c *Cluster) StorageBytes(addr types.NodeAddr) int64 {
-	n := c.nodes[addr]
+	n := c.node(addr)
 	if n == nil {
 		return 0
 	}
@@ -584,7 +683,7 @@ func (c *Cluster) StorageBytes(addr types.NodeAddr) int64 {
 // TotalStorageBytes sums provenance storage across members.
 func (c *Cluster) TotalStorageBytes() int64 {
 	var total int64
-	for addr := range c.nodes {
+	for addr := range c.nodeMap() {
 		total += c.StorageBytes(addr)
 	}
 	return total
@@ -593,7 +692,7 @@ func (c *Cluster) TotalStorageBytes() int64 {
 // TransportStats sums the transport counters across members.
 func (c *Cluster) TransportStats() TransportStats {
 	var s TransportStats
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		s.accumulate(&n.stats)
 		n.addLinkBytes(&s)
 	}
@@ -646,7 +745,7 @@ type LinkByteStats struct {
 // sorted by (From, To) so scrapes and logs are stable.
 func (c *Cluster) LinkByteStats() []LinkByteStats {
 	var out []LinkByteStats
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		n.linkMu.Lock()
 		for to, lb := range n.links {
 			out = append(out, LinkByteStats{
@@ -673,7 +772,7 @@ func (c *Cluster) LinkByteStats() []LinkByteStats {
 // the gauge the serving layer exports.
 func (c *Cluster) GraveyardSize() int {
 	total := 0
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		total += n.db.GraveyardSize()
 	}
 	return total
@@ -720,7 +819,7 @@ func (n *Node) stopTransports() {
 // re-dial lazily through their transports; the bumped incarnation resets
 // the receivers' duplicate filters for this node's fresh send streams.
 func (c *Cluster) Restart(addr types.NodeAddr) error {
-	n := c.nodes[addr]
+	n := c.node(addr)
 	if n == nil {
 		return fmt.Errorf("cluster: restart unknown node %s", addr)
 	}
@@ -750,6 +849,7 @@ func (c *Cluster) Restart(addr types.NodeAddr) error {
 	n.alive.Store(true)
 	n.wg.Add(1)
 	go n.acceptLoop(ln)
+	n.announceRestart()
 	return nil
 }
 
@@ -759,18 +859,18 @@ func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		n.Kill()
 	}
 	// Stop the shard workers after the sockets are gone: this also
 	// unblocks any reader still trying to enqueue into a full shard, and
 	// whatever stays queued was already retired by the kill drains.
 	close(c.stopCh)
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		n.wg.Wait()
 	}
 	// With every worker stopped, flush and close the durable stores.
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		n.durMu.Lock()
 		if n.dstore != nil {
 			n.dstore.Close() //nolint:errcheck // shutdown path

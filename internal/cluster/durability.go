@@ -226,18 +226,27 @@ var recSigPayload = []byte{recSig}
 // durable node. It reports whether the tuple was new.
 func (n *Node) insertDurable(t types.Tuple) bool {
 	if !n.durable() {
-		return n.db.Insert(t)
+		if !n.db.Insert(t) {
+			return false
+		}
+		if n.c.replicas > 0 {
+			n.replicate(encodeDurTuple(recInsert, t))
+		}
+		return true
 	}
 	n.durMu.Lock()
-	defer n.durMu.Unlock()
 	if n.db.Contains(t) {
+		n.durMu.Unlock()
 		return false // already stored; no record, matching the volatile path
 	}
-	want := n.logApply(encodeDurTuple(recInsert, t))
+	rec := encodeDurTuple(recInsert, t)
+	want := n.logApply(rec)
 	n.db.Insert(t)
 	if want {
 		n.checkpointLocked()
 	}
+	n.durMu.Unlock()
+	n.replicate(rec)
 	return true
 }
 
@@ -245,18 +254,27 @@ func (n *Node) insertDurable(t types.Tuple) bool {
 // durable node. It reports whether the tuple was present.
 func (n *Node) deleteDurable(t types.Tuple) bool {
 	if !n.durable() {
-		return n.db.Delete(t)
+		if !n.db.Delete(t) {
+			return false
+		}
+		if n.c.replicas > 0 {
+			n.replicate(encodeDurTuple(recDelete, t))
+		}
+		return true
 	}
 	n.durMu.Lock()
-	defer n.durMu.Unlock()
 	if !n.db.Contains(t) {
+		n.durMu.Unlock()
 		return false
 	}
-	want := n.logApply(encodeDurTuple(recDelete, t))
+	rec := encodeDurTuple(recDelete, t)
+	want := n.logApply(rec)
 	n.db.Delete(t)
 	if want {
 		n.checkpointLocked()
 	}
+	n.durMu.Unlock()
+	n.replicate(rec)
 	return true
 }
 
@@ -268,16 +286,47 @@ func (n *Node) applySig() {
 		n.mu.Lock()
 		n.state.ClearEquiKeys()
 		n.mu.Unlock()
+		if n.c.replicas > 0 {
+			n.replicate(recSigPayload)
+		}
+		n.clearHostedSig()
 		return
 	}
 	n.durMu.Lock()
-	defer n.durMu.Unlock()
 	want := n.logApply(recSigPayload)
 	n.mu.Lock()
 	n.state.ClearEquiKeys()
 	n.mu.Unlock()
 	if want {
 		n.checkpointLocked()
+	}
+	n.durMu.Unlock()
+	n.replicate(recSigPayload)
+	n.clearHostedSig()
+}
+
+// clearHostedSig applies a sig broadcast to the hosted partitions —
+// members that Left have no replication stream anymore, so their acting
+// owner clears their equivalence tables off the direct broadcast. Shadows
+// of live owners are left alone: their owner's replicated recSig clears
+// them at the right point in the record stream.
+func (n *Node) clearHostedSig() {
+	if n.downLeft.Load() == 0 {
+		return
+	}
+	n.partsMu.Lock()
+	parts := make([]*partition, 0, len(n.parts))
+	for _, p := range n.parts {
+		parts = append(parts, p)
+	}
+	n.partsMu.Unlock()
+	for _, p := range parts {
+		if n.viewAlive(p.owner) {
+			continue
+		}
+		p.mu.Lock()
+		p.state.ClearEquiKeys()
+		p.mu.Unlock()
 	}
 }
 
@@ -314,7 +363,7 @@ func (c *Cluster) Checkpoint() error {
 		return nil
 	}
 	var firstErr error
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		n.durMu.Lock()
 		if n.dstore != nil {
 			if err := n.dstore.Checkpoint(n.snapshotPayload()); err != nil && firstErr == nil {
@@ -333,7 +382,7 @@ func (c *Cluster) SyncWAL() error {
 		return nil
 	}
 	var firstErr error
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		n.durMu.Lock()
 		if n.dstore != nil {
 			if err := n.dstore.Sync(); err != nil && firstErr == nil {
@@ -383,7 +432,7 @@ func (c *Cluster) DurabilityStats() DurabilityStats {
 	}
 	var age time.Duration
 	neverSnapped := false
-	for _, n := range c.nodes {
+	for _, n := range c.nodeMap() {
 		ds.Errors += n.durErrors.Load()
 		n.durMu.Lock()
 		dstore := n.dstore

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync"
 	"time"
 
 	"provcompress/internal/core"
@@ -155,6 +156,36 @@ func (n *Node) handleFrame(payload []byte) {
 			return
 		}
 		ch <- f
+	case frameView:
+		v, err := decodeViewFrame(d)
+		if err != nil {
+			return
+		}
+		n.handleView(v)
+	case frameRepl:
+		owner, rec, err := decodeReplFrame(d)
+		if err != nil {
+			return
+		}
+		n.handleRepl(owner, rec)
+	case frameHandoff:
+		owner, hid, acked, snap, err := decodeHandoffFrame(d)
+		if err != nil {
+			return
+		}
+		n.handleHandoff(from, owner, hid, acked, snap)
+	case frameHandoffAck:
+		hid, _, err := decodeHandoffAckFrame(d)
+		if err != nil {
+			return
+		}
+		n.handleHandoffAck(hid)
+	case frameRepairReq:
+		owner, err := decodeRepairReqFrame(d)
+		if err != nil {
+			return
+		}
+		n.handleRepairReq(from, owner)
 	}
 }
 
@@ -201,17 +232,29 @@ func (n *Node) shardWorker(ch chan shardWork) {
 // equals apply order (durability.go). Shipping the derived heads happens
 // outside the lock either way.
 func (n *Node) processTuple(f *tupleFrame) {
+	if loc := f.Tuple.Loc(); loc != n.addr {
+		// A redirected tuple: its owner has Left and this node is the
+		// acting owner of the partition (membership.go).
+		n.processHosted(loc, f)
+		return
+	}
 	if !n.durable() {
-		n.shipAll(n.applyTuple(f))
+		ships := n.applyTuple(f)
+		if n.c.replicas > 0 {
+			n.replicate(encodeDurEvent(f))
+		}
+		n.shipAll(ships)
 		return
 	}
 	n.durMu.Lock()
-	want := n.logApply(encodeDurEvent(f))
+	rec := encodeDurEvent(f)
+	want := n.logApply(rec)
 	ships := n.applyTuple(f)
 	if want {
 		n.checkpointLocked()
 	}
 	n.durMu.Unlock()
+	n.replicate(rec)
 	n.shipAll(ships)
 }
 
@@ -302,16 +345,23 @@ func (n *Node) applyTuple(f *tupleFrame) []outShip {
 	return out
 }
 
+// maxWalkHops caps a walk's node visits; a walk still traveling past it
+// is bouncing between members whose views disagree about who can serve,
+// and returns Partial instead of orbiting forever.
+const maxWalkHops = 1024
+
 // handleWalk advances a traveling provenance query: it collects every
-// worklist reference stored at this node, then forwards the walk or
-// returns the result.
+// worklist reference this node can serve — its own refs always, a held
+// partition's refs while the owner is unreachable — then forwards the
+// walk (routing around dead members) or returns the result. A walk that
+// needs a member nobody reachable can stand in for returns Partial, so
+// the querier fails fast instead of spending its retry budget.
 func (n *Node) handleWalk(f *walkFrame) {
 	sp := n.c.startSpan(f.Trace, n.addr, "walk", "walk "+f.Root.Rel)
-	n.mu.Lock()
 	for {
 		idx := -1
 		for i := len(f.Work) - 1; i >= 0; i-- {
-			if f.Work[i].Loc == n.addr {
+			if n.canServe(f.Work[i].Loc) {
 				idx = i
 				break
 			}
@@ -321,30 +371,8 @@ func (n *Node) handleWalk(f *walkFrame) {
 		}
 		ref := f.Work[idx]
 		f.Work = append(f.Work[:idx], f.Work[idx+1:]...)
-		ce, vids, provs, nexts, ok := n.state.Collect(ref)
-		if !ok {
-			continue
-		}
-		f.Entries = append(f.Entries, ce)
-		f.Provs = append(f.Provs, provs...)
-		for _, vid := range vids {
-			if t, ok := n.db.LookupVID(vid); ok {
-				f.Tuples = appendTupleOnce(f.Tuples, t)
-			}
-		}
-		if n.state.EventByEvID() && hasNilRef(ce.Nexts) {
-			// Chain leaf: resolve the event tuples by EVID (Section 5.6).
-			for _, evid := range walkEventIDs(f) {
-				if t, ok := n.db.LookupVID(evid); ok {
-					f.Tuples = appendTupleOnce(f.Tuples, t)
-				}
-			}
-		}
-		for _, nx := range nexts {
-			f.Work = append(f.Work, nx)
-		}
+		n.collectRef(ref, f)
 	}
-	n.mu.Unlock()
 
 	f.Hops++
 	if sp != nil {
@@ -359,9 +387,64 @@ func (n *Node) handleWalk(f *walkFrame) {
 		sp.End()
 		return
 	}
-	target := f.Work[len(f.Work)-1].Loc
+	target := n.routeWalk(f.Work[len(f.Work)-1].Loc)
+	if target == "" || target == n.addr || f.Hops >= maxWalkHops {
+		f.Partial = true
+		n.c.memb.partialWalks.Add(1)
+		if sp != nil {
+			sp.SetAttr("partial", "true")
+		}
+		n.send(f.Querier, f.encode(frameResult), classQuery, 0) //nolint:errcheck
+		sp.End()
+		return
+	}
 	n.send(target, f.encode(frameWalk), classQuery, 0) //nolint:errcheck
 	sp.End()
+}
+
+// collectRef serves one worklist reference from whichever state holds it:
+// the node's own (ref.Loc == n.addr) or a held partition's. The caller
+// already established servability via canServe.
+func (n *Node) collectRef(ref core.Ref, f *walkFrame) {
+	var (
+		st core.NodeState
+		db *engine.Database
+		mu *sync.Mutex
+	)
+	if ref.Loc == n.addr {
+		st, db, mu = n.state, n.db, &n.mu
+	} else {
+		p := n.partitionFor(ref.Loc, false)
+		if p == nil {
+			return
+		}
+		st, db, mu = p.state, p.db, &p.mu
+	}
+	mu.Lock()
+	ce, vids, provs, nexts, ok := st.Collect(ref)
+	evByID := st.EventByEvID()
+	mu.Unlock()
+	if !ok {
+		return
+	}
+	f.Entries = append(f.Entries, ce)
+	f.Provs = append(f.Provs, provs...)
+	for _, vid := range vids {
+		if t, ok := db.LookupVID(vid); ok {
+			f.Tuples = appendTupleOnce(f.Tuples, t)
+		}
+	}
+	if evByID && hasNilRef(ce.Nexts) {
+		// Chain leaf: resolve the event tuples by EVID (Section 5.6).
+		for _, evid := range walkEventIDs(f) {
+			if t, ok := db.LookupVID(evid); ok {
+				f.Tuples = appendTupleOnce(f.Tuples, t)
+			}
+		}
+	}
+	for _, nx := range nexts {
+		f.Work = append(f.Work, nx)
+	}
 }
 
 func hasNilRef(refs []core.Ref) bool {
@@ -410,7 +493,13 @@ func (n *Node) send(to types.NodeAddr, frame []byte, class uint8, provBytes int)
 	if !n.alive.Load() {
 		return fmt.Errorf("cluster: send from dead node %s", n.addr)
 	}
-	peer := n.c.nodes[to]
+	if n.downLeft.Load() != 0 {
+		// A frame addressed to a departed (Left) member redirects to the
+		// acting owner of its partition; Down members keep their traffic
+		// (the retry budget delivers it when they return).
+		to = n.routeFor(to)
+	}
+	peer := n.c.node(to)
 	if peer == nil {
 		return fmt.Errorf("cluster: send to unknown node %s", to)
 	}
@@ -478,9 +567,23 @@ func (c *Cluster) Query(out types.Tuple, evid types.ID, timeout time.Duration) (
 // results are counted as late (TransportStats.LateResults), never
 // delivered to the canceled waiter.
 func (c *Cluster) QueryContext(ctx context.Context, out types.Tuple, evid types.ID, timeout time.Duration) (QueryResult, error) {
-	querier := c.nodes[out.Loc()]
-	if querier == nil {
-		return QueryResult{}, fmt.Errorf("cluster: query at unknown node %s", out)
+	querier := c.node(out.Loc())
+	var ps *partition
+	if querier == nil || !querier.Alive() {
+		// The owner is unreachable: with replication on, a rendezvous
+		// replica holding its partition shadow acts as the querier; the
+		// suspicion teaches the acting querier's view so walk routing and
+		// serving agree the owner is out.
+		acting, p := c.failoverQuerier(out.Loc())
+		if acting == nil {
+			if querier == nil {
+				return QueryResult{}, fmt.Errorf("cluster: query at unknown node %s", out)
+			}
+			return QueryResult{}, fmt.Errorf("cluster: query at dead node %s", out.Loc())
+		}
+		acting.suspect(out.Loc())
+		c.memb.failovers.Add(1)
+		querier, ps = acting, p
 	}
 	// The query root span anchors the whole distributed walk's tree; a
 	// nil tracer makes qsp a no-op and qctx the zero (untraced) context.
@@ -500,7 +603,7 @@ func (c *Cluster) QueryContext(ctx context.Context, out types.Tuple, evid types.
 			querier.stats.queryRetries.Add(1)
 			qsp.SetAttr("retried", "true")
 		}
-		res, done, err := c.tryQuery(ctx, querier, out, evid, timeout, qctx)
+		res, done, err := c.tryQuery(ctx, querier, ps, out, evid, timeout, qctx)
 		if err != nil {
 			qsp.End()
 			return QueryResult{}, err
@@ -518,8 +621,10 @@ func (c *Cluster) QueryContext(ctx context.Context, out types.Tuple, evid types.
 
 // tryQuery issues one walk and waits for its result; done=false means the
 // attempt timed out and the caller may retry. qctx is the query root
-// span's context (zero when untraced) the walk frames travel under.
-func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, evid types.ID, timeout time.Duration, qctx trace.SpanContext) (QueryResult, bool, error) {
+// span's context (zero when untraced) the walk frames travel under. A
+// non-nil ps means querier is acting for a dead owner and anchors the
+// walk in its partition shadow instead of its own state.
+func (c *Cluster) tryQuery(ctx context.Context, querier *Node, ps *partition, out types.Tuple, evid types.ID, timeout time.Duration, qctx trace.SpanContext) (QueryResult, bool, error) {
 	qid := c.nextQID.Add(1)
 	ch := make(chan *walkFrame, 1)
 	querier.pendMu.Lock()
@@ -532,9 +637,15 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, 
 	}
 
 	f := &walkFrame{QID: qid, Querier: querier.addr, Root: out, EvID: evid, Trace: qctx}
-	querier.mu.Lock()
-	f.RootProvs = querier.state.ProvRows(types.HashTuple(out), evid)
-	querier.mu.Unlock()
+	if ps != nil {
+		ps.mu.Lock()
+		f.RootProvs = ps.state.ProvRows(types.HashTuple(out), evid)
+		ps.mu.Unlock()
+	} else {
+		querier.mu.Lock()
+		f.RootProvs = querier.state.ProvRows(types.HashTuple(out), evid)
+		querier.mu.Unlock()
+	}
 	seen := make(map[core.Ref]bool)
 	for _, p := range f.RootProvs {
 		if !p.Ref.IsNil() && !seen[p.Ref] {
@@ -546,8 +657,15 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, 
 		unregister()
 		return QueryResult{}, true, nil
 	}
-	// Start the walk by sending it to the first target (possibly self).
-	target := f.Work[len(f.Work)-1].Loc
+	// Start the walk by sending it to the first target (possibly self),
+	// routed around members the view knows are out. An unroutable first
+	// hop fails the query immediately — the membership view is exactly
+	// what keeps the retry budget off known-dead peers.
+	target := querier.routeWalk(f.Work[len(f.Work)-1].Loc)
+	if target == "" {
+		unregister()
+		return QueryResult{}, true, fmt.Errorf("cluster: query needs unreachable member %s", f.Work[len(f.Work)-1].Loc)
+	}
 	if err := querier.send(target, f.encode(frameWalk), classQuery, 0); err != nil {
 		unregister()
 		return QueryResult{}, false, err
@@ -557,10 +675,20 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, 
 	defer timer.Stop()
 	select {
 	case res := <-ch:
+		if res.Partial {
+			// The walk could not reach a member it needed and no replica
+			// stood in. Retrying would hit the same outage, so fail now
+			// with the retry budget unspent.
+			return QueryResult{}, true, fmt.Errorf("cluster: query partial: a member the walk needs is unreachable")
+		}
 		// The reconstruction span parents under the last hop's span, so
 		// the tree reads inject→walk…walk→reconstruct end to end.
 		rsp := c.startSpan(res.Trace, querier.addr, "reconstruct", "reconstruct "+res.Root.Rel)
-		trees := reconstructWalk(c, querier, res)
+		state := querier.state
+		if ps != nil {
+			state = ps.state
+		}
+		trees := reconstructWalk(c, querier, state, res)
 		rsp.SetAttr("trees", strconv.Itoa(len(trees)))
 		rsp.End()
 		return QueryResult{Trees: trees, Hops: int(res.Hops)}, true, nil
@@ -574,8 +702,9 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, out types.Tuple, 
 }
 
 // reconstructWalk rebuilds the provenance trees from a completed walk
-// using the querier's scheme state.
-func reconstructWalk(c *Cluster, querier *Node, f *walkFrame) []*core.Tree {
+// using the given scheme state (the querier's own, or the partition
+// shadow's when the query failed over to a replica).
+func reconstructWalk(c *Cluster, querier *Node, state core.NodeState, f *walkFrame) []*core.Tree {
 	entries := make(map[core.Ref]core.CollectedEntry, len(f.Entries))
 	for _, ce := range f.Entries {
 		entries[core.Ref{Loc: ce.Entry.Loc, RID: ce.Entry.RID}] = ce
@@ -588,7 +717,7 @@ func reconstructWalk(c *Cluster, querier *Node, f *walkFrame) []*core.Tree {
 	for _, p := range f.Provs {
 		provs[p.VID] = append(provs[p.VID], p)
 	}
-	raw := querier.state.Reconstruct(c.prog, c.funcs, f.Root, f.RootProvs, entries, tuples, provs)
+	raw := state.Reconstruct(c.prog, c.funcs, f.Root, f.RootProvs, entries, tuples, provs)
 	var trees []*core.Tree
 	for _, t := range raw {
 		if !f.EvID.IsZero() && t.EvID() != f.EvID {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"provcompress/internal/core"
+	"provcompress/internal/membership"
 	"provcompress/internal/trace"
 	"provcompress/internal/types"
 	"provcompress/internal/wire"
@@ -32,6 +33,15 @@ const (
 	frameWalk     = 3 // traveling provenance query (Section 5.6)
 	frameResult   = 4 // completed walk returning to the querier
 	frameEnvelope = 5 // transport delivery envelope wrapping any of the above
+
+	// Membership subsystem frames (membership.go). All of them are cluster
+	// upkeep rather than base-tuple traffic or query traffic, so the
+	// transport attributes every byte to the provenance class.
+	frameView       = 6  // gossiped membership view delta (full CRDT view)
+	frameRepl       = 7  // one replicated durable-format record for a partition
+	frameHandoff    = 8  // partition snapshot stream: bootstrap, handoff, repair
+	frameHandoffAck = 9  // receiver acknowledges a handoff installed
+	frameRepairReq  = 10 // returning owner asks a replica for its shadow copy
 )
 
 // encodeEnvelope wraps an already-encoded frame in the transport delivery
@@ -147,6 +157,11 @@ type walkFrame struct {
 	Provs  []core.Prov
 	Tuples []types.Tuple
 	Hops   uint32
+	// Partial marks a walk that could not finish because a node it needed
+	// was unreachable. The querier fails the query immediately instead of
+	// burning its retry budget re-walking into the same outage — with
+	// replication on it re-plans against a replica instead.
+	Partial bool
 }
 
 func (f *walkFrame) encode(kind uint8) []byte {
@@ -195,6 +210,7 @@ func (f *walkFrame) encode(kind uint8) []byte {
 		e.Tuple(t)
 	}
 	e.U32(f.Hops)
+	e.Bool(f.Partial)
 	return e.Bytes()
 }
 
@@ -272,5 +288,90 @@ func decodeWalkFrame(d *wire.Decoder) (*walkFrame, error) {
 		f.Tuples = append(f.Tuples, d.Tuple())
 	}
 	f.Hops = d.U32()
+	f.Partial = d.Bool()
 	return f, d.Err()
+}
+
+// encodeView wraps the CRDT membership view for gossip.
+func encodeView(v *membership.View) []byte {
+	e := wire.NewEncoder(64)
+	e.U8(frameView)
+	v.Encode(e)
+	return e.Bytes()
+}
+
+func decodeViewFrame(d *wire.Decoder) (*membership.View, error) {
+	return membership.DecodeView(d)
+}
+
+// encodeRepl ships one durable-format record (encodeDurEvent /
+// encodeDurTuple / recSigPayload, durability.go) for the partition owned
+// by `owner`, so a replica can maintain its shadow copy by replaying the
+// exact byte stream the owner logged (or would have logged).
+func encodeRepl(owner types.NodeAddr, rec []byte) []byte {
+	e := wire.NewEncoder(len(rec) + 16)
+	e.U8(frameRepl)
+	e.Str(string(owner))
+	e.Blob(rec)
+	return e.Bytes()
+}
+
+func decodeReplFrame(d *wire.Decoder) (types.NodeAddr, []byte, error) {
+	owner := types.NodeAddr(d.Str())
+	rec := d.Blob()
+	return owner, rec, d.Err()
+}
+
+// encodeHandoff streams a whole partition — the snapshotPayload of
+// `owner`'s state — to a peer. HID correlates the final frame's ack;
+// final=false frames (replica bootstrap, read-repair replies) are not
+// acked. The same frame serves three flows: bootstrapping a new replica,
+// handing a partition to its next owner on leave, and answering a
+// repair request from a returning owner.
+func encodeHandoff(owner types.NodeAddr, hid uint64, final bool, snap []byte) []byte {
+	e := wire.NewEncoder(len(snap) + 24)
+	e.U8(frameHandoff)
+	e.Str(string(owner))
+	e.U64(hid)
+	e.Bool(final)
+	e.Blob(snap)
+	return e.Bytes()
+}
+
+func decodeHandoffFrame(d *wire.Decoder) (owner types.NodeAddr, hid uint64, final bool, snap []byte, err error) {
+	owner = types.NodeAddr(d.Str())
+	hid = d.U64()
+	final = d.Bool()
+	snap = d.Blob()
+	return owner, hid, final, snap, d.Err()
+}
+
+// encodeHandoffAck confirms a final handoff installed at the receiver;
+// the sender's routing flip (and Ready gauge) waits on it.
+func encodeHandoffAck(hid uint64, owner types.NodeAddr) []byte {
+	e := wire.NewEncoder(24)
+	e.U8(frameHandoffAck)
+	e.U64(hid)
+	e.Str(string(owner))
+	return e.Bytes()
+}
+
+func decodeHandoffAckFrame(d *wire.Decoder) (hid uint64, owner types.NodeAddr, err error) {
+	hid = d.U64()
+	owner = types.NodeAddr(d.Str())
+	return hid, owner, d.Err()
+}
+
+// encodeRepairReq asks a replica to send back its shadow of the
+// requester's own partition (read-repair after a crash window).
+func encodeRepairReq(owner types.NodeAddr) []byte {
+	e := wire.NewEncoder(16)
+	e.U8(frameRepairReq)
+	e.Str(string(owner))
+	return e.Bytes()
+}
+
+func decodeRepairReqFrame(d *wire.Decoder) (types.NodeAddr, error) {
+	owner := types.NodeAddr(d.Str())
+	return owner, d.Err()
 }

@@ -35,6 +35,14 @@ type TransportConfig struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the backoff growth (default 200ms).
 	BackoffMax time.Duration
+	// IdleConnTimeout closes a link's connection after it has sent nothing
+	// for this long; the next frame transparently re-dials. Zero (the
+	// default) keeps connections open forever. Large clusters need this:
+	// membership gossip touches O(log N) peers per node in a burst, and
+	// without reaping each burst pins its sockets — two file descriptors
+	// per connection, both ends in this process — for the cluster's
+	// lifetime.
+	IdleConnTimeout time.Duration
 }
 
 func (tc TransportConfig) withDefaults() TransportConfig {
@@ -301,9 +309,19 @@ func (t *transport) enqueue(f outFrame) {
 // run is the writer goroutine: it drains the queue in order, delivering
 // each frame (with retries) before touching the next, so per-link ordering
 // is preserved and the receiver's duplicate filter stays a simple
-// high-water mark.
+// high-water mark. With IdleConnTimeout set it also reaps the connection
+// after a quiet period; the sequence numbers live on the transport, not
+// the connection, so the receiver's duplicate filter is unaffected by the
+// re-dial.
 func (t *transport) run() {
 	defer t.owner.wg.Done()
+	var idle *time.Timer
+	var idleC <-chan time.Time
+	if t.cfg.IdleConnTimeout > 0 {
+		idle = time.NewTimer(t.cfg.IdleConnTimeout)
+		idleC = idle.C
+		defer idle.Stop()
+	}
 	for {
 		select {
 		case <-t.stop:
@@ -311,6 +329,18 @@ func (t *transport) run() {
 			return
 		case f := <-t.queue:
 			t.deliver(f)
+			if idle != nil {
+				if !idle.Stop() {
+					select {
+					case <-idle.C:
+					default:
+					}
+				}
+				idle.Reset(t.cfg.IdleConnTimeout)
+			}
+		case <-idleC:
+			t.closeConn()
+			idle.Reset(t.cfg.IdleConnTimeout)
 		}
 	}
 }
@@ -372,6 +402,7 @@ func (t *transport) backoff(attempt int) time.Duration {
 func (t *transport) deliver(f outFrame) {
 	t.seq++
 	env := encodeEnvelope(t.owner.addr, t.owner.incarnation.Load(), t.seq, f.epoch, f.payload)
+	dialFailed := false
 	for attempt := 0; attempt <= t.cfg.RetryBudget; attempt++ {
 		if attempt > 0 {
 			t.stats.retries.Add(1)
@@ -395,9 +426,10 @@ func (t *transport) deliver(f outFrame) {
 			t.closeConn()
 		}
 		if t.conn == nil {
-			conn, err := net.DialTimeout("tcp", t.owner.c.nodes[t.to].listenAddr(), t.cfg.DialTimeout)
+			conn, err := net.DialTimeout("tcp", t.owner.c.node(t.to).listenAddr(), t.cfg.DialTimeout)
 			if err != nil {
 				t.stats.dialErrors.Add(1)
+				dialFailed = true
 				continue
 			}
 			t.stats.dials.Add(1)
@@ -421,6 +453,13 @@ func (t *transport) deliver(f outFrame) {
 		t.owner.linkBytesTo(t.to).add(f.class, wireBytes, f.provBytes)
 		t.faults.sent()
 		return
+	}
+	// Budget exhausted. Only hard evidence raises a suspicion: every dial
+	// failed and no connection was ever held for this frame — the peer's
+	// listener is gone, not merely slow or lossy (a fault-plan drop storm
+	// keeps its connection and must not mark the peer Down).
+	if t.conn == nil && dialFailed {
+		t.owner.suspect(t.to)
 	}
 	t.abandon(f)
 }

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"provcompress/internal/apps"
@@ -17,6 +18,7 @@ import (
 	"provcompress/internal/store"
 	"provcompress/internal/topo"
 	"provcompress/internal/trace"
+	"provcompress/internal/types"
 )
 
 // Flags bundles the cluster bring-up options shared by the binaries.
@@ -34,6 +36,14 @@ type Flags struct {
 	// GraveyardCap bounds each node's deleted-tuple graveyard
 	// (0 = unbounded; see engine.Database.SetGraveyardCap).
 	GraveyardCap int
+	// Replicas is the k of k-way provenance replication: each member
+	// ships its provenance records to k rendezvous-placed replicas, and
+	// queries fail over to them when the owner is down (0 = off).
+	Replicas int
+	// Join lists member addresses to add elastically after boot
+	// (comma-separated, e.g. "n8,n9"): each joins through the membership
+	// protocol — view gossip, bootstrap partition handoff, then Up.
+	Join string
 	// DataDir, when non-empty, makes the cluster durable: each node keeps
 	// a WAL + snapshots under DataDir/<scheme>/<node>/ and recovers from
 	// them on boot and restart. Empty keeps the cluster in-memory only.
@@ -63,6 +73,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.ResetAfter, "reset-after", 0, "fault injection: reset each link once after N successful writes")
 	fs.Int64Var(&f.FaultSeed, "fault-seed", 1, "fault injection: RNG seed (runs with the same seed inject the same faults)")
 	fs.IntVar(&f.GraveyardCap, "graveyard-cap", 0, "max deleted tuples retained per node for provenance VID resolution (0 = unbounded)")
+	fs.IntVar(&f.Replicas, "replicas", 0, "k-way provenance replication factor; queries fail over to replicas when a member is down (0 = off)")
+	fs.StringVar(&f.Join, "join", "", "comma-separated member addresses to join elastically after boot (e.g. n8,n9)")
 	fs.StringVar(&f.DataDir, "data-dir", "", "directory for the durable provenance store (WAL + snapshots); empty runs in-memory only")
 	fs.StringVar(&f.Fsync, "fsync", "always", "WAL fsync policy: always (per record), interval, or off")
 	fs.DurationVar(&f.FsyncInterval, "fsync-interval", 50*time.Millisecond, "flush period under -fsync=interval")
@@ -120,6 +132,7 @@ func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 		Faults:       f.Plan(),
 		Tracer:       f.Tracer,
 		GraveyardCap: f.GraveyardCap,
+		Replicas:     f.Replicas,
 	}
 	// Validate the policy spelling even on a volatile run, so a typo'd
 	// -fsync fails fast instead of being discovered the day -data-dir is
@@ -150,7 +163,31 @@ func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 			return nil, nil, err
 		}
 	}
+	// Elastic joins happen after the base load: each newcomer enters
+	// through the membership protocol (gossip, bootstrap handoff, Up), so
+	// a -join run exercises the same path a live scale-out would.
+	for _, addr := range splitJoin(f.Join) {
+		if err := c.Join(types.NodeAddr(addr)); err != nil {
+			c.Close()
+			return nil, nil, fmt.Errorf("clusterboot: join %s: %w", addr, err)
+		}
+	}
 	return c, g, nil
+}
+
+// splitJoin parses the -join flag into trimmed, deduplicated addresses.
+func splitJoin(s string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		addr := strings.TrimSpace(part)
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		out = append(out, addr)
+	}
+	return out
 }
 
 // dirHasState reports whether a scheme data dir holds prior state to

@@ -28,17 +28,26 @@ func (s *AdvancedState) Persist(e *wire.Encoder) { s.st.persist(e) }
 // Restore rebuilds the state machine from an encoded snapshot.
 func (s *AdvancedState) Restore(d *wire.Decoder) error { return s.st.restore(d) }
 
+// Merge folds a snapshot into the existing state without resetting it.
+func (s *AdvancedState) Merge(d *wire.Decoder) error { return s.st.merge(d) }
+
 // Persist serializes the state machine into the encoder.
 func (s *BasicState) Persist(e *wire.Encoder) { s.st.persist(e) }
 
 // Restore rebuilds the state machine from an encoded snapshot.
 func (s *BasicState) Restore(d *wire.Decoder) error { return s.st.restore(d) }
 
+// Merge folds a snapshot into the existing state without resetting it.
+func (s *BasicState) Merge(d *wire.Decoder) error { return s.st.merge(d) }
+
 // Persist serializes the state machine into the encoder.
 func (s *ExSPANState) Persist(e *wire.Encoder) { s.st.persist(e) }
 
 // Restore rebuilds the state machine from an encoded snapshot.
 func (s *ExSPANState) Restore(d *wire.Decoder) error { return s.st.restore(d) }
+
+// Merge folds a snapshot into the existing state without resetting it.
+func (s *ExSPANState) Merge(d *wire.Decoder) error { return s.st.merge(d) }
 
 func encodePersistRef(e *wire.Encoder, r Ref) {
 	e.Str(string(r.Loc))
@@ -256,6 +265,158 @@ func (s *store) restore(d *wire.Decoder) error {
 	s.provBytes = int64(d.U64())
 	s.htequiBytes = int64(d.U64())
 	s.hmapBytes = int64(d.U64())
+
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("core: corrupt state snapshot: %w", err)
+	}
+	return nil
+}
+
+// merge folds a Persist snapshot into the live store without resetting
+// it. Every row goes through the normal dup-checked insertion paths
+// (addRuleExec/addLink/addProv/seenEquiKey), so rows already present —
+// e.g. delivered by replication while the snapshot was in flight — are
+// kept once and the running byte accounting stays exact. The snapshot's
+// own byte trailer is decoded and discarded: it describes the donor's
+// totals, not this store's.
+//
+// hmap entries and pending outputs install only for keys this store has
+// never seen. For a key both sides hold, the live entry may reflect a
+// newer sig epoch than the snapshot (taken before a reset); folding the
+// snapshot's references in via addHmapRef would clobber the newer epoch,
+// so the live side wins. The cost is bounded staleness on a replica's
+// advanced-scheme chains until the next firing refreshes the entry —
+// never wrong answers, because queries resolve through prov/ruleExec
+// rows, which do merge.
+func (s *store) merge(d *wire.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != statePersistVersion {
+		return fmt.Errorf("core: unsupported state snapshot version %d", v)
+	}
+
+	n := d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d ruleExec rows", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var row RuleExec
+		row.Loc = types.NodeAddr(d.Str())
+		row.RID = d.ID()
+		row.Rule = d.Str()
+		vn := d.U32()
+		if vn > maxPersistItems {
+			return fmt.Errorf("core: ruleExec row with %d vids", vn)
+		}
+		row.VIDs = make([]types.ID, 0, min(vn, 64))
+		for j := uint32(0); j < vn && d.Err() == nil; j++ {
+			row.VIDs = append(row.VIDs, d.ID())
+		}
+		row.Next = decodePersistRef(d)
+		if d.Err() == nil {
+			s.addRuleExec(row)
+		}
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d link rows", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		rid := d.ID()
+		rn := d.U32()
+		if rn > maxPersistItems {
+			return fmt.Errorf("core: link row with %d refs", rn)
+		}
+		for j := uint32(0); j < rn && d.Err() == nil; j++ {
+			ref := decodePersistRef(d)
+			if d.Err() == nil {
+				s.addLink(rid, ref)
+			}
+		}
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d prov rows", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var p Prov
+		p.Loc = types.NodeAddr(d.Str())
+		p.VID = d.ID()
+		p.Ref = decodePersistRef(d)
+		p.EvID = d.ID()
+		if d.Err() == nil {
+			s.addProv(p)
+		}
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d htequi entries", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		h := d.ID()
+		seen := d.Bool()
+		if d.Err() == nil && seen {
+			s.seenEquiKey(h)
+		}
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d hmap entries", n)
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		eq := d.ID()
+		rel := d.Str()
+		evid := d.ID()
+		rn := d.U32()
+		if rn > maxPersistItems {
+			return fmt.Errorf("core: hmap entry with %d refs", rn)
+		}
+		k := hmapKey{eq: eq, rel: rel}
+		_, have := s.hmap[k]
+		for j := uint32(0); j < rn && d.Err() == nil; j++ {
+			ref := decodePersistRef(d)
+			if d.Err() == nil && !have {
+				s.addHmapRef(eq, rel, evid, ref)
+			}
+		}
+		if rn == 0 && !have && d.Err() == nil {
+			// Entry with an epoch but no refs yet: preserve the epoch marker.
+			if s.hmap == nil {
+				s.hmap = make(map[hmapKey]*hmapEntry)
+			}
+			s.hmap[k] = &hmapEntry{evid: evid}
+			s.hmapBytes += int64(len(eq) + len(rel) + len(evid))
+		}
+	}
+
+	n = d.U32()
+	if n > maxPersistItems {
+		return fmt.Errorf("core: state snapshot with %d pending outputs", n)
+	}
+	livePending := make(map[hmapKey]bool, len(s.pending))
+	for k := range s.pending {
+		livePending[k] = true
+	}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		eq := d.ID()
+		rel := d.Str()
+		var p pendingOutput
+		p.vid = d.ID()
+		p.evid = d.ID()
+		k := hmapKey{eq: eq, rel: rel}
+		if d.Err() == nil && !livePending[k] {
+			s.deferOutput(eq, rel, p)
+		}
+	}
+
+	// The donor's byte-accounting trailer: read for framing, discard for
+	// content — this store's counters were maintained by the add* calls.
+	_ = d.U64()
+	_ = d.U64()
+	_ = d.U64()
+	_ = d.U64()
 
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("core: corrupt state snapshot: %w", err)

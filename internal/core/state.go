@@ -72,6 +72,13 @@ type NodeState interface {
 	// Restore resets the state machine and rebuilds it from a Persist
 	// snapshot.
 	Restore(d *wire.Decoder) error
+	// Merge folds a Persist snapshot into the existing state without
+	// resetting it: rows already present stay, absent rows are added
+	// through the normal insertion paths so the byte accounting tracks
+	// them. The membership subsystem uses it to install a partition
+	// handoff or read-repair payload over state that may already hold
+	// replicated records for the same partition.
+	Merge(d *wire.Decoder) error
 }
 
 // NewNodeState builds the per-node state machine for a scheme name

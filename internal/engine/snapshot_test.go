@@ -165,3 +165,62 @@ func TestSnapshotRestoreReplacesState(t *testing.T) {
 		t.Errorf("restore lost snapshot contents: count=%d", dst.Count("keep"))
 	}
 }
+
+// TestSnapshotMergeUnion: MergeSnapshot folds a snapshot into a live
+// database as a union — overlapping rows stay single, absent rows and
+// graveyard entries arrive, and the receiver keeps its own retention cap.
+func TestSnapshotMergeUnion(t *testing.T) {
+	full := NewDatabase()
+	shared := types.NewTuple("r", types.String("n"), types.Int(1))
+	only := types.NewTuple("r", types.String("n"), types.Int(2))
+	dead := types.NewTuple("r", types.String("n"), types.Int(3))
+	full.Insert(shared)
+	full.Insert(only)
+	full.Insert(dead)
+	full.Delete(dead)
+	snap := snapshotOf(full)
+
+	dst := NewDatabase()
+	dst.SetGraveyardCap(7)
+	dst.Insert(shared) // overlap: replication delivered it already
+	if err := dst.MergeSnapshot(wire.NewDecoder(snap)); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Count("r"); got != 2 {
+		t.Fatalf("merged live count = %d, want 2", got)
+	}
+	if !dst.Contains(only) || !dst.Contains(shared) {
+		t.Fatal("merge lost a row")
+	}
+	if dst.GraveyardSize() != 1 {
+		t.Fatalf("merged graveyard size = %d, want 1", dst.GraveyardSize())
+	}
+	if _, ok := dst.LookupVID(types.HashTuple(dead)); !ok {
+		t.Fatal("graveyard VID unresolvable after merge")
+	}
+
+	// Idempotent: a second merge changes nothing.
+	if err := dst.MergeSnapshot(wire.NewDecoder(snap)); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count("r") != 2 || dst.GraveyardSize() != 1 {
+		t.Fatal("second merge changed state")
+	}
+
+	// The receiver's graveyard cap survived (the donor's was unbounded).
+	for i := 0; i < 20; i++ {
+		tu := types.NewTuple("g", types.String("n"), types.Int(int64(i)))
+		dst.Insert(tu)
+		dst.Delete(tu)
+	}
+	if got := dst.GraveyardSize(); got != 7 {
+		t.Fatalf("graveyard cap after merge = %d entries, want 7", got)
+	}
+
+	// Truncated payloads error rather than panic, even mid-merge.
+	for cut := 0; cut < len(snap); cut++ {
+		if err := NewDatabase().MergeSnapshot(wire.NewDecoder(snap[:cut])); err == nil {
+			t.Fatalf("truncated snapshot of %d/%d bytes merged without error", cut, len(snap))
+		}
+	}
+}

@@ -155,3 +155,56 @@ func (db *Database) RestoreSnapshot(d *wire.Decoder) error {
 	}
 	return nil
 }
+
+// MergeSnapshot folds a snapshot into the live database without resetting
+// it: rows insert with set semantics (duplicates are no-ops), graveyard
+// entries append only when absent, and the snapshot's retention cap is
+// decoded but discarded — the receiver keeps its own cap. The membership
+// subsystem uses it to install a partition handoff or read-repair payload
+// over a store that may already hold replicated inserts for the same
+// partition, in either arrival order.
+func (db *Database) MergeSnapshot(d *wire.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != snapshotVersion {
+		return fmt.Errorf("engine: unsupported database snapshot version %d", v)
+	}
+	nTables := d.U32()
+	if nTables > maxSnapshotItems {
+		return fmt.Errorf("engine: snapshot with %d tables", nTables)
+	}
+	for i := uint32(0); i < nTables && d.Err() == nil; i++ {
+		rel := d.Str()
+		nRows := d.U32()
+		if nRows > maxSnapshotItems {
+			return fmt.Errorf("engine: snapshot relation %q with %d rows", rel, nRows)
+		}
+		for j := uint32(0); j < nRows && d.Err() == nil; j++ {
+			t := d.Tuple()
+			if d.Err() == nil {
+				db.Insert(t)
+			}
+		}
+	}
+	nGrave := d.U32()
+	if nGrave > maxSnapshotItems {
+		return fmt.Errorf("engine: snapshot with %d graveyard entries", nGrave)
+	}
+	db.mu.Lock()
+	for i := uint32(0); i < nGrave && d.Err() == nil; i++ {
+		t := d.Tuple()
+		vid := types.HashTuple(t)
+		if db.graveyard == nil {
+			db.graveyard = make(map[types.ID]types.Tuple)
+		}
+		if _, ok := db.graveyard[vid]; !ok {
+			db.graveyard[vid] = t
+			db.graveyardOrder = append(db.graveyardOrder, vid)
+		}
+	}
+	_ = d.U32() // donor's graveyard cap: framing only
+	db.enforceGraveyardCapLocked()
+	db.mu.Unlock()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("engine: corrupt database snapshot: %w", err)
+	}
+	return nil
+}

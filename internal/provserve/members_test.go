@@ -1,0 +1,124 @@
+package provserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/cluster"
+	"provcompress/internal/topo"
+)
+
+// newElasticCluster boots a chain cluster with replication on.
+func newElasticCluster(t *testing.T, nodes, replicas int) *cluster.Cluster {
+	t.Helper()
+	g := topo.Line(nodes, "n")
+	c, err := cluster.New(cluster.Config{
+		Prog:     apps.Forwarding(),
+		Funcs:    apps.Funcs(),
+		Nodes:    g.Nodes(),
+		Scheme:   "advanced",
+		Replicas: replicas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.LoadBase(g.ShortestPaths().RouteTuples()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestReadyzAndMembers exercises the readiness probe and the membership
+// endpoint: a settled cluster is ready and lists every member Up; after a
+// runtime join the view grows and the endpoint reports the handoff
+// counters moving.
+func TestReadyzAndMembers(t *testing.T) {
+	c := newElasticCluster(t, 3, 1)
+	_, ts := newTestServer(t, Config{Clusters: map[string]*cluster.Cluster{"advanced": c}})
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	resp, body := get("/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz on a settled cluster: %s: %s", resp.Status, body)
+	}
+
+	resp, body = get("/v1/members")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/members: %s: %s", resp.Status, body)
+	}
+	var members map[string]struct {
+		Members []memberInfo   `json:"members"`
+		Stats   map[string]any `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &members); err != nil {
+		t.Fatalf("bad members JSON: %v: %s", err, body)
+	}
+	adv := members["advanced"]
+	if len(adv.Members) != 3 {
+		t.Fatalf("members = %+v, want 3 rows", adv.Members)
+	}
+	for _, m := range adv.Members {
+		if m.State != "up" {
+			t.Fatalf("member %s state %q, want up", m.Addr, m.State)
+		}
+	}
+	if got := adv.Stats["replicas"]; got != float64(1) {
+		t.Fatalf("stats replicas = %v, want 1", got)
+	}
+
+	// Grow the cluster and watch the endpoint reflect it.
+	if err := c.Join("n3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get("/v1/members")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/members after join: %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &members); err != nil {
+		t.Fatal(err)
+	}
+	adv = members["advanced"]
+	if len(adv.Members) != 4 {
+		t.Fatalf("after join: members = %+v, want 4 rows", adv.Members)
+	}
+	if got, ok := adv.Stats["handoffs"].(float64); !ok || got < 1 {
+		t.Fatalf("after join: handoffs = %v, want >= 1", adv.Stats["handoffs"])
+	}
+	resp, body = get("/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after join settled: %s: %s", resp.Status, body)
+	}
+
+	// The Prometheus exposition carries the membership series.
+	resp, body = get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	for _, want := range []string{"provd_membership_handoffs_total", "provd_membership_replicas", "provd_ready"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+}

@@ -23,8 +23,10 @@
 //     distributed query instead of burning the timeout.
 //
 // Endpoints: POST /v1/events, GET /v1/query, GET /v1/outputs,
-// GET /v1/stats, GET /v1/trace/{id} (Chrome trace JSON), GET /metrics
-// (Prometheus text), /debug/pprof/*.
+// GET /v1/stats, GET /v1/members (membership view + elastic counters),
+// GET /v1/trace/{id} (Chrome trace JSON), GET /readyz (503 while any
+// cluster is mid-handoff), GET /metrics (Prometheus text),
+// /debug/pprof/*.
 package provserve
 
 import (
@@ -174,6 +176,8 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/v1/members", s.handleMembers)
 	mux.HandleFunc("/v1/events", s.handleEvents)
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/outputs", s.handleOutputs)
@@ -555,6 +559,58 @@ func (s *Server) handleOutputs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"outputs": specs})
 }
 
+// handleReadyz is the readiness probe: 200 once every configured cluster
+// has no partition handoff in flight, 503 while any is still rebalancing.
+// (The daemon additionally serves a bare 503 on every path before the
+// clusters finish booting — WAL replay happens before this handler is
+// even installed, see cmd/provd.)
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	for _, name := range s.schemes {
+		if !s.cfg.Clusters[name].Ready() {
+			jsonError(w, http.StatusServiceUnavailable, "scheme %s rebalancing: partition handoff in progress", name)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// memberInfo is the wire form of one membership row.
+type memberInfo struct {
+	Addr  string `json:"addr"`
+	Epoch uint64 `json:"epoch"`
+	State string `json:"state"`
+}
+
+// handleMembers reports the cluster membership view per scheme: the
+// merged member rows plus the membership counters (replication,
+// handoffs, failovers, rebalance time).
+func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := map[string]any{}
+	for _, name := range s.schemes {
+		c := s.cfg.Clusters[name]
+		var rows []memberInfo
+		for _, m := range c.Members() {
+			rows = append(rows, memberInfo{Addr: string(m.Addr), Epoch: m.Epoch, State: m.State.String()})
+		}
+		ms := c.MembershipStats()
+		stats := map[string]any{"replicas": ms.Replicas, "rebalance_seconds": ms.RebalanceSeconds}
+		mc := ms.Counters()
+		for _, cn := range mc.Names() {
+			stats[strings.ReplaceAll(cn, "-", "_")] = mc.Get(cn)
+		}
+		resp[name] = map[string]any{"members": rows, "stats": stats}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // statsResponse is the GET /v1/stats reply.
 type statsResponse struct {
 	Epoch    uint64                 `json:"epoch"`
@@ -567,6 +623,9 @@ type schemeStats struct {
 	Transport    map[string]int64 `json:"transport"`
 	StorageBytes int64            `json:"storage_bytes"`
 	Outputs      int              `json:"outputs"`
+	// Membership holds the elastic-membership counters (view frames,
+	// handoffs, failovers, …; see cluster.MembershipStats).
+	Membership map[string]int64 `json:"membership"`
 	// Durability is present only when the scheme's cluster runs with a
 	// data dir (WAL + snapshots).
 	Durability *durabilityStats `json:"durability,omitempty"`
@@ -646,10 +705,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		for _, cn := range tc.Names() {
 			tm[cn] = tc.Get(cn)
 		}
+		mc := c.MembershipStats().Counters()
+		mm := map[string]int64{}
+		for _, cn := range mc.Names() {
+			mm[cn] = mc.Get(cn)
+		}
 		resp.Schemes[name] = schemeStats{
 			Transport:    tm,
 			StorageBytes: c.TotalStorageBytes(),
 			Outputs:      len(c.AllOutputs()),
+			Membership:   mm,
 			Durability:   durabilityOf(c),
 		}
 	}
@@ -736,6 +801,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.WriteCounter(w, "provd_bytes_total",
 				label+","+metrics.PromLabel("class", cl.class), cl.bytes)
 		}
+		ms := c.MembershipStats()
+		metrics.WritePrometheus(w, ms.Counters(), "provd_membership", label)
+		metrics.WriteGauge(w, "provd_membership_replicas", label, float64(ms.Replicas))
+		metrics.WriteGauge(w, "provd_rebalance_seconds", label, ms.RebalanceSeconds)
+		ready := 0.0
+		if c.Ready() {
+			ready = 1
+		}
+		metrics.WriteGauge(w, "provd_ready", label, ready)
 		if ds := c.DurabilityStats(); ds.Enabled {
 			metrics.WriteCounter(w, "provd_wal_records_total", label, ds.WALRecords)
 			metrics.WriteCounter(w, "provd_wal_bytes_total", label, ds.WALBytes)

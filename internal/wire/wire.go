@@ -59,6 +59,15 @@ func (e *Encoder) Str(s string) {
 // ID appends a fixed-size identifier.
 func (e *Encoder) ID(id types.ID) { e.buf = append(e.buf, id[:]...) }
 
+// Blob appends a length-prefixed byte string. The membership subsystem
+// uses it to nest an opaque payload (a node snapshot, a WAL record)
+// inside a handoff or replication frame without the outer codec knowing
+// the payload's layout.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
 // Bool appends a boolean byte.
 func (e *Encoder) Bool(v bool) {
 	if v {
@@ -157,6 +166,20 @@ func (d *Decoder) ID() types.ID {
 
 // Bool reads a boolean byte.
 func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// Blob reads a length-prefixed byte string. The returned slice aliases
+// the decoder's buffer; callers that retain it past the buffer's life
+// must copy.
+func (d *Decoder) Blob() []byte {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail("blob")
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
 
 // Tuple reads a length-prefixed tuple.
 func (d *Decoder) Tuple() types.Tuple {
