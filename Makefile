@@ -17,6 +17,11 @@
 #   bench-smoke  the benchmark harness at reduced scale, written to a
 #                scratch directory (committed BENCH_*.json baselines stay
 #                untouched) — proves the perf suite itself still runs
+#   ingest-smoke the ingest fast path A/B at reduced scale: wire-tier
+#                per-tuple vs batched+pooled throughput (batched must be
+#                >=2x events/s with >=4x fewer allocs/event) and full
+#                cluster runs per scheme, every record required to show
+#                zero byte-class accounting drift
 #   recover-smoke  crash-recovery end to end against real processes: boot a
 #                child provd on a temp -data-dir, inject + record every
 #                provenance tree, kill -9 mid-load, reboot and require WAL
@@ -37,9 +42,9 @@ GO ?= go
 BENCH_SMOKE_DIR := $(or $(TMPDIR),/tmp)/provcompress-bench-smoke
 TRACE_SMOKE_FILE := $(or $(TMPDIR),/tmp)/provcompress-trace-smoke.json
 
-.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke recover-smoke elastic-smoke
+.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke ingest-smoke recover-smoke elastic-smoke
 
-verify: vet build test chaos serve-smoke trace-smoke bench-smoke recover-smoke elastic-smoke
+verify: vet build test chaos serve-smoke trace-smoke bench-smoke ingest-smoke recover-smoke elastic-smoke
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +72,9 @@ bench:
 
 bench-smoke:
 	$(GO) run ./cmd/provsim -bench-out $(BENCH_SMOKE_DIR) -bench-smoke
+
+ingest-smoke:
+	$(GO) run ./cmd/provsim -bench-smoke ingest
 
 recover-smoke:
 	$(GO) run ./cmd/provd -recover-smoke

@@ -69,6 +69,7 @@ type serveBenchFile struct {
 	CacheSpeedup float64                 `json:"cache_speedup"`
 	Durability   []durabilityBenchRecord `json:"durability"`
 	Rebalance    rebalanceBenchRecord    `json:"rebalance"`
+	Ingest       []ingestBenchRecord     `json:"ingest"`
 }
 
 // rebalanceBenchRecord measures the elastic membership subsystem: a
@@ -339,6 +340,10 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	ing, err := benchIngest(smoke)
+	if err != nil {
+		return nil, err
+	}
 	return &serveBenchFile{
 		GeneratedBy:  "provsim -bench-out",
 		Smoke:        smoke,
@@ -351,6 +356,7 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 		CacheSpeedup: cold / cached,
 		Durability:   dur,
 		Rebalance:    reb,
+		Ingest:       ing,
 	}, nil
 }
 

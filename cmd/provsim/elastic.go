@@ -163,7 +163,7 @@ func elasticLiveRun(w io.Writer, nodes, replicas int) error {
 
 	checkBytes := func(when string) error {
 		s := c.TransportStats()
-		if sum := s.BytesBase + s.BytesProv + s.BytesQuery; sum != s.BytesTotal {
+		if sum := s.BytesBase + s.BytesProv + s.BytesQuery + s.BytesBatch; sum != s.BytesTotal {
 			return fmt.Errorf("elastic: %s: byte class sum %d != transport total %d", when, sum, s.BytesTotal)
 		}
 		return nil
@@ -280,7 +280,7 @@ func elasticLiveRun(w io.Writer, nodes, replicas int) error {
 	ts := c.TransportStats()
 	fmt.Fprintf(w, "elastic: left %s (handoffs %d, %d bytes, rebalance %.3fs); failovers %d, repairs %d\n",
 		leaver, s.Handoffs, s.HandoffBytes, s.RebalanceSeconds, s.Failovers, s.Repairs)
-	fmt.Fprintf(w, "elastic: byte classes intact: base %d + prov %d + query %d = %d total\n",
-		ts.BytesBase, ts.BytesProv, ts.BytesQuery, ts.BytesTotal)
+	fmt.Fprintf(w, "elastic: byte classes intact: base %d + prov %d + query %d + batch %d = %d total\n",
+		ts.BytesBase, ts.BytesProv, ts.BytesQuery, ts.BytesBatch, ts.BytesTotal)
 	return nil
 }

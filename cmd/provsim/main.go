@@ -156,6 +156,13 @@ func main() {
 		printWorkedExampleTables()
 		return
 	}
+	if target == "ingest" {
+		if err := runIngest(os.Stdout, *benchSmoke); err != nil {
+			fmt.Fprintf(os.Stderr, "provsim: ingest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if target == "elastic" {
 		if err := runElastic(os.Stdout, *elasticNodes, *elasticReplicas); err != nil {
 			fmt.Fprintf(os.Stderr, "provsim: elastic: %v\n", err)

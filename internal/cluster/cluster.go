@@ -559,7 +559,7 @@ func (c *Cluster) InjectTraced(ev types.Tuple) (trace.TraceID, error) {
 	sp := c.tracer.StartSpan(trace.SpanContext{}, string(ev.Loc()), "inject", "inject "+ev.Rel)
 	sp.SetAttr("scheme", c.scheme)
 	f := &tupleFrame{Tuple: ev, Fresh: true, Trace: sp.Context()}
-	err := origin.send(ev.Loc(), f.encode(), classBase, 0)
+	err := origin.sendOwned(ev.Loc(), f.encode(), classBase, 0)
 	sp.End()
 	if err != nil {
 		return 0, err
@@ -646,7 +646,15 @@ func (c *Cluster) Quiesce(deadline time.Duration) error {
 		case <-timer.C:
 		}
 	}
-	return fmt.Errorf("cluster: quiesce timeout with %d messages in flight", c.inflight.Load())
+	c.acctMu.Lock()
+	stuck := make(map[types.NodeAddr]int64)
+	for to, cnt := range c.destCount {
+		if cnt > 0 {
+			stuck[to] = cnt
+		}
+	}
+	c.acctMu.Unlock()
+	return fmt.Errorf("cluster: quiesce timeout with %d messages in flight (per dest: %v)", c.inflight.Load(), stuck)
 }
 
 // Outputs returns the output tuples that arrived at one node.
@@ -728,6 +736,7 @@ func (n *Node) addLinkBytes(s *TransportStats) {
 		s.BytesBase += lb.base.Load()
 		s.BytesProv += lb.prov.Load()
 		s.BytesQuery += lb.query.Load()
+		s.BytesBatch += lb.batch.Load()
 	}
 }
 
@@ -739,6 +748,7 @@ type LinkByteStats struct {
 	Base     int64
 	Prov     int64
 	Query    int64
+	Batch    int64
 }
 
 // LinkByteStats snapshots every directed link's byte attribution,
@@ -755,6 +765,7 @@ func (c *Cluster) LinkByteStats() []LinkByteStats {
 				Base:  lb.base.Load(),
 				Prov:  lb.prov.Load(),
 				Query: lb.query.Load(),
+				Batch: lb.batch.Load(),
 			})
 		}
 		n.linkMu.Unlock()

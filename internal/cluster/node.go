@@ -42,11 +42,17 @@ func (n *Node) readLoop(conn net.Conn) {
 		n.inMu.Unlock()
 		conn.Close()
 	}()
+	// One reusable buffer serves the connection's whole life: frames are
+	// handled synchronously and everything retained past handleFrame
+	// (decoded tuples, walk frames) is copied out of the raw bytes, so
+	// the steady state reads with zero per-frame allocation.
+	var buf []byte
 	for {
-		payload, err := wire.ReadFrame(conn)
+		payload, err := wire.ReadFrameBuf(conn, buf)
 		if err != nil {
 			return
 		}
+		buf = payload[:cap(payload)]
 		n.handleFrame(payload)
 	}
 }
@@ -95,28 +101,51 @@ func (n *Node) seenDuplicate(from types.NodeAddr, inc, seq uint64) bool {
 	return false
 }
 
-// handleFrame processes one delivery envelope. The frame's in-flight
-// accounting settles when processing (including any follow-up sends)
-// completes; suppressed duplicates do not settle because their first copy
-// already did. Event tuples are not processed inline: they are routed to
-// the shard owning their equivalence class, and the shard worker settles
-// them after the pipeline step ran.
+// handleFrame processes one transport delivery. The envelope path
+// carries one frame; the batch path carries N coalesced sub-frames, each
+// with its own (seq, epoch), dispatched in order after the whole batch
+// decoded (so a corrupt batch is dropped atomically, like a corrupt
+// envelope). Dedup runs per sub-frame: a redelivered batch whose first
+// copy arrived is N suppressed duplicates, never a double apply.
 func (n *Node) handleFrame(payload []byte) {
 	d := wire.NewDecoder(payload)
-	if d.U8() != frameEnvelope {
-		return // not a transport delivery; nothing was counted for it
+	switch d.U8() {
+	case frameEnvelope:
+		from := types.NodeAddr(d.Str())
+		inc := d.U64()
+		seq := d.U64()
+		epoch := d.U64()
+		if d.Err() != nil {
+			return // malformed envelope: the epoch is unreadable, floor guards the counter
+		}
+		if n.seenDuplicate(from, inc, seq) {
+			n.stats.dups.Add(1)
+			return
+		}
+		n.dispatch(from, d, epoch)
+	case frameBatch:
+		from := types.NodeAddr(d.Str())
+		inc := d.U64()
+		entries, err := wire.DecodeBatch(d)
+		if err != nil {
+			return // malformed batch: nothing was counted for it
+		}
+		for _, ent := range entries {
+			if n.seenDuplicate(from, inc, ent.Seq) {
+				n.stats.dups.Add(1)
+				continue
+			}
+			n.dispatch(from, wire.NewDecoder(ent.Payload), ent.Epoch)
+		}
 	}
-	from := types.NodeAddr(d.Str())
-	inc := d.U64()
-	seq := d.U64()
-	epoch := d.U64()
-	if d.Err() != nil {
-		return // malformed envelope: the epoch is unreadable, floor guards the counter
-	}
-	if n.seenDuplicate(from, inc, seq) {
-		n.stats.dups.Add(1)
-		return
-	}
+}
+
+// dispatch processes one frame already past the duplicate filter. The
+// frame's in-flight accounting settles when processing (including any
+// follow-up sends) completes. Event tuples are not processed inline:
+// they are routed to the shard owning their equivalence class, and the
+// shard worker settles them after the pipeline step ran.
+func (n *Node) dispatch(from types.NodeAddr, d *wire.Decoder, epoch uint64) {
 	settled := false
 	defer func() {
 		if !settled {
@@ -267,10 +296,12 @@ type outShip struct {
 	provBytes int
 }
 
-// shipAll sends the derived heads of one apply.
+// shipAll sends the derived heads of one apply. Ship frames are pooled
+// (encodeSized), so each travels as an owned buffer the transport
+// recycles.
 func (n *Node) shipAll(ships []outShip) {
 	for _, s := range ships {
-		n.send(s.to, s.frame, classBase, s.provBytes) //nolint:errcheck // a send the node cannot even enqueue is a drop
+		n.sendOwned(s.to, s.frame, classBase, s.provBytes) //nolint:errcheck // a send the node cannot even enqueue is a drop
 	}
 }
 
@@ -383,7 +414,7 @@ func (n *Node) handleWalk(f *walkFrame) {
 		f.Trace = sp.Context()
 	}
 	if len(f.Work) == 0 {
-		n.send(f.Querier, f.encode(frameResult), classQuery, 0) //nolint:errcheck
+		n.sendOwned(f.Querier, f.encode(frameResult), classQuery, 0) //nolint:errcheck
 		sp.End()
 		return
 	}
@@ -394,11 +425,11 @@ func (n *Node) handleWalk(f *walkFrame) {
 		if sp != nil {
 			sp.SetAttr("partial", "true")
 		}
-		n.send(f.Querier, f.encode(frameResult), classQuery, 0) //nolint:errcheck
+		n.sendOwned(f.Querier, f.encode(frameResult), classQuery, 0) //nolint:errcheck
 		sp.End()
 		return
 	}
-	n.send(target, f.encode(frameWalk), classQuery, 0) //nolint:errcheck
+	n.sendOwned(target, f.encode(frameWalk), classQuery, 0) //nolint:errcheck
 	sp.End()
 }
 
@@ -487,6 +518,18 @@ func walkEventIDs(f *walkFrame) []types.ID {
 // never block on the network; every counted frame is settled exactly
 // once, by whichever side finishes with it.
 func (n *Node) send(to types.NodeAddr, frame []byte, class uint8, provBytes int) error {
+	return n.sendFrame(to, frame, class, provBytes, false)
+}
+
+// sendOwned is send for a frame whose buffer came from the wire buffer
+// pool and belongs to this delivery alone (tuple shipments, walk
+// frames): the transport recycles it once the frame settles. Broadcast
+// frames shared across peers must use send.
+func (n *Node) sendOwned(to types.NodeAddr, frame []byte, class uint8, provBytes int) error {
+	return n.sendFrame(to, frame, class, provBytes, true)
+}
+
+func (n *Node) sendFrame(to types.NodeAddr, frame []byte, class uint8, provBytes int, pooled bool) error {
 	if n.c.closed.Load() {
 		return fmt.Errorf("cluster: send on closed cluster")
 	}
@@ -505,7 +548,7 @@ func (n *Node) send(to types.NodeAddr, frame []byte, class uint8, provBytes int)
 	}
 	t := n.transportTo(to)
 	epoch := n.c.acctEnqueue(to)
-	t.enqueue(outFrame{payload: frame, epoch: epoch, class: class, provBytes: provBytes})
+	t.enqueue(outFrame{payload: frame, epoch: epoch, class: class, provBytes: provBytes, pooled: pooled})
 	return nil
 }
 
@@ -666,7 +709,7 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, ps *partition, ou
 		unregister()
 		return QueryResult{}, true, fmt.Errorf("cluster: query needs unreachable member %s", f.Work[len(f.Work)-1].Loc)
 	}
-	if err := querier.send(target, f.encode(frameWalk), classQuery, 0); err != nil {
+	if err := querier.sendOwned(target, f.encode(frameWalk), classQuery, 0); err != nil {
 		unregister()
 		return QueryResult{}, false, err
 	}

@@ -42,6 +42,11 @@ const (
 	frameHandoff    = 8  // partition snapshot stream: bootstrap, handoff, repair
 	frameHandoffAck = 9  // receiver acknowledges a handoff installed
 	frameRepairReq  = 10 // returning owner asks a replica for its shadow copy
+
+	// frameBatch is a coalesced delivery: one write carrying N sub-frames,
+	// each with its own (seq, epoch) so dedup and in-flight accounting
+	// stay per-frame (wire.AppendBatch / wire.DecodeBatch).
+	frameBatch = 11
 )
 
 // encodeEnvelope wraps an already-encoded frame in the transport delivery
@@ -50,7 +55,14 @@ const (
 // reached the peer — and epoch carries the in-flight accounting epoch of
 // the destination so crashed-and-drained frames are not double-settled.
 func encodeEnvelope(from types.NodeAddr, incarnation, seq, epoch uint64, inner []byte) []byte {
-	e := wire.NewEncoder(len(inner) + 40)
+	return appendEnvelope(make([]byte, 0, len(inner)+40), from, incarnation, seq, epoch, inner)
+}
+
+// appendEnvelope is encodeEnvelope into an existing buffer (typically a
+// pooled one), so the transport's write path allocates nothing per frame.
+func appendEnvelope(dst []byte, from types.NodeAddr, incarnation, seq, epoch uint64, inner []byte) []byte {
+	var e wire.Encoder
+	e.SetBuf(dst)
 	e.U8(frameEnvelope)
 	e.Str(string(from))
 	e.U64(incarnation)
@@ -78,9 +90,11 @@ func (f *tupleFrame) encode() []byte {
 // encodeSized also reports how many of the payload bytes carry the
 // piggybacked provenance metadata, which the transport attributes to
 // the provenance byte class (the rest of a tuple frame is base-tuple
-// shipping).
+// shipping). The buffer is pooled: callers hand the frame to sendOwned
+// (or release it themselves), and the transport recycles it on settle.
 func (f *tupleFrame) encodeSized() ([]byte, int) {
-	e := wire.NewEncoder(128)
+	e := new(wire.Encoder)
+	e.SetBuf(wire.GetBuf())
 	e.U8(frameTuple)
 	encodeTraceCtx(e, f.Trace)
 	e.Tuple(f.Tuple)
@@ -164,8 +178,12 @@ type walkFrame struct {
 	Partial bool
 }
 
+// encode serializes the walk as kind frameWalk or frameResult. The
+// buffer is pooled (each walk frame travels exactly one link before
+// being re-encoded); send it with sendOwned.
 func (f *walkFrame) encode(kind uint8) []byte {
-	e := wire.NewEncoder(512)
+	e := new(wire.Encoder)
+	e.SetBuf(wire.GetBuf())
 	e.U8(kind)
 	encodeTraceCtx(e, f.Trace)
 	e.U64(f.QID)

@@ -45,7 +45,7 @@ func TestRebalanceUnderChaos(t *testing.T) {
 	checkBytes := func(when string) {
 		t.Helper()
 		s := c.TransportStats()
-		if sum := s.BytesBase + s.BytesProv + s.BytesQuery; sum != s.BytesTotal {
+		if sum := s.BytesBase + s.BytesProv + s.BytesQuery + s.BytesBatch; sum != s.BytesTotal {
 			t.Fatalf("%s: class sum %d != total %d", when, sum, s.BytesTotal)
 		}
 	}

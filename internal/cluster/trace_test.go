@@ -201,7 +201,7 @@ func TestByteClassAttribution(t *testing.T) {
 	if s.BytesBase == 0 || s.BytesProv == 0 || s.BytesQuery == 0 {
 		t.Fatalf("byte classes not all populated: base=%d prov=%d query=%d", s.BytesBase, s.BytesProv, s.BytesQuery)
 	}
-	if sum := s.BytesBase + s.BytesProv + s.BytesQuery; sum != s.BytesTotal {
+	if sum := s.BytesBase + s.BytesProv + s.BytesQuery + s.BytesBatch; sum != s.BytesTotal {
 		t.Fatalf("class sum %d != total %d", sum, s.BytesTotal)
 	}
 
@@ -209,19 +209,20 @@ func TestByteClassAttribution(t *testing.T) {
 	if len(links) == 0 {
 		t.Fatal("no per-link stats")
 	}
-	var lt, lb, lp, lq int64
+	var lt, lb, lp, lq, lx int64
 	for _, l := range links {
-		if l.Base+l.Prov+l.Query != l.Total {
-			t.Fatalf("link %s->%s classes sum %d != total %d", l.From, l.To, l.Base+l.Prov+l.Query, l.Total)
+		if l.Base+l.Prov+l.Query+l.Batch != l.Total {
+			t.Fatalf("link %s->%s classes sum %d != total %d", l.From, l.To, l.Base+l.Prov+l.Query+l.Batch, l.Total)
 		}
 		lt += l.Total
 		lb += l.Base
 		lp += l.Prov
 		lq += l.Query
+		lx += l.Batch
 	}
-	if lt != s.BytesTotal || lb != s.BytesBase || lp != s.BytesProv || lq != s.BytesQuery {
-		t.Fatalf("link sums (%d/%d/%d/%d) != aggregate (%d/%d/%d/%d)",
-			lt, lb, lp, lq, s.BytesTotal, s.BytesBase, s.BytesProv, s.BytesQuery)
+	if lt != s.BytesTotal || lb != s.BytesBase || lp != s.BytesProv || lq != s.BytesQuery || lx != s.BytesBatch {
+		t.Fatalf("link sums (%d/%d/%d/%d/%d) != aggregate (%d/%d/%d/%d/%d)",
+			lt, lb, lp, lq, lx, s.BytesTotal, s.BytesBase, s.BytesProv, s.BytesQuery, s.BytesBatch)
 	}
 }
 
@@ -252,7 +253,7 @@ func TestChaosTraceAndBytesConsistency(t *testing.T) {
 	checkBytes := func(when string) {
 		t.Helper()
 		s := c.TransportStats()
-		if sum := s.BytesBase + s.BytesProv + s.BytesQuery; sum != s.BytesTotal {
+		if sum := s.BytesBase + s.BytesProv + s.BytesQuery + s.BytesBatch; sum != s.BytesTotal {
 			t.Fatalf("%s: class sum %d != total %d", when, sum, s.BytesTotal)
 		}
 	}

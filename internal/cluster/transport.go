@@ -43,6 +43,26 @@ type TransportConfig struct {
 	// per connection, both ends in this process — for the cluster's
 	// lifetime.
 	IdleConnTimeout time.Duration
+	// MaxBatchBytes flushes the writer's coalescing buffer once the queued
+	// sub-frame payloads reach this size (default 64KiB). Batching is the
+	// ingest fast path: the writer drains its queue into one frameBatch
+	// delivery per flush instead of one envelope (and one write syscall)
+	// per frame.
+	MaxBatchBytes int
+	// BatchFlush is the coalescing deadline: once the writer holds a frame
+	// it waits at most this long for companions before flushing (default
+	// 1ms), bounding the latency cost under light load. A batch of one
+	// falls back to the classic single-frame envelope.
+	BatchFlush time.Duration
+	// DisableBatch delivers every frame in its own envelope — the
+	// per-tuple baseline the ingest benchmarks A/B against.
+	DisableBatch bool
+	// DisableCompress turns off the delta compression of batched
+	// sub-frames (on by default: consecutive tuple shipments repeat
+	// relation names, equivalence keys, and AdvMeta piggybacks, so the
+	// wire encoding compresses for the same reason the paper's storage
+	// does).
+	DisableCompress bool
 }
 
 func (tc TransportConfig) withDefaults() TransportConfig {
@@ -67,8 +87,19 @@ func (tc TransportConfig) withDefaults() TransportConfig {
 	if tc.BackoffMax <= 0 {
 		tc.BackoffMax = 200 * time.Millisecond
 	}
+	if tc.MaxBatchBytes <= 0 {
+		tc.MaxBatchBytes = 64 << 10
+	}
+	if tc.BatchFlush <= 0 {
+		tc.BatchFlush = time.Millisecond
+	}
 	return tc
 }
+
+// maxBatchFrames caps the sub-frame count of one batch. It stays well
+// under both the receiver's dedup window (so a redelivered batch's seqs
+// are all still tracked) and wire.MaxBatchEntries.
+const maxBatchFrames = 512
 
 // transportStats holds the live per-node transport counters.
 type transportStats struct {
@@ -86,6 +117,8 @@ type transportStats struct {
 	faultDrops   atomic.Int64
 	faultDelays  atomic.Int64
 	faultResets  atomic.Int64
+	batches      atomic.Int64
+	batchFrames  atomic.Int64
 	// bytesTotal counts every wire byte successfully written (envelope +
 	// length prefix). The per-class split lives on the node's persistent
 	// per-link counters (linkBytes) so it survives transport teardown on
@@ -96,15 +129,18 @@ type transportStats struct {
 
 // Byte classes for per-message-class attribution, mirroring the netsim
 // cost model: base-tuple shipping, provenance maintenance (piggybacked
-// metadata and sig broadcasts), and query traffic (walks and results).
+// metadata and sig broadcasts), query traffic (walks and results), and
+// batch framing overhead (delivery headers of coalesced frames, whose
+// payload bytes are attributed to their own classes).
 const (
 	classBase uint8 = iota
 	classProv
 	classQuery
+	classBatch
 )
 
 // classNames orders the class labels for export.
-var classNames = [...]string{classBase: "base", classProv: "prov", classQuery: "query"}
+var classNames = [...]string{classBase: "base", classProv: "prov", classQuery: "query", classBatch: "batch"}
 
 // linkBytes is the persistent per-(sender, peer) byte attribution. It
 // lives on the sending node, not the transport, because Kill discards
@@ -115,6 +151,7 @@ type linkBytes struct {
 	base  atomic.Int64
 	prov  atomic.Int64
 	query atomic.Int64
+	batch atomic.Int64
 }
 
 // add attributes one delivered frame of wireBytes total bytes, of which
@@ -129,6 +166,8 @@ func (lb *linkBytes) add(class uint8, wireBytes, provBytes int) {
 		lb.prov.Add(int64(wireBytes))
 	case classQuery:
 		lb.query.Add(int64(wireBytes))
+	case classBatch:
+		lb.batch.Add(int64(wireBytes))
 	default:
 		lb.prov.Add(int64(provBytes))
 		lb.base.Add(int64(wireBytes - provBytes))
@@ -154,13 +193,16 @@ type TransportStats struct {
 	FaultDrops   int64 // writes discarded by the fault plan
 	FaultDelays  int64 // writes stalled by the fault plan
 	FaultResets  int64 // connections reset by the fault plan
+	Batches      int64 // coalesced frameBatch deliveries written
+	BatchFrames  int64 // sub-frames those batches carried
 
 	// Byte attribution (successful writes only, envelope + length prefix):
-	// BytesBase + BytesProv + BytesQuery == BytesTotal.
+	// BytesBase + BytesProv + BytesQuery + BytesBatch == BytesTotal.
 	BytesTotal int64 // every wire byte written
 	BytesBase  int64 // base-tuple shipping
 	BytesProv  int64 // provenance maintenance (metadata piggyback + sig)
 	BytesQuery int64 // query walks and results
+	BytesBatch int64 // batch framing overhead around coalesced sub-frames
 }
 
 // accumulate folds one node's live counters into the snapshot.
@@ -179,6 +221,8 @@ func (s *TransportStats) accumulate(ts *transportStats) {
 	s.FaultDrops += ts.faultDrops.Load()
 	s.FaultDelays += ts.faultDelays.Load()
 	s.FaultResets += ts.faultResets.Load()
+	s.Batches += ts.batches.Load()
+	s.BatchFrames += ts.batchFrames.Load()
 	s.BytesTotal += ts.bytesTotal.Load()
 }
 
@@ -199,10 +243,13 @@ func (s TransportStats) Counters() *metrics.Counters {
 	c.Add("fault-drops", s.FaultDrops)
 	c.Add("fault-delays", s.FaultDelays)
 	c.Add("fault-resets", s.FaultResets)
+	c.Add("batches", s.Batches)
+	c.Add("batch-frames", s.BatchFrames)
 	c.Add("bytes-total", s.BytesTotal)
 	c.Add("bytes-base", s.BytesBase)
 	c.Add("bytes-prov", s.BytesProv)
 	c.Add("bytes-query", s.BytesQuery)
+	c.Add("bytes-batch", s.BytesBatch)
 	return c
 }
 
@@ -212,12 +259,16 @@ func (s TransportStats) String() string { return s.Counters().String() }
 // outFrame is one queued delivery: the encoded inner frame plus the
 // destination accounting epoch captured at enqueue time, the byte class
 // of the payload, and how many payload bytes are piggybacked provenance
-// metadata (for class base frames carrying Advanced metadata).
+// metadata (for class base frames carrying Advanced metadata). pooled
+// marks a payload the transport owns exclusively (drawn from the wire
+// buffer pool by the encode fast path) and recycles once the frame
+// settles; broadcast frames shared across links must not set it.
 type outFrame struct {
 	payload   []byte
 	epoch     uint64
 	class     uint8
 	provBytes int
+	pooled    bool
 }
 
 // transport is one directed link: a bounded outbound queue drained by a
@@ -245,6 +296,11 @@ type transport struct {
 	seq        uint64
 	rng        *rand.Rand
 	faults     *linkFaults
+
+	// Coalescing scratch, reused across flushes by the writer goroutine.
+	batch   []outFrame
+	entries []wire.BatchEntry
+	sizes   []int
 }
 
 func newTransport(n *Node, to types.NodeAddr) *transport {
@@ -271,10 +327,20 @@ func (t *transport) halt() {
 	t.qmu.Unlock()
 }
 
+// release recycles a pooled payload once the transport is finished with
+// it (written, dropped, or drained). Exactly one release happens per
+// frame; shared broadcast payloads are never pooled.
+func (t *transport) release(f outFrame) {
+	if f.pooled {
+		wire.PutBuf(f.payload)
+	}
+}
+
 // abandon settles the accounting for a frame the transport gives up on.
 func (t *transport) abandon(f outFrame) {
 	t.stats.drops.Add(1)
 	t.owner.c.acctSettle(t.to, f.epoch)
+	t.release(f)
 }
 
 // enqueue hands a frame to the writer goroutine. On a persistently full
@@ -303,6 +369,7 @@ func (t *transport) enqueue(f outFrame) {
 	case <-timer.C:
 		t.stats.queueDrops.Add(1)
 		t.owner.c.acctSettle(t.to, f.epoch)
+		t.release(f)
 	}
 }
 
@@ -328,7 +395,11 @@ func (t *transport) run() {
 			t.drain()
 			return
 		case f := <-t.queue:
-			t.deliver(f)
+			if t.cfg.DisableBatch {
+				t.deliver(f)
+			} else {
+				t.deliverBatch(t.collect(f))
+			}
 			if idle != nil {
 				if !idle.Stop() {
 					select {
@@ -358,6 +429,23 @@ func (t *transport) drain() {
 			return
 		}
 	}
+}
+
+// watchConn camps on a read of the outbound connection for its whole
+// life. The protocol is strictly one-way (receivers answer on their own
+// links, never on the inbound socket), so the read only ever returns
+// when the peer is gone — EOF from a closed listener socket, a reset, or
+// our own closeConn. Closing the conn right then makes the next write
+// fail immediately instead of "succeeding" into the send buffer of a
+// connection whose peer died, which matters for exactly-once
+// accounting: a frame the sender believes delivered is settled by
+// nobody. (The pre-batching writer got this detection by accident — its
+// separate header write drew the peer's RST before the payload write —
+// and the single-write fast path must not lose it.)
+func watchConn(conn net.Conn) {
+	var p [1]byte
+	conn.Read(p[:]) //nolint:errcheck // any return means the link is dead
+	conn.Close()
 }
 
 func (t *transport) closeConn() {
@@ -396,19 +484,18 @@ func (t *transport) backoff(attempt int) time.Duration {
 	return d/2 + time.Duration(t.rng.Int63n(int64(d/2)+1))
 }
 
-// deliver writes one frame, retrying with backoff and reconnection up to
-// the retry budget. A frame that exhausts the budget is dropped and its
-// accounting settled so Quiesce cannot wedge on it.
-func (t *transport) deliver(f outFrame) {
-	t.seq++
-	env := encodeEnvelope(t.owner.addr, t.owner.incarnation.Load(), t.seq, f.epoch, f.payload)
+// writeEnv writes one encoded delivery (envelope or batch), retrying
+// with backoff and reconnection up to the retry budget, and reports
+// whether a write succeeded. Fault injection, dialing, deadlines, and
+// suspicion all live here so single and batched deliveries fail the
+// same way.
+func (t *transport) writeEnv(env []byte) bool {
 	dialFailed := false
 	for attempt := 0; attempt <= t.cfg.RetryBudget; attempt++ {
 		if attempt > 0 {
 			t.stats.retries.Add(1)
 			if !t.sleep(t.backoff(attempt)) {
-				t.abandon(f)
-				return
+				return false
 			}
 		}
 		switch t.faults.next() {
@@ -418,8 +505,7 @@ func (t *transport) deliver(f outFrame) {
 		case faultDelay:
 			t.stats.faultDelays.Add(1)
 			if !t.sleep(t.faults.delayFor()) {
-				t.abandon(f)
-				return
+				return false
 			}
 		case faultReset:
 			t.stats.faultResets.Add(1)
@@ -438,28 +524,144 @@ func (t *transport) deliver(f outFrame) {
 			}
 			t.everDialed = true
 			t.conn = conn
+			go watchConn(conn)
 		}
-		t.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		if err := t.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err != nil {
+			// A connection that cannot even take a deadline is dead.
+			t.stats.sendErrors.Add(1)
+			t.closeConn()
+			continue
+		}
 		if err := wire.WriteFrame(t.conn, env); err != nil {
 			t.stats.sendErrors.Add(1)
 			t.closeConn()
 			continue
 		}
 		t.stats.sends.Add(1)
-		// Attribute the wire bytes (envelope + 4-byte length prefix) to
-		// the frame's message class, on the write that actually succeeded.
-		wireBytes := len(env) + 4
-		t.stats.bytesTotal.Add(int64(wireBytes))
-		t.owner.linkBytesTo(t.to).add(f.class, wireBytes, f.provBytes)
+		t.stats.bytesTotal.Add(int64(len(env) + 4))
 		t.faults.sent()
-		return
+		return true
 	}
 	// Budget exhausted. Only hard evidence raises a suspicion: every dial
-	// failed and no connection was ever held for this frame — the peer's
-	// listener is gone, not merely slow or lossy (a fault-plan drop storm
-	// keeps its connection and must not mark the peer Down).
+	// failed and no connection was ever held for this delivery — the
+	// peer's listener is gone, not merely slow or lossy (a fault-plan
+	// drop storm keeps its connection and must not mark the peer Down).
 	if t.conn == nil && dialFailed {
 		t.owner.suspect(t.to)
 	}
-	t.abandon(f)
+	return false
+}
+
+// deliver writes one frame in its own envelope. A frame that exhausts
+// the retry budget is dropped and its accounting settled so Quiesce
+// cannot wedge on it.
+func (t *transport) deliver(f outFrame) {
+	t.seq++
+	env := appendEnvelope(wire.GetBuf(), t.owner.addr, t.owner.incarnation.Load(), t.seq, f.epoch, f.payload)
+	if t.writeEnv(env) {
+		// Attribute the wire bytes (envelope + 4-byte length prefix) to
+		// the frame's message class, on the write that actually succeeded.
+		t.owner.linkBytesTo(t.to).add(f.class, len(env)+4, f.provBytes)
+		t.release(f)
+	} else {
+		t.abandon(f)
+	}
+	wire.PutBuf(env)
+}
+
+// collect coalesces the first frame with whatever else arrives before
+// the flush: the queue is drained without waiting first, then the batch
+// holds for the flush deadline, and either the size threshold, the
+// frame cap, or the deadline closes it. The returned slice is writer
+// scratch, valid until the next collect.
+func (t *transport) collect(first outFrame) []outFrame {
+	t.batch = append(t.batch[:0], first)
+	size := len(first.payload)
+	for size < t.cfg.MaxBatchBytes && len(t.batch) < maxBatchFrames {
+		select {
+		case f := <-t.queue:
+			t.batch = append(t.batch, f)
+			size += len(f.payload)
+			continue
+		default:
+		}
+		break
+	}
+	if size >= t.cfg.MaxBatchBytes || len(t.batch) >= maxBatchFrames {
+		return t.batch
+	}
+	deadline := time.NewTimer(t.cfg.BatchFlush)
+	defer deadline.Stop()
+	for size < t.cfg.MaxBatchBytes && len(t.batch) < maxBatchFrames {
+		select {
+		case f := <-t.queue:
+			t.batch = append(t.batch, f)
+			size += len(f.payload)
+		case <-deadline.C:
+			return t.batch
+		case <-t.stop:
+			// Halting: flush what is held; the run loop's drain settles
+			// whatever is still queued.
+			return t.batch
+		}
+	}
+	return t.batch
+}
+
+// deliverBatch writes a coalesced batch as one frameBatch delivery — one
+// write syscall for the whole flush. Each sub-frame keeps its own
+// sequence number and accounting epoch inside the batch body, so the
+// receiver dedups and settles per sub-frame and a redelivered batch is
+// suppressed frame by frame, exactly like redelivered singles. A batch
+// of one takes the classic envelope path so light load leaves the wire
+// format untouched.
+func (t *transport) deliverBatch(batch []outFrame) {
+	if len(batch) == 1 {
+		t.deliver(batch[0])
+		return
+	}
+	entries := t.entries[:0]
+	for i := range batch {
+		t.seq++
+		entries = append(entries, wire.BatchEntry{Seq: t.seq, Epoch: batch[i].epoch, Payload: batch[i].payload})
+	}
+	var e wire.Encoder
+	e.SetBuf(wire.GetBuf())
+	e.U8(frameBatch)
+	e.Str(string(t.owner.addr))
+	e.U64(t.owner.incarnation.Load())
+	env, sizes := wire.AppendBatch(e.Bytes(), entries, !t.cfg.DisableCompress, t.sizes[:0])
+	t.sizes = sizes
+	for i := range entries {
+		entries[i].Payload = nil
+	}
+	t.entries = entries
+	// The payloads are copied into the batch buffer; pooled ones recycle
+	// now, before the (possibly long) retry loop.
+	for i := range batch {
+		t.release(batch[i])
+		batch[i].payload = nil
+	}
+	if t.writeEnv(env) {
+		// Per-class attribution stays exact under coalescing: each
+		// sub-frame's encoded payload section goes to its own class, and
+		// the remaining bytes — length prefix, batch header, per-entry
+		// seq/epoch headers, delta framing — are the batch class, so the
+		// class sums still reconcile with the link totals byte for byte.
+		lb := t.owner.linkBytesTo(t.to)
+		payloadBytes := 0
+		for i := range batch {
+			lb.add(batch[i].class, sizes[i], batch[i].provBytes)
+			payloadBytes += sizes[i]
+		}
+		lb.add(classBatch, len(env)+4-payloadBytes, 0)
+		t.stats.batches.Add(1)
+		t.stats.batchFrames.Add(int64(len(batch)))
+	} else {
+		for i := range batch {
+			t.stats.drops.Add(1)
+			t.owner.c.acctSettle(t.to, batch[i].epoch)
+		}
+	}
+	wire.PutBuf(env)
 }

@@ -797,7 +797,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, cl := range []struct {
 			class string
 			bytes int64
-		}{{"base", ts.BytesBase}, {"prov", ts.BytesProv}, {"query", ts.BytesQuery}} {
+		}{{"base", ts.BytesBase}, {"prov", ts.BytesProv}, {"query", ts.BytesQuery}, {"batch", ts.BytesBatch}} {
 			metrics.WriteCounter(w, "provd_bytes_total",
 				label+","+metrics.PromLabel("class", cl.class), cl.bytes)
 		}

@@ -577,7 +577,7 @@ func TestTraceEndpoint(t *testing.T) {
 	mresp.Body.Close()
 	exposition := string(mbody)
 	classSum := 0.0
-	for _, class := range []string{"base", "prov", "query"} {
+	for _, class := range []string{"base", "prov", "query", "batch"} {
 		v, ok := promSample(exposition, "provd_bytes_total", fmt.Sprintf(`{scheme="advanced",class=%q}`, class))
 		if !ok {
 			t.Fatalf("/metrics missing provd_bytes_total class %q:\n%s", class, exposition)

@@ -29,6 +29,84 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzBatchDecode throws arbitrary bytes at the frameBatch body decoder:
+// it must reject or decode, never panic, and anything it decodes must
+// re-encode to a body that decodes to the same entries.
+func FuzzBatchDecode(f *testing.F) {
+	seed, _ := AppendBatch(nil, []BatchEntry{
+		{Seq: 1, Epoch: 9, Payload: []byte("tuple:packet:n0:n4:a")},
+		{Seq: 2, Epoch: 9, Payload: []byte("tuple:packet:n0:n4:b")},
+	}, true, nil)
+	f.Add(seed)
+	raw, _ := AppendBatch(nil, []BatchEntry{{Seq: 7, Epoch: 0, Payload: []byte{}}}, false, nil)
+	f.Add(raw)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeBatch(NewDecoder(data))
+		if err != nil {
+			return
+		}
+		for _, compress := range []bool{false, true} {
+			body, sizes := AppendBatch(nil, entries, compress, nil)
+			if len(sizes) != len(entries) {
+				t.Fatalf("%d sizes for %d entries", len(sizes), len(entries))
+			}
+			again, err := DecodeBatch(NewDecoder(body))
+			if err != nil {
+				t.Fatalf("re-decode (compress=%v): %v", compress, err)
+			}
+			if len(again) != len(entries) {
+				t.Fatalf("re-decode lost entries: %d vs %d", len(again), len(entries))
+			}
+			for i := range entries {
+				if again[i].Seq != entries[i].Seq || again[i].Epoch != entries[i].Epoch ||
+					!bytes.Equal(again[i].Payload, entries[i].Payload) {
+					t.Fatalf("entry %d did not round trip (compress=%v)", i, compress)
+				}
+			}
+		}
+	})
+}
+
+// FuzzBatchRoundTrip drives the encoder from fuzzed payload material:
+// data is chopped into chunks (so neighbors share prefixes and suffixes,
+// exercising the delta path) and the batch must round trip under both
+// compression settings.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add([]byte("aaaa-bbbb-cccc-dddd-aaaa-bbbb"), uint8(5), true)
+	f.Add([]byte{}, uint8(0), false)
+	f.Add(bytes.Repeat([]byte{0xEE}, 300), uint8(1), true)
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8, compress bool) {
+		size := int(chunk)%32 + 1
+		var entries []BatchEntry
+		for off := 0; off < len(data) && len(entries) < MaxBatchEntries; off += size {
+			end := off + size
+			if end > len(data) {
+				end = len(data)
+			}
+			entries = append(entries, BatchEntry{
+				Seq:     uint64(len(entries)),
+				Epoch:   uint64(off),
+				Payload: data[off:end],
+			})
+		}
+		body, _ := AppendBatch(nil, entries, compress, nil)
+		out, err := DecodeBatch(NewDecoder(body))
+		if err != nil {
+			t.Fatalf("decode of encoder output: %v", err)
+		}
+		if len(out) != len(entries) {
+			t.Fatalf("decoded %d entries, want %d", len(out), len(entries))
+		}
+		for i := range entries {
+			if !bytes.Equal(out[i].Payload, entries[i].Payload) {
+				t.Fatalf("entry %d payload mismatch", i)
+			}
+		}
+	})
+}
+
 // FuzzDecoderTuple checks the buffer decoder against arbitrary bytes.
 func FuzzDecoderTuple(f *testing.F) {
 	e := NewEncoder(0)

@@ -1,0 +1,9 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which deliberately randomizes sync.Pool reuse (Put drops
+// items on the floor to widen interleaving coverage) and so makes
+// alloc-count contracts unmeasurable.
+const raceEnabled = true

@@ -9,12 +9,56 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"provcompress/internal/types"
 )
 
 // MaxFrameSize bounds a single frame; larger frames indicate corruption.
 const MaxFrameSize = 64 << 20
+
+// bufPool recycles encode/staging buffers for the ingest hot path; it
+// stores *[]byte slots so the slice headers themselves are recycled too
+// (Put(&local) would heap-allocate a header per cycle). Empty slots
+// released by GetBuf wait in slotPool for the next PutBuf, so a
+// steady-state Get/Put cycle allocates nothing at all.
+var (
+	bufPool = sync.Pool{
+		New: func() any {
+			b := make([]byte, 0, 4<<10)
+			return &b
+		},
+	}
+	slotPool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// maxPooledCap is the largest buffer the pool retains. Occasional giants
+// (a partition handoff snapshot, a huge walk result) are left to the GC
+// instead of pinning their memory in the pool forever.
+const maxPooledCap = 1 << 20
+
+// GetBuf returns an empty pooled buffer. Pass it to Encoder.SetBuf (or
+// append to it directly) and hand it back with PutBuf once the bytes are
+// no longer referenced; each cycle through the pool is an allocation the
+// hot path does not make.
+func GetBuf() []byte {
+	slot := bufPool.Get().(*[]byte)
+	b := (*slot)[:0]
+	*slot = nil
+	slotPool.Put(slot)
+	return b
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. The caller must not
+// touch the slice (or anything aliasing it) afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	slot := slotPool.Get().(*[]byte)
+	*slot = b[:0]
+	bufPool.Put(slot)
+}
 
 // Encoder appends primitive values to a growing buffer.
 type Encoder struct {
@@ -25,6 +69,11 @@ type Encoder struct {
 func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
 }
+
+// SetBuf points the encoder at an existing buffer (typically from
+// GetBuf), so encoding appends into recycled storage instead of growing
+// a fresh allocation.
+func (e *Encoder) SetBuf(b []byte) { e.buf = b }
 
 // Bytes returns the encoded buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }
@@ -200,31 +249,51 @@ func (d *Decoder) Tuple() types.Tuple {
 }
 
 // WriteFrame writes a 4-byte big-endian length prefix followed by the
-// payload.
+// payload as a single Write: header and payload are staged into one
+// pooled buffer so a frame costs one syscall, not two, and a concurrent
+// writer can never interleave between prefix and body.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := GetBuf()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	PutBuf(buf)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame into a fresh buffer.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return ReadFrameBuf(r, nil)
+}
+
+// ReadFrameBuf reads one length-prefixed frame, reusing buf's storage
+// when it is large enough (growing it otherwise). A receive loop that
+// threads the returned slice back in as the next call's buf decodes its
+// whole connection with a single steady-state buffer. The returned slice
+// aliases buf; callers that retain decoded data must copy it out before
+// the next read.
+func ReadFrameBuf(r io.Reader, buf []byte) ([]byte, error) {
+	// The length prefix is read into the reusable buffer too (a
+	// stack-local header array would escape through the io.Reader call
+	// and cost an allocation per frame).
+	if cap(buf) < 4 {
+		buf = make([]byte, 4<<10)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr))
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
