@@ -33,6 +33,11 @@
 #                kill (replica failover), restart (read-repair), two joins
 #                and a leave (partition handoff) with provenance queries
 #                answering and byte-class accounting exact at every step
+#   cache-smoke  the keyed-invalidation A/B at reduced scale: a mixed
+#                read/write workload (Zipf readers racing a sustained
+#                writer) against the dependency-indexed cache and against
+#                the legacy epoch baseline — keyed must hold a hit rate
+#                > 0.5 where the epoch discipline measures ~0
 #
 # The chaos tests use fixed FaultPlan seeds, so a failure reproduces
 # deterministically; -count=1 defeats the test cache to make sure the
@@ -42,9 +47,9 @@ GO ?= go
 BENCH_SMOKE_DIR := $(or $(TMPDIR),/tmp)/provcompress-bench-smoke
 TRACE_SMOKE_FILE := $(or $(TMPDIR),/tmp)/provcompress-trace-smoke.json
 
-.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke ingest-smoke recover-smoke elastic-smoke
+.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke ingest-smoke recover-smoke elastic-smoke cache-smoke
 
-verify: vet build test chaos serve-smoke trace-smoke bench-smoke ingest-smoke recover-smoke elastic-smoke
+verify: vet build test chaos serve-smoke trace-smoke bench-smoke ingest-smoke recover-smoke elastic-smoke cache-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,7 +61,7 @@ test:
 	$(GO) test -race ./...
 
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Malformed|Quiesce|Restart|LateResult' ./internal/cluster/
+	$(GO) test -race -count=1 -run 'Chaos|Malformed|Quiesce|Restart|LateResult' ./internal/cluster/ ./internal/provserve/
 
 serve-smoke:
 	$(GO) run ./cmd/provd -selftest -nodes 5 -trace
@@ -81,3 +86,6 @@ recover-smoke:
 
 elastic-smoke:
 	$(GO) run ./cmd/provsim -elastic-nodes 5 -elastic-replicas 2 elastic
+
+cache-smoke:
+	$(GO) run ./cmd/provsim -bench-smoke cache

@@ -11,6 +11,13 @@
 // POST /v1/events so a freshly started daemon has outputs to query:
 //
 //	provload -inject -nodes 8 -packets 40
+//
+// With -mixed, a background writer keeps injecting fresh events into one
+// equivalence class (-write-src/-write-dst, default n0->n1) while the
+// readers run, and the report adds the write count and cache hit rate —
+// the A/B measurement against a daemon started with epoch invalidation:
+//
+//	provload -inject -mixed -write-interval 1ms
 package main
 
 import (
@@ -36,6 +43,10 @@ func main() {
 	inject := flag.Bool("inject", false, "inject a packet workload before querying")
 	nodes := flag.Int("nodes", 8, "with -inject: daemon chain length (packets run n0 -> n<last>)")
 	packets := flag.Int("packets", 40, "with -inject: packets to inject")
+	mixed := flag.Bool("mixed", false, "run a writer alongside the readers and report the cache hit rate")
+	writeInterval := flag.Duration("write-interval", time.Millisecond, "with -mixed: gap between injected writer events")
+	writeSrc := flag.String("write-src", "n0", "with -mixed: writer packet source node")
+	writeDst := flag.String("write-dst", "n1", "with -mixed: writer packet destination node")
 	flag.Parse()
 
 	if *inject {
@@ -45,14 +56,28 @@ func main() {
 		fmt.Printf("injected %d packets\n", *packets)
 	}
 
-	report, err := provserve.RunLoad(provserve.LoadConfig{
+	lcfg := provserve.LoadConfig{
 		BaseURL:     *addr,
 		Scheme:      *scheme,
 		Requests:    *n,
 		Concurrency: *c,
 		Alpha:       *alpha,
 		Seed:        *seed,
-	})
+	}
+	if *mixed {
+		report, err := provserve.RunMixedLoad(provserve.MixedLoadConfig{
+			LoadConfig:    lcfg,
+			WriteInterval: *writeInterval,
+			WriteSrc:      *writeSrc,
+			WriteDst:      *writeDst,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report)
+		return
+	}
+	report, err := provserve.RunLoad(lcfg)
 	if err != nil {
 		log.Fatal(err)
 	}

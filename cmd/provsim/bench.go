@@ -70,6 +70,7 @@ type serveBenchFile struct {
 	Durability   []durabilityBenchRecord `json:"durability"`
 	Rebalance    rebalanceBenchRecord    `json:"rebalance"`
 	Ingest       []ingestBenchRecord     `json:"ingest"`
+	Cache        []cacheBenchRecord      `json:"cache"`
 }
 
 // rebalanceBenchRecord measures the elastic membership subsystem: a
@@ -344,6 +345,10 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	cch, err := benchCache(smoke)
+	if err != nil {
+		return nil, err
+	}
 	return &serveBenchFile{
 		GeneratedBy:  "provsim -bench-out",
 		Smoke:        smoke,
@@ -357,6 +362,7 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 		Durability:   dur,
 		Rebalance:    reb,
 		Ingest:       ing,
+		Cache:        cch,
 	}, nil
 }
 

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"provcompress/internal/apps"
+	"provcompress/internal/cluster"
+	"provcompress/internal/provserve"
+	"provcompress/internal/topo"
+)
+
+// cacheBenchRecord is one measured mixed read/write cache run: Zipf
+// readers over a preloaded output frame racing a writer that injects a
+// fresh event every 500µs into a class the readers never target. The
+// "keyed" mode runs the dependency-indexed invalidation the daemon ships
+// with; "epoch" restores the old evict-everything-per-event discipline as
+// the A/B baseline.
+type cacheBenchRecord struct {
+	Mode      string  `json:"mode"` // "keyed" | "epoch"
+	Nodes     int     `json:"nodes"`
+	Events    int     `json:"events"` // preloaded read targets
+	Queries   int     `json:"queries"`
+	Writes    int     `json:"writes"` // events landed during the read phase
+	CacheHits int     `json:"cache_hits"`
+	HitRate   float64 `json:"hit_rate"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	QPS       float64 `json:"qps"`
+}
+
+// cacheBenchRun boots a fresh chain cluster + daemon, preloads a packet
+// workload into classes away from the writer's, then measures the mixed
+// workload.
+func cacheBenchRun(mode string, smoke bool) (cacheBenchRecord, error) {
+	nodes, events, queries := 8, 40, 4000
+	if smoke {
+		nodes, events, queries = 5, 12, 800
+	}
+	rec := cacheBenchRecord{Mode: mode, Nodes: nodes, Events: events, Queries: queries}
+
+	g := topo.Line(nodes, "n")
+	c, err := cluster.New(cluster.Config{
+		Prog:  apps.Forwarding(),
+		Funcs: apps.Funcs(),
+		Nodes: g.Nodes(),
+	})
+	if err != nil {
+		return rec, err
+	}
+	defer c.Close()
+	if err := c.LoadBase(g.ShortestPaths().RouteTuples()); err != nil {
+		return rec, err
+	}
+	srv, err := provserve.New(provserve.Config{
+		Clusters:                map[string]*cluster.Cluster{"advanced": c},
+		LegacyEpochInvalidation: mode == "epoch",
+	})
+	if err != nil {
+		return rec, err
+	}
+	defer srv.Close()
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	// Preload: packets n0 -> n<last> and n0 -> n<mid>, never n0 -> n1 —
+	// the writer's class stays disjoint from every read target.
+	last, mid := fmt.Sprintf("n%d", nodes-1), fmt.Sprintf("n%d", nodes/2)
+	specs := make([]map[string]any, events)
+	for i := range specs {
+		dst := last
+		if i%3 == 1 {
+			dst = mid
+		}
+		specs[i] = map[string]any{"rel": "packet", "args": []any{"n0", "n0", dst, fmt.Sprintf("pre-%d", i)}}
+	}
+	body, err := json.Marshal(map[string]any{"events": specs, "wait_ms": 60_000})
+	if err != nil {
+		return rec, err
+	}
+	resp, err := http.Post(hts.URL+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return rec, err
+	}
+	var evResp struct {
+		Accepted int  `json:"accepted"`
+		Quiesced bool `json:"quiesced"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&evResp)
+	resp.Body.Close()
+	if err != nil {
+		return rec, err
+	}
+	if evResp.Accepted != events || !evResp.Quiesced {
+		return rec, fmt.Errorf("cache bench: preload accepted %d/%d, quiesced %v",
+			evResp.Accepted, events, evResp.Quiesced)
+	}
+
+	rep, err := provserve.RunMixedLoad(provserve.MixedLoadConfig{
+		LoadConfig: provserve.LoadConfig{
+			BaseURL:     hts.URL,
+			Requests:    queries,
+			Concurrency: 8,
+			Alpha:       0.9,
+			Seed:        1,
+		},
+		WriteInterval: 500 * time.Microsecond,
+		WriteSrc:      "n0",
+		WriteDst:      "n1",
+	})
+	if err != nil {
+		return rec, err
+	}
+	if rep.Errors > 0 || rep.WriteErrors > 0 {
+		return rec, fmt.Errorf("cache bench %s: %d query errors, %d write errors", mode, rep.Errors, rep.WriteErrors)
+	}
+	rec.Writes = rep.Writes
+	rec.CacheHits = rep.CacheHits
+	rec.HitRate = rep.HitRate
+	rec.P50MS = float64(rep.P50.Microseconds()) / 1000
+	rec.P99MS = float64(rep.P99.Microseconds()) / 1000
+	rec.QPS = rep.QPS
+	return rec, nil
+}
+
+// benchCache runs the keyed/epoch A/B and returns both records for
+// BENCH_serve.json.
+func benchCache(smoke bool) ([]cacheBenchRecord, error) {
+	var out []cacheBenchRecord
+	for _, mode := range []string{"keyed", "epoch"} {
+		rec, err := cacheBenchRun(mode, smoke)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// runCacheSmoke executes the A/B, prints it, and enforces the gates the
+// keyed cache was built for: under sustained writes the keyed hit rate
+// must stay above 0.5 while the epoch baseline collapses toward zero,
+// and the writer must actually have sustained writes in both runs.
+func runCacheSmoke(w io.Writer, smoke bool) error {
+	recs, err := benchCache(smoke)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-6s %6s %7s %8s %7s %9s %9s %9s %10s\n",
+		"mode", "nodes", "events", "queries", "writes", "hit-rate", "p50-ms", "p99-ms", "qps")
+	byMode := make(map[string]cacheBenchRecord, len(recs))
+	for _, r := range recs {
+		byMode[r.Mode] = r
+		fmt.Fprintf(w, "%-6s %6d %7d %8d %7d %9.3f %9.3f %9.3f %10.0f\n",
+			r.Mode, r.Nodes, r.Events, r.Queries, r.Writes, r.HitRate, r.P50MS, r.P99MS, r.QPS)
+	}
+	keyed, epoch := byMode["keyed"], byMode["epoch"]
+	if keyed.Writes == 0 || epoch.Writes == 0 {
+		return fmt.Errorf("cache: writer landed no events (keyed %d, epoch %d); runs degenerate",
+			keyed.Writes, epoch.Writes)
+	}
+	if keyed.HitRate <= 0.5 {
+		return fmt.Errorf("cache: keyed hit rate %.3f under sustained writes, want > 0.5", keyed.HitRate)
+	}
+	if epoch.HitRate >= 0.2 {
+		return fmt.Errorf("cache: epoch baseline hit rate %.3f, want ~0 (< 0.2) — the A/B lost its contrast", epoch.HitRate)
+	}
+	if keyed.HitRate <= epoch.HitRate {
+		return fmt.Errorf("cache: keyed hit rate %.3f not above epoch baseline %.3f", keyed.HitRate, epoch.HitRate)
+	}
+	fmt.Fprintf(w, "cache: keyed invalidation holds %.0f%% hits under sustained writes (epoch baseline %.0f%%)\n",
+		100*keyed.HitRate, 100*epoch.HitRate)
+	return nil
+}

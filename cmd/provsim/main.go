@@ -163,6 +163,13 @@ func main() {
 		}
 		return
 	}
+	if target == "cache" {
+		if err := runCacheSmoke(os.Stdout, *benchSmoke); err != nil {
+			fmt.Fprintf(os.Stderr, "provsim: cache: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if target == "elastic" {
 		if err := runElastic(os.Stdout, *elasticNodes, *elasticReplicas); err != nil {
 			fmt.Fprintf(os.Stderr, "provsim: elastic: %v\n", err)

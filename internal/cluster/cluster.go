@@ -149,10 +149,11 @@ type Cluster struct {
 	closed  atomic.Bool
 
 	// eventHook, when set, is called after every accepted state change
-	// (Inject, InsertSlow). The serving layer uses it to bump its cache
-	// epoch so cached query results from before the event are never
-	// served again.
-	eventHook atomic.Value // of func()
+	// (Inject, InsertSlow, DeleteSlow, provenance landing on an output)
+	// with the invalidation keys the change touched (invalkey.go). The
+	// serving layer uses it to evict exactly the cached query results
+	// that depend on those keys.
+	eventHook atomic.Value // of func([]InvalKey)
 }
 
 // Node is one cluster member: a listener, a database, and the scheme's
@@ -438,19 +439,23 @@ func (c *Cluster) Shards() int { return c.nshards }
 func (c *Cluster) Node(addr types.NodeAddr) *Node { return c.node(addr) }
 
 // SetEventHook installs fn to run after every accepted state change
-// (successful Inject or InsertSlow). Pass nil to clear. The hook must be
-// cheap and non-blocking; it runs on the caller's goroutine.
-func (c *Cluster) SetEventHook(fn func()) {
+// (successful Inject, InsertSlow, DeleteSlow, or provenance landing on
+// an output tuple) with the invalidation keys the change touched. Pass
+// nil to clear. The hook must be cheap and non-blocking; it runs on the
+// goroutine that applied the change — for output landings that is a
+// shard worker, so the hook must also be safe for concurrent calls.
+func (c *Cluster) SetEventHook(fn func(keys []InvalKey)) {
 	if fn == nil {
-		fn = func() {}
+		fn = func([]InvalKey) {}
 	}
 	c.eventHook.Store(fn)
 }
 
-// fireEventHook invokes the installed hook, if any.
-func (c *Cluster) fireEventHook() {
-	if fn, ok := c.eventHook.Load().(func()); ok {
-		fn()
+// fireEventHook invokes the installed hook, if any, with the touched
+// keys.
+func (c *Cluster) fireEventHook(keys ...InvalKey) {
+	if fn, ok := c.eventHook.Load().(func([]InvalKey)); ok {
+		fn(keys)
 	}
 }
 
@@ -564,7 +569,7 @@ func (c *Cluster) InjectTraced(ev types.Tuple) (trace.TraceID, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.fireEventHook()
+	c.fireEventHook(c.EventClassKey(ev))
 	return sp.Context().Trace, nil
 }
 
@@ -588,7 +593,7 @@ func (c *Cluster) InsertSlow(t types.Tuple) error {
 			return err
 		}
 	}
-	c.fireEventHook()
+	c.fireEventHook(VIDInvalKey(types.HashTuple(t)))
 	return nil
 }
 
@@ -602,8 +607,12 @@ func (c *Cluster) DeleteSlow(t types.Tuple) error {
 	if n == nil {
 		return fmt.Errorf("cluster: slow delete %s at unknown node", t)
 	}
-	if n.deleteDurable(t) {
-		c.fireEventHook()
+	if ok, evicted := n.deleteDurable(t); ok {
+		// The deleted tuple's VID key evicts cached trees that joined
+		// against it; graveyard-cap evictions additionally invalidate any
+		// tree that resolved a now-unresolvable VID.
+		keys := append(vidKeysOf(evicted), VIDInvalKey(types.HashTuple(t)))
+		c.fireEventHook(keys...)
 	}
 	return nil
 }

@@ -251,31 +251,35 @@ func (n *Node) insertDurable(t types.Tuple) bool {
 }
 
 // deleteDurable removes a slow-changing tuple, logging it first on a
-// durable node. It reports whether the tuple was present.
-func (n *Node) deleteDurable(t types.Tuple) bool {
+// durable node. It reports whether the tuple was present, plus the VIDs
+// of any graveyard entries the retention cap evicted as a consequence
+// (DeleteEvicted) — the serving layer invalidates cached trees that
+// resolved them.
+func (n *Node) deleteDurable(t types.Tuple) (bool, []types.ID) {
 	if !n.durable() {
-		if !n.db.Delete(t) {
-			return false
+		ok, evicted := n.db.DeleteEvicted(t)
+		if !ok {
+			return false, nil
 		}
 		if n.c.replicas > 0 {
 			n.replicate(encodeDurTuple(recDelete, t))
 		}
-		return true
+		return true, evicted
 	}
 	n.durMu.Lock()
 	if !n.db.Contains(t) {
 		n.durMu.Unlock()
-		return false
+		return false, nil
 	}
 	rec := encodeDurTuple(recDelete, t)
 	want := n.logApply(rec)
-	n.db.Delete(t)
+	_, evicted := n.db.DeleteEvicted(t)
 	if want {
 		n.checkpointLocked()
 	}
 	n.durMu.Unlock()
 	n.replicate(rec)
-	return true
+	return true, evicted
 }
 
 // applySig handles a sig broadcast: on a durable node the reset is logged

@@ -625,8 +625,14 @@ func (p *partition) applyTuple(c *Cluster, f *tupleFrame, ship bool) []outShip {
 	}
 	rules := c.prog.RulesForEvent(f.Tuple.Rel)
 	if len(rules) == 0 {
-		p.state.Output(f.Tuple, meta)
+		landed := p.state.Output(f.Tuple, meta)
 		p.outputs = appendTupleOnce(p.outputs, f.Tuple)
+		if ship && len(landed) > 0 {
+			// Acting owner: fire the landing like Node.applyTuple would
+			// have. Shadow applies (ship=false) stay silent — the owner
+			// fired the same keys when it applied the record itself.
+			c.fireEventHook(vidKeysOf(landed)...)
+		}
 		return nil
 	}
 	var out []outShip

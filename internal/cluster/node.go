@@ -328,10 +328,17 @@ func (n *Node) applyTuple(f *tupleFrame) []outShip {
 	rules := n.c.prog.RulesForEvent(f.Tuple.Rel)
 	if len(rules) == 0 {
 		n.mu.Lock()
-		n.state.Output(f.Tuple, meta)
+		landed := n.state.Output(f.Tuple, meta)
 		n.outputs = append(n.outputs, f.Tuple)
 		n.mu.Unlock()
 		sp.SetAttr("output", "true")
+		if len(landed) > 0 {
+			// Provenance landed on these outputs (possibly deferred outputs
+			// of earlier events, under Advanced): fire their VID keys so
+			// cached trees for them — including cached empty answers — are
+			// evicted now that their derivations changed.
+			n.c.fireEventHook(vidKeysOf(landed)...)
+		}
 		return nil
 	}
 	type shipment struct {
@@ -461,6 +468,10 @@ func (n *Node) collectRef(ref core.Ref, f *walkFrame) {
 	f.Entries = append(f.Entries, ce)
 	f.Provs = append(f.Provs, provs...)
 	for _, vid := range vids {
+		// Tag the walk with every VID it depended on here, resolved or not
+		// — a later insert/delete/graveyard eviction of that VID fires the
+		// same key (invalkey.go), evicting the answer this walk produces.
+		f.EqKeys = addInvalKey(f.EqKeys, VIDInvalKey(vid))
 		if t, ok := db.LookupVID(vid); ok {
 			f.Tuples = appendTupleOnce(f.Tuples, t)
 		}
@@ -468,8 +479,13 @@ func (n *Node) collectRef(ref core.Ref, f *walkFrame) {
 	if evByID && hasNilRef(ce.Nexts) {
 		// Chain leaf: resolve the event tuples by EVID (Section 5.6).
 		for _, evid := range walkEventIDs(f) {
+			f.EqKeys = addInvalKey(f.EqKeys, VIDInvalKey(evid))
 			if t, ok := db.LookupVID(evid); ok {
 				f.Tuples = appendTupleOnce(f.Tuples, t)
+				// A leaf event also ties the answer to its §5.2 equivalence
+				// class: a fresh injection of the same class changes the
+				// derivations this tree belongs to.
+				f.EqKeys = addInvalKey(f.EqKeys, n.c.EventClassKey(t))
 			}
 		}
 	}
@@ -584,6 +600,13 @@ type QueryResult struct {
 	// TraceID names the query's span tree in the cluster's trace
 	// collector (zero when tracing is off).
 	TraceID trace.TraceID
+	// InvalKeys is the sorted, duplicate-free set of invalidation keys
+	// (invalkey.go) the answer depends on: the root output's VID key
+	// (always present, even for an empty answer), the VID keys of every
+	// tuple/EvID the walk touched, and the equivalence-class keys of the
+	// trees' leaf events. A cache storing this result must evict it when
+	// any of these keys fires through the cluster event hook.
+	InvalKeys []uint64
 }
 
 // queryAttempts bounds how many times Query issues its walk: the first
@@ -698,7 +721,9 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, ps *partition, ou
 	}
 	if len(f.Work) == 0 {
 		unregister()
-		return QueryResult{}, true, nil
+		// An empty answer is still cacheable: its key set ties it to the
+		// root output's VID, which fires when provenance eventually lands.
+		return QueryResult{InvalKeys: c.walkInvalKeys(out, evid, f, nil)}, true, nil
 	}
 	// Start the walk by sending it to the first target (possibly self),
 	// routed around members the view knows are out. An unroutable first
@@ -734,7 +759,7 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, ps *partition, ou
 		trees := reconstructWalk(c, querier, state, res)
 		rsp.SetAttr("trees", strconv.Itoa(len(trees)))
 		rsp.End()
-		return QueryResult{Trees: trees, Hops: int(res.Hops)}, true, nil
+		return QueryResult{Trees: trees, Hops: int(res.Hops), InvalKeys: c.walkInvalKeys(out, evid, res, trees)}, true, nil
 	case <-timer.C:
 		unregister()
 		return QueryResult{}, false, nil
@@ -742,6 +767,31 @@ func (c *Cluster) tryQuery(ctx context.Context, querier *Node, ps *partition, ou
 		unregister()
 		return QueryResult{}, false, ctx.Err()
 	}
+}
+
+// walkInvalKeys assembles a query answer's invalidation-key set from the
+// completed walk frame and the reconstructed trees: the keys the walk's
+// serving nodes accumulated in EqKeys, the root output's VID key, the
+// anchoring prov rows' VIDs and EvIDs, and each tree's leaf-event class
+// and EvID keys. The set stays sorted/deduplicated (addInvalKey), i.e.
+// canonical for the wire codec and for tagging cache entries.
+func (c *Cluster) walkInvalKeys(out types.Tuple, evid types.ID, f *walkFrame, trees []*core.Tree) []uint64 {
+	keys := append([]uint64(nil), f.EqKeys...)
+	keys = addInvalKey(keys, VIDInvalKey(types.HashTuple(out)))
+	if !evid.IsZero() {
+		keys = addInvalKey(keys, VIDInvalKey(evid))
+	}
+	for _, p := range f.RootProvs {
+		keys = addInvalKey(keys, VIDInvalKey(p.VID))
+		if !p.EvID.IsZero() {
+			keys = addInvalKey(keys, VIDInvalKey(p.EvID))
+		}
+	}
+	for _, t := range trees {
+		keys = addInvalKey(keys, c.EventClassKey(t.EventOf()))
+		keys = addInvalKey(keys, VIDInvalKey(t.EvID()))
+	}
+	return keys
 }
 
 // reconstructWalk rebuilds the provenance trees from a completed walk

@@ -170,6 +170,12 @@ type walkFrame struct {
 	// them to follow derivations during reconstruction).
 	Provs  []core.Prov
 	Tuples []types.Tuple
+	// EqKeys is the sorted invalidation-key set (invalkey.go) the walk
+	// accumulated: the VID keys of every tuple/EvID a serving node
+	// resolved for it plus the class keys of leaf events. It travels in
+	// the canonical key-set codec (wire.AppendKeySet), so a corrupt or
+	// hostile frame cannot smuggle a non-canonical set into a cache tag.
+	EqKeys []uint64
 	Hops   uint32
 	// Partial marks a walk that could not finish because a node it needed
 	// was unreachable. The querier fails the query immediately instead of
@@ -227,6 +233,7 @@ func (f *walkFrame) encode(kind uint8) []byte {
 	for _, t := range f.Tuples {
 		e.Tuple(t)
 	}
+	e.AppendKeySet(f.EqKeys)
 	e.U32(f.Hops)
 	e.Bool(f.Partial)
 	return e.Bytes()
@@ -304,6 +311,13 @@ func decodeWalkFrame(d *wire.Decoder) (*walkFrame, error) {
 	}
 	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		f.Tuples = append(f.Tuples, d.Tuple())
+	}
+	if d.Err() == nil {
+		keys, err := d.DecodeKeySet()
+		if err != nil {
+			return nil, err
+		}
+		f.EqKeys = keys
 	}
 	f.Hops = d.U32()
 	f.Partial = d.Bool()

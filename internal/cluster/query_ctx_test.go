@@ -52,12 +52,21 @@ func TestQueryContextCanceled(t *testing.T) {
 	}
 }
 
-// TestEventHookFires checks that every accepted Inject and InsertSlow runs
-// the installed hook, and that clearing it stops the calls.
+// TestEventHookFires checks that every accepted Inject fires its class
+// key, every InsertSlow its VID key, output landings fire VID keys, and
+// that clearing the hook stops the calls.
 func TestEventHookFires(t *testing.T) {
 	c := fig2Cluster(t)
-	var fired atomic.Int64
-	c.SetEventHook(func() { fired.Add(1) })
+	var classFires, vidFires atomic.Int64
+	c.SetEventHook(func(keys []InvalKey) {
+		for _, k := range keys {
+			if IsVIDKey(k) {
+				vidFires.Add(1)
+			} else {
+				classFires.Add(1)
+			}
+		}
+	})
 
 	if err := c.Inject(pkt("n1", "n1", "n3", "a")); err != nil {
 		t.Fatal(err)
@@ -65,31 +74,40 @@ func TestEventHookFires(t *testing.T) {
 	if err := c.Inject(pkt("n1", "n1", "n3", "b")); err != nil {
 		t.Fatal(err)
 	}
-	if got := fired.Load(); got != 2 {
-		t.Fatalf("hook fired %d times after 2 injects, want 2", got)
+	if got := classFires.Load(); got != 2 {
+		t.Fatalf("hook fired %d class keys after 2 injects, want 2", got)
+	}
+	if err := c.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Both derivations reached their output tuples: each landing fires the
+	// output's VID key.
+	if got := vidFires.Load(); got < 2 {
+		t.Fatalf("hook fired %d VID keys after 2 derivations landed, want >= 2", got)
 	}
 	slow := types.NewTuple("link", types.String("n1"), types.String("n1"), types.String("n3"))
+	before := vidFires.Load()
 	if err := c.InsertSlow(slow); err != nil {
 		t.Fatal(err)
 	}
-	if got := fired.Load(); got != 3 {
-		t.Fatalf("hook fired %d times after slow insert, want 3", got)
+	if got := vidFires.Load(); got != before+1 {
+		t.Fatalf("hook fired %d VID keys after slow insert, want %d", got, before+1)
 	}
 	// A duplicate slow insert is not an accepted change.
 	if err := c.InsertSlow(slow); err != nil {
 		t.Fatal(err)
 	}
-	if got := fired.Load(); got != 3 {
-		t.Fatalf("hook fired %d times after duplicate slow insert, want 3", got)
+	if got := vidFires.Load(); got != before+1 {
+		t.Fatalf("hook fired %d VID keys after duplicate slow insert, want %d", got, before+1)
 	}
 	c.SetEventHook(nil)
 	if err := c.Inject(pkt("n1", "n1", "n3", "c")); err != nil {
 		t.Fatal(err)
 	}
-	if got := fired.Load(); got != 3 {
-		t.Fatalf("hook fired %d times after clearing, want 3", got)
-	}
 	if err := c.Quiesce(5 * time.Second); err != nil {
 		t.Fatal(err)
+	}
+	if got := classFires.Load(); got != 2 {
+		t.Fatalf("hook fired %d class keys after clearing, want 2", got)
 	}
 }

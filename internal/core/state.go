@@ -44,8 +44,13 @@ type NodeState interface {
 	Inject(ev types.Tuple) AdvMeta
 	// FireAt performs the scheme's maintenance for one rule firing.
 	FireAt(addr types.NodeAddr, f engine.Firing, m AdvMeta) AdvMeta
-	// Output performs the scheme's output association step.
-	Output(out types.Tuple, m AdvMeta)
+	// Output performs the scheme's output association step. It returns the
+	// VIDs of the output tuples whose provenance gained rows in this call —
+	// usually just out's VID, but the Advanced scheme's deferred waiting
+	// list can land rows for several earlier outputs at once, and a
+	// deferred landing returns nil until a later Output resolves it. The
+	// serving layer keys cache invalidation on these VIDs (DESIGN.md §14).
+	Output(out types.Tuple, m AdvMeta) []types.ID
 	// ClearEquiKeys handles a sig broadcast (no-op outside Advanced).
 	ClearEquiKeys()
 	// ProvRows anchors a query at an output VID (evid filter where the
@@ -144,23 +149,27 @@ func (s *AdvancedState) FireAt(addr types.NodeAddr, f engine.Firing, m AdvMeta) 
 }
 
 // Output performs Stage 3 at the output tuple's node.
-func (s *AdvancedState) Output(out types.Tuple, m AdvMeta) {
+func (s *AdvancedState) Output(out types.Tuple, m AdvMeta) []types.ID {
 	vid := types.HashTuple(out)
 	if !m.Exist {
 		waiting := s.st.addHmapRef(m.Eq, out.Rel, m.EvID, m.Prev)
 		s.st.addProv(Prov{Loc: out.Loc(), VID: vid, Ref: m.Prev, EvID: m.EvID})
+		landed := make([]types.ID, 0, 1+len(waiting))
+		landed = append(landed, vid)
 		for _, w := range waiting {
 			s.st.addProv(Prov{Loc: out.Loc(), VID: w.vid, Ref: m.Prev, EvID: w.evid})
+			landed = append(landed, w.vid)
 		}
-		return
+		return landed
 	}
 	if refs := s.st.hmapRefs(m.Eq, out.Rel); len(refs) > 0 {
 		for _, ref := range refs {
 			s.st.addProv(Prov{Loc: out.Loc(), VID: vid, Ref: ref, EvID: m.EvID})
 		}
-		return
+		return []types.ID{vid}
 	}
 	s.st.deferOutput(m.Eq, out.Rel, pendingOutput{vid: vid, evid: m.EvID})
+	return nil
 }
 
 // ClearEquiKeys handles a sig broadcast (Section 5.5).
@@ -236,8 +245,10 @@ func (s *BasicState) FireAt(addr types.NodeAddr, f engine.Firing, m AdvMeta) Adv
 }
 
 // Output stores the single prov row of the optimized scheme.
-func (s *BasicState) Output(out types.Tuple, m AdvMeta) {
-	s.st.addProv(Prov{Loc: out.Loc(), VID: types.HashTuple(out), Ref: m.Prev})
+func (s *BasicState) Output(out types.Tuple, m AdvMeta) []types.ID {
+	vid := types.HashTuple(out)
+	s.st.addProv(Prov{Loc: out.Loc(), VID: vid, Ref: m.Prev})
+	return []types.ID{vid}
 }
 
 // ClearEquiKeys is a no-op for Basic.
@@ -307,8 +318,10 @@ func (s *ExSPANState) FireAt(addr types.NodeAddr, f engine.Firing, m AdvMeta) Ad
 }
 
 // Output stores the output tuple's prov row.
-func (s *ExSPANState) Output(out types.Tuple, m AdvMeta) {
-	s.st.addProv(Prov{Loc: out.Loc(), VID: types.HashTuple(out), Ref: m.Prev})
+func (s *ExSPANState) Output(out types.Tuple, m AdvMeta) []types.ID {
+	vid := types.HashTuple(out)
+	s.st.addProv(Prov{Loc: out.Loc(), VID: vid, Ref: m.Prev})
+	return []types.ID{vid}
 }
 
 // ClearEquiKeys is a no-op for ExSPAN.

@@ -118,28 +118,40 @@ func (db *Database) Insert(t types.Tuple) bool {
 // resolvable through LookupVID so that previously recorded provenance
 // remains queryable.
 func (db *Database) Delete(t types.Tuple) bool {
+	ok, _ := db.DeleteEvicted(t)
+	return ok
+}
+
+// DeleteEvicted is Delete, additionally reporting the VIDs of graveyard
+// entries evicted by the retention cap as a consequence of this delete.
+// Provenance referencing an evicted VID can no longer resolve its
+// contents, so the serving layer treats those VIDs as invalidated too — a
+// cached tree that resolved the tuple before eviction must not outlive
+// the fresh recomputation that cannot (DESIGN.md §14).
+func (db *Database) DeleteEvicted(t types.Tuple) (bool, []types.ID) {
 	vid := types.HashTuple(t)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.byVID[vid]; !ok {
-		return false
+		return false, nil
 	}
 	delete(db.byVID, vid)
+	var evicted []types.ID
 	if db.graveyard == nil {
 		db.graveyard = make(map[types.ID]types.Tuple)
 	}
 	if _, ok := db.graveyard[vid]; !ok {
 		db.graveyard[vid] = t
 		db.graveyardOrder = append(db.graveyardOrder, vid)
-		db.enforceGraveyardCapLocked()
+		evicted = db.enforceGraveyardCapLocked()
 	}
 	rel := db.tables[t.Rel]
 	if rel == nil {
-		return true
+		return true, evicted
 	}
 	i, ok := rel.pos[vid]
 	if !ok {
-		return true
+		return true, evicted
 	}
 	last := len(rel.rows) - 1
 	if i != last {
@@ -154,7 +166,7 @@ func (db *Database) Delete(t types.Tuple) bool {
 	for _, ix := range rel.idx {
 		ix.remove(t)
 	}
-	return true
+	return true, evicted
 }
 
 // Scan returns the tuples of a relation. The order is insertion order
@@ -255,26 +267,29 @@ func (db *Database) SetGraveyardCap(n int) {
 	db.enforceGraveyardCapLocked()
 }
 
-// enforceGraveyardCapLocked evicts oldest-first down to the cap. Caller
-// holds mu exclusively. Eviction advances graveyardHead instead of
-// re-slicing (which would pin the evicted prefix in the backing array
-// forever); the dead prefix is copy-compacted away once it exceeds the
-// live tail.
-func (db *Database) enforceGraveyardCapLocked() {
+// enforceGraveyardCapLocked evicts oldest-first down to the cap,
+// returning the evicted VIDs. Caller holds mu exclusively. Eviction
+// advances graveyardHead instead of re-slicing (which would pin the
+// evicted prefix in the backing array forever); the dead prefix is
+// copy-compacted away once it exceeds the live tail.
+func (db *Database) enforceGraveyardCapLocked() []types.ID {
 	if db.graveyardCap <= 0 {
-		return
+		return nil
 	}
+	var evicted []types.ID
 	for len(db.graveyardOrder)-db.graveyardHead > db.graveyardCap {
 		oldest := db.graveyardOrder[db.graveyardHead]
 		db.graveyardOrder[db.graveyardHead] = types.ID{}
 		db.graveyardHead++
 		delete(db.graveyard, oldest)
+		evicted = append(evicted, oldest)
 	}
 	if db.graveyardHead > len(db.graveyardOrder)-db.graveyardHead {
 		n := copy(db.graveyardOrder, db.graveyardOrder[db.graveyardHead:])
 		db.graveyardOrder = db.graveyardOrder[:n]
 		db.graveyardHead = 0
 	}
+	return evicted
 }
 
 // GraveyardSize returns the number of deleted tuples retained for VID

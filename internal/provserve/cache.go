@@ -4,61 +4,111 @@ import (
 	"container/list"
 	"sync"
 
+	"provcompress/internal/cluster"
 	"provcompress/internal/trace"
 )
 
 // answer is the cached form of one completed provenance query: the
-// rendered trees plus the cost stats of the cold run that produced it.
+// rendered trees, the cost stats of the cold run that produced it, and
+// the invalidation tags that decide when it dies.
 type answer struct {
 	Trees  []string
 	Hops   int
 	ColdNS int64 // the cold query's cluster-side latency, nanoseconds
-	Epoch  uint64
+	// Epoch is the global event epoch at admission. Deprecated: kept only
+	// for the /v1/query and /v1/stats response compatibility; invalidation
+	// is keyed (Keys), not epoch-based.
+	Epoch uint64
+	// Keys is the sorted invalidation-key set the answer's walk touched
+	// (cluster.QueryResult.InvalKeys); firing any of them evicts the
+	// entry.
+	Keys []uint64
+	// AdmitSeq is the cache invalidation sequence snapshot taken before
+	// the walk ran (Admit); Put drops the answer if any of its keys was
+	// invalidated after that point.
+	AdmitSeq uint64
 	// TraceID names the cold run's span tree (zero when tracing is off);
 	// hits replay it so a cached answer stays explorable.
 	TraceID trace.TraceID
 }
 
-// epochCache is a fixed-capacity LRU keyed by (scheme, output tuple,
-// event ID), with epoch-based invalidation: every entry remembers the
-// cache epoch that was current when its query was *admitted*, and a
-// lookup only returns entries whose epoch equals the current one. Any
-// accepted event bumps the epoch (via the cluster event hook), so a
-// result computed before the event can never be served after it —
-// including results of queries that were still in flight when the event
-// arrived, because they were admitted under the older epoch.
+// Invalidation reasons, the label values of
+// provd_cache_invalidations_total{reason}.
+const (
+	invalClass    = "class"    // an equivalence-class key fired (fresh injection)
+	invalVID      = "vid"      // a VID key fired (output landing, slow insert/delete, graveyard eviction)
+	invalEpoch    = "epoch"    // legacy mode: any event evicts everything
+	invalInflight = "inflight" // answer raced a key firing mid-walk and was dropped at Put
+	invalLRU      = "lru"      // capacity eviction
+)
+
+// depCache is a fixed-capacity LRU keyed by (scheme, output tuple, event
+// ID) with dependency-indexed invalidation: every entry carries the
+// invalidation-key set its walk touched, and a reverse index from key to
+// entries makes firing a key evict exactly the dependents — unrelated
+// entries stay hot (DESIGN.md §14).
 //
-// Stale entries are dropped lazily on lookup and by LRU eviction; there
-// is no sweeper to race with.
-type epochCache struct {
+// Answers computed concurrently with an invalidation are handled by an
+// admission sequence: Admit snapshots the global invalidation counter
+// before the walk runs, Invalidate records per key when it last fired,
+// and Put drops any answer one of whose keys fired after its admission.
+// Together with eager eviction under the same mutex this is airtight:
+// an entry present when a key fires is removed; an answer in flight when
+// it fires is dropped at Put; an answer admitted after the firing saw
+// the post-invalidation cluster state and may be kept.
+//
+// lastInval is pruned by raising `floor` (the value assumed for keys
+// missing from the map): conservative — pruning can only drop more
+// in-flight answers, never serve a stale one.
+type depCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+	// deps indexes live entries by invalidation key.
+	deps map[uint64]map[*list.Element]struct{}
+
+	seq       uint64            // global invalidation sequence
+	lastInval map[uint64]uint64 // key -> seq of its last firing
+	floor     uint64            // assumed lastInval for keys absent from the map
 
 	hits, misses, stale, evictions int64
+	invalidations                  map[string]int64 // reason -> entries dropped
 }
+
+// lastInvalCap bounds the lastInval map; past it the map is cleared and
+// the floor raised to the current sequence (see depCache doc).
+const lastInvalCap = 1 << 16
 
 type cacheItem struct {
 	key string
 	ans answer
 }
 
-func newEpochCache(capacity int) *epochCache {
+func newDepCache(capacity int) *depCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &epochCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+	return &depCache{
+		cap:           capacity,
+		ll:            list.New(),
+		items:         make(map[string]*list.Element, capacity),
+		deps:          make(map[uint64]map[*list.Element]struct{}),
+		lastInval:     make(map[uint64]uint64),
+		invalidations: make(map[string]int64),
 	}
 }
 
-// Get returns the cached answer for key if it exists and was computed
-// under the current epoch. An entry from an older epoch is removed and
-// reported as a miss.
-func (c *epochCache) Get(key string, epoch uint64) (answer, bool) {
+// Admit snapshots the invalidation sequence; call it before running the
+// query whose answer will be Put with this snapshot.
+func (c *depCache) Admit() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
+// Get returns the cached answer for key, if present.
+func (c *depCache) Get(key string) (answer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -66,50 +116,158 @@ func (c *epochCache) Get(key string, epoch uint64) (answer, bool) {
 		c.misses++
 		return answer{}, false
 	}
-	it := el.Value.(*cacheItem)
-	if it.ans.Epoch != epoch {
-		c.ll.Remove(el)
-		delete(c.items, key)
-		c.stale++
-		c.misses++
-		return answer{}, false
-	}
 	c.ll.MoveToFront(el)
 	c.hits++
-	return it.ans, true
+	return el.Value.(*cacheItem).ans, true
 }
 
-// Put stores an answer computed under the epoch recorded inside it. An
-// existing entry for the key is replaced (the newer answer was admitted
-// no earlier, so it is never the staler of the two in epoch terms).
-func (c *epochCache) Put(key string, ans answer) {
+// Put stores an answer unless one of its keys was invalidated after the
+// answer's admission snapshot — that answer may reflect pre-invalidation
+// cluster state and is dropped (counted as an inflight invalidation).
+// An existing entry for the key is replaced.
+func (c *depCache) Put(key string, ans answer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, k := range ans.Keys {
+		if c.lastInvalOf(k) > ans.AdmitSeq {
+			c.stale++
+			c.invalidations[invalInflight]++
+			return
+		}
+	}
 	if el, ok := c.items[key]; ok {
+		c.unindex(el)
 		el.Value.(*cacheItem).ans = ans
+		c.index(el)
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheItem{key: key, ans: ans})
+	el := c.ll.PushFront(&cacheItem{key: key, ans: ans})
+	c.items[key] = el
+	c.index(el)
 	for c.ll.Len() > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(*cacheItem).key)
+		c.removeLocked(c.ll.Back(), invalLRU)
 		c.evictions++
 	}
 }
 
-// Len returns the number of live entries (stale ones included until they
-// are looked up or evicted).
-func (c *epochCache) Len() int {
+// Invalidate fires a set of invalidation keys: it bumps the sequence,
+// records the firing per key, and evicts every entry tagged with any of
+// them. It returns the number of entries evicted.
+func (c *depCache) Invalidate(keys []uint64) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	evicted := 0
+	for _, k := range keys {
+		c.lastInval[k] = c.seq
+		reason := invalClass
+		if cluster.IsVIDKey(k) {
+			reason = invalVID
+		}
+		for el := range c.deps[k] {
+			c.removeLocked(el, reason)
+			evicted++
+		}
+	}
+	if len(c.lastInval) > lastInvalCap {
+		c.lastInval = make(map[uint64]uint64)
+		c.floor = c.seq
+	}
+	return evicted
+}
+
+// InvalidateAll evicts every entry (the legacy epoch discipline) and
+// raises the floor so every in-flight answer is dropped at Put.
+func (c *depCache) InvalidateAll(reason string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	c.floor = c.seq
+	c.lastInval = make(map[uint64]uint64)
+	evicted := 0
+	for c.ll.Len() > 0 {
+		c.removeLocked(c.ll.Back(), reason)
+		evicted++
+	}
+	return evicted
+}
+
+// lastInvalOf returns when k last fired; keys pruned from (or never in)
+// the map report the floor. Caller holds mu.
+func (c *depCache) lastInvalOf(k uint64) uint64 {
+	if v, ok := c.lastInval[k]; ok {
+		return v
+	}
+	return c.floor
+}
+
+// index adds an entry to the reverse key index. Caller holds mu.
+func (c *depCache) index(el *list.Element) {
+	for _, k := range el.Value.(*cacheItem).ans.Keys {
+		m := c.deps[k]
+		if m == nil {
+			m = make(map[*list.Element]struct{})
+			c.deps[k] = m
+		}
+		m[el] = struct{}{}
+	}
+}
+
+// unindex removes an entry from the reverse key index. Caller holds mu.
+func (c *depCache) unindex(el *list.Element) {
+	for _, k := range el.Value.(*cacheItem).ans.Keys {
+		if m := c.deps[k]; m != nil {
+			delete(m, el)
+			if len(m) == 0 {
+				delete(c.deps, k)
+			}
+		}
+	}
+}
+
+// removeLocked drops one entry, unindexing it and counting the reason.
+// Caller holds mu.
+func (c *depCache) removeLocked(el *list.Element, reason string) {
+	c.unindex(el)
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*cacheItem).key)
+	c.invalidations[reason]++
+}
+
+// Len returns the number of live entries.
+func (c *depCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
-// Stats returns the lookup counters: hits, misses, stale drops, evictions.
-func (c *epochCache) Stats() (hits, misses, stale, evictions int64) {
+// DepKeys returns the number of distinct invalidation keys currently
+// indexing entries — the provd_cache_dep_keys gauge.
+func (c *depCache) DepKeys() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.deps)
+}
+
+// Stats returns the lookup counters: hits, misses, inflight stale drops,
+// LRU evictions.
+func (c *depCache) Stats() (hits, misses, stale, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.stale, c.evictions
+}
+
+// Invalidations snapshots the per-reason eviction counters.
+func (c *depCache) Invalidations() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.invalidations))
+	for r, n := range c.invalidations {
+		out[r] = n
+	}
+	return out
 }

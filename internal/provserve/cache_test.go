@@ -1,43 +1,108 @@
 package provserve
 
-import "testing"
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
 
-func TestEpochCacheBasics(t *testing.T) {
-	c := newEpochCache(2)
-	if _, ok := c.Get("a", 0); ok {
+func TestDepCacheBasics(t *testing.T) {
+	c := newDepCache(4)
+	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache hit")
 	}
-	c.Put("a", answer{Hops: 1, Epoch: 0})
-	if ans, ok := c.Get("a", 0); !ok || ans.Hops != 1 {
+	// "a" depends on keys {2, 5}; "b" only on {8}.
+	c.Put("a", answer{Hops: 1, Keys: []uint64{2, 5}})
+	c.Put("b", answer{Hops: 2, Keys: []uint64{8}})
+	if ans, ok := c.Get("a"); !ok || ans.Hops != 1 {
 		t.Fatalf("Get(a) = %+v, %v", ans, ok)
 	}
-	// An epoch bump makes the entry unservable and drops it.
-	if _, ok := c.Get("a", 1); ok {
-		t.Fatal("stale entry served across epoch bump")
+	// Firing key 5 (bit 0 set = VID key) evicts "a" and only "a".
+	if n := c.Invalidate([]uint64{5}); n != 1 {
+		t.Fatalf("Invalidate(5) evicted %d, want 1", n)
 	}
-	if c.Len() != 0 {
-		t.Fatalf("stale entry not dropped, len=%d", c.Len())
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry served after its key fired")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("independent entry evicted")
+	}
+	if got := c.Invalidations()[invalVID]; got != 1 {
+		t.Fatalf("vid invalidations = %d, want 1", got)
+	}
+	// Firing key 2 (bit 0 clear = class key) finds no dependents left.
+	if n := c.Invalidate([]uint64{2}); n != 0 {
+		t.Fatalf("Invalidate(2) evicted %d, want 0", n)
+	}
+}
+
+func TestDepCacheInflightDrop(t *testing.T) {
+	c := newDepCache(4)
+	seq := c.Admit()
+	// Key 6 fires while the walk is (notionally) running.
+	c.Invalidate([]uint64{6})
+	// The in-flight answer touched key 6: dropped at Put.
+	c.Put("a", answer{Keys: []uint64{4, 6}, AdmitSeq: seq})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("answer admitted before a key firing was served")
 	}
 	_, _, stale, _ := c.Stats()
 	if stale != 1 {
 		t.Fatalf("stale drops = %d, want 1", stale)
 	}
+	if got := c.Invalidations()[invalInflight]; got != 1 {
+		t.Fatalf("inflight invalidations = %d, want 1", got)
+	}
+	// An answer whose keys did not fire since admission is kept.
+	c.Put("b", answer{Keys: []uint64{4}, AdmitSeq: seq})
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("untouched in-flight answer dropped")
+	}
+	// A fresh admission after the firing may cache the same keys.
+	c.Put("c", answer{Keys: []uint64{6}, AdmitSeq: c.Admit()})
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("re-admitted answer dropped")
+	}
 }
 
-func TestEpochCacheLRUEviction(t *testing.T) {
-	c := newEpochCache(2)
-	c.Put("a", answer{Hops: 1})
-	c.Put("b", answer{Hops: 2})
+func TestDepCacheInvalidateAll(t *testing.T) {
+	c := newDepCache(4)
+	seq := c.Admit()
+	c.Put("a", answer{Keys: []uint64{2}, AdmitSeq: seq})
+	c.Put("b", answer{Keys: []uint64{4}, AdmitSeq: seq})
+	if n := c.InvalidateAll(invalEpoch); n != 2 {
+		t.Fatalf("InvalidateAll evicted %d, want 2", n)
+	}
+	if c.Len() != 0 || c.DepKeys() != 0 {
+		t.Fatalf("len=%d depKeys=%d after InvalidateAll, want 0/0", c.Len(), c.DepKeys())
+	}
+	if got := c.Invalidations()[invalEpoch]; got != 2 {
+		t.Fatalf("epoch invalidations = %d, want 2", got)
+	}
+	// The floor rose: answers admitted before the sweep are dropped even
+	// for keys the lastInval map no longer tracks.
+	c.Put("c", answer{Keys: []uint64{1234}, AdmitSeq: seq})
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("pre-sweep in-flight answer served after InvalidateAll")
+	}
+}
+
+func TestDepCacheLRUEviction(t *testing.T) {
+	c := newDepCache(2)
+	seq := c.Admit()
+	c.Put("a", answer{Hops: 1, Keys: []uint64{2}, AdmitSeq: seq})
+	c.Put("b", answer{Hops: 2, Keys: []uint64{4}, AdmitSeq: seq})
 	// Touch "a" so "b" is the eviction victim.
-	if _, ok := c.Get("a", 0); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.Put("c", answer{Hops: 3})
-	if _, ok := c.Get("b", 0); ok {
+	c.Put("c", answer{Hops: 3, Keys: []uint64{6}, AdmitSeq: seq})
+	if _, ok := c.Get("b"); ok {
 		t.Fatal("LRU victim b still cached")
 	}
 	for _, k := range []string{"a", "c"} {
-		if _, ok := c.Get(k, 0); !ok {
+		if _, ok := c.Get(k); !ok {
 			t.Fatalf("%s evicted, want resident", k)
 		}
 	}
@@ -45,25 +110,92 @@ func TestEpochCacheLRUEviction(t *testing.T) {
 	if evictions != 1 {
 		t.Fatalf("evictions = %d, want 1", evictions)
 	}
+	// The victim was unindexed: firing its key finds nothing.
+	if n := c.Invalidate([]uint64{4}); n != 0 {
+		t.Fatalf("Invalidate(4) evicted %d after LRU removal, want 0", n)
+	}
 }
 
-func TestEpochCacheReplace(t *testing.T) {
-	c := newEpochCache(2)
-	c.Put("a", answer{Hops: 1, Epoch: 0})
-	c.Put("a", answer{Hops: 9, Epoch: 3})
+func TestDepCacheReplace(t *testing.T) {
+	c := newDepCache(2)
+	c.Put("a", answer{Hops: 1, Keys: []uint64{2}})
+	c.Put("a", answer{Hops: 9, Keys: []uint64{4}})
 	if c.Len() != 1 {
 		t.Fatalf("len = %d after replacing a key, want 1", c.Len())
 	}
-	if ans, ok := c.Get("a", 3); !ok || ans.Hops != 9 {
-		t.Fatalf("Get(a, 3) = %+v, %v; want replaced answer", ans, ok)
+	if ans, ok := c.Get("a"); !ok || ans.Hops != 9 {
+		t.Fatalf("Get(a) = %+v, %v; want replaced answer", ans, ok)
+	}
+	// The replacement re-tagged the entry: the old key is dead, the new
+	// one evicts.
+	if n := c.Invalidate([]uint64{2}); n != 0 {
+		t.Fatalf("stale tag still indexed: evicted %d", n)
+	}
+	if n := c.Invalidate([]uint64{4}); n != 1 {
+		t.Fatalf("replacement tag not indexed: evicted %d", n)
 	}
 }
 
-func TestEpochCacheMinCapacity(t *testing.T) {
-	c := newEpochCache(0) // clamps to 1
+func TestDepCacheMinCapacity(t *testing.T) {
+	c := newDepCache(0) // clamps to 1
 	c.Put("a", answer{})
 	c.Put("b", answer{})
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want 1 (capacity clamp)", c.Len())
 	}
+}
+
+// TestDepCacheHammer drives concurrent Get/Put/Invalidate/InvalidateAll
+// traffic through the cache under the race detector (make verify runs the
+// suite with -race). Beyond freedom from data races it checks the one
+// invariant observable mid-storm: an answer must never be served after
+// one of its keys fired post-admission — enforced here by making each
+// worker invalidate a key and then verify entries tagged with it are
+// gone.
+func TestDepCacheHammer(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+		keys    = 32
+	)
+	c := newDepCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < rounds; i++ {
+				k := uint64(rng.Intn(keys))
+				name := fmt.Sprintf("e%d", rng.Intn(96))
+				switch rng.Intn(10) {
+				case 0:
+					c.InvalidateAll(invalEpoch)
+				case 1, 2:
+					c.Invalidate([]uint64{k})
+					// Eager eviction is synchronous: no entry tagged with k
+					// may survive the call.
+					if _, ok := c.Get(fmt.Sprintf("tag%d", k)); ok {
+						t.Errorf("entry tag%d served after its key %d fired", k, k)
+						return
+					}
+				case 3, 4, 5:
+					seq := c.Admit()
+					// Entries named tag<k> are tagged exactly {k}, so the
+					// invalidate arm above can check them.
+					c.Put(fmt.Sprintf("tag%d", k), answer{Keys: []uint64{k}, AdmitSeq: seq})
+				case 6:
+					seq := c.Admit()
+					c.Put(name, answer{Keys: []uint64{k, k + keys}, AdmitSeq: seq})
+				default:
+					c.Get(name)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Len()
+	c.DepKeys()
+	c.Stats()
+	c.Invalidations()
 }

@@ -1,6 +1,7 @@
 package provserve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -164,7 +165,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}
 		urls[i] = u
 	}
+	return hammer(client, cfg, urls), nil
+}
 
+// hammer is the shared query loop behind RunLoad and RunMixedLoad: Zipf
+// samples over a fixed URL frame from Concurrency workers.
+func hammer(client *http.Client, cfg LoadConfig, urls []string) *LoadReport {
 	// One Zipf stream feeding a work channel keeps the sample sequence
 	// deterministic for a given seed regardless of worker interleaving.
 	zipf := workload.NewZipf(rand.New(rand.NewSource(cfg.Seed)), len(urls), cfg.Alpha)
@@ -223,5 +229,133 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	r.P50, r.P50Over = quantileDuration(p50)
 	r.P95, r.P95Over = quantileDuration(p95)
 	r.P99, r.P99Over = quantileDuration(p99)
-	return r, nil
+	return r
+}
+
+// MixedLoadConfig drives RunMixedLoad: the read side is a LoadConfig, the
+// write side is a background injector that lands one fresh packet event
+// every WriteInterval for the whole run.
+type MixedLoadConfig struct {
+	LoadConfig
+	// WriteInterval is the gap between injected writer events (default
+	// 1ms — sustained writes, the regime where epoch invalidation's hit
+	// rate collapses).
+	WriteInterval time.Duration
+	// WriteSrc/WriteDst name the packet class the writer injects into
+	// (default n0 -> n1). Keep it disjoint from the hot query targets to
+	// measure what fine-grained invalidation buys: keyed caching rides
+	// through unrelated writes, epoch caching does not.
+	WriteSrc, WriteDst string
+}
+
+// MixedLoadReport is a LoadReport plus the write side's accounting.
+type MixedLoadReport struct {
+	LoadReport
+	Writes      int
+	WriteErrors int
+	// HitRate is CacheHits / Requests — the headline A/B number against
+	// the epoch baseline (BENCH_serve.json "cache" records).
+	HitRate float64
+}
+
+// String appends the write-side line to the read report.
+func (r *MixedLoadReport) String() string {
+	return fmt.Sprintf("%s\nwrites %d (%d errors), hit rate %.2f",
+		r.LoadReport.String(), r.Writes, r.WriteErrors, r.HitRate)
+}
+
+// RunMixedLoad measures the cache under a mixed read/write workload: Zipf
+// readers over the daemon's current outputs race a writer that keeps
+// injecting fresh events into one equivalence class. The output frame is
+// sampled before the writer starts, so reads target pre-existing classes
+// and the writer's events are invalidation traffic, not new read targets.
+func RunMixedLoad(cfg MixedLoadConfig) (*MixedLoadReport, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("provserve: mixed load needs Requests > 0")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.9
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.WriteInterval <= 0 {
+		cfg.WriteInterval = time.Millisecond
+	}
+	if cfg.WriteSrc == "" {
+		cfg.WriteSrc = "n0"
+	}
+	if cfg.WriteDst == "" {
+		cfg.WriteDst = "n1"
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	outputs, err := fetchOutputs(client, cfg.BaseURL, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("provserve: daemon has no outputs to query (inject events first)")
+	}
+	urls := make([]string, len(outputs))
+	for i, spec := range outputs {
+		u, err := queryURL(cfg.BaseURL, cfg.Scheme, spec)
+		if err != nil {
+			return nil, err
+		}
+		urls[i] = u
+	}
+
+	eventsURL := cfg.BaseURL + "/v1/events"
+	if cfg.Scheme != "" {
+		eventsURL += "?scheme=" + url.QueryEscape(cfg.Scheme)
+	}
+	stop := make(chan struct{})
+	var writes, writeErrs atomic.Int64
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		tick := time.NewTicker(cfg.WriteInterval)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			body, err := json.Marshal(map[string]any{"events": []map[string]any{{
+				"rel":  "packet",
+				"args": []any{cfg.WriteSrc, cfg.WriteSrc, cfg.WriteDst, fmt.Sprintf("mix-w%d", i)},
+			}}})
+			if err != nil {
+				writeErrs.Add(1)
+				continue
+			}
+			resp, err := client.Post(eventsURL, "application/json", bytes.NewReader(body))
+			if err != nil {
+				writeErrs.Add(1)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				writeErrs.Add(1)
+				continue
+			}
+			writes.Add(1)
+		}
+	}()
+	rep := hammer(client, cfg.LoadConfig, urls)
+	close(stop)
+	wwg.Wait()
+
+	return &MixedLoadReport{
+		LoadReport:  *rep,
+		Writes:      int(writes.Load()),
+		WriteErrors: int(writeErrs.Load()),
+		HitRate:     float64(rep.CacheHits) / float64(max(1, rep.Requests)),
+	}, nil
 }

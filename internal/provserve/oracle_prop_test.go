@@ -1,0 +1,187 @@
+package provserve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"provcompress/internal/cluster"
+	"provcompress/internal/types"
+)
+
+// This file is the oracle-backed correctness suite for the keyed cache:
+// seeded random insert/delete/query interleavings run against a live
+// server, and every answer the server serves — cached or cold — must be
+// byte-identical to a fresh, cacheless recomputation on the same cluster
+// (the oracle). A cache that ever serves a tree the current cluster state
+// would not reproduce fails here, whichever invalidation path it slipped
+// through.
+
+// oracleOp is one step of a generated interleaving. Ops are plain values
+// so a failing case dumps as a replayable script: shrink by deleting
+// lines and re-running with the same seed space.
+type oracleOp struct {
+	Kind    string // "inject", "delete", "insert", "query"
+	Src     string
+	Dst     string
+	Payload string
+}
+
+func (o oracleOp) String() string {
+	switch o.Kind {
+	case "insert":
+		return fmt.Sprintf("insert link %s->phantom", o.Src)
+	case "query":
+		return fmt.Sprintf("query recv(@%s,%s,%s,%s)", o.Dst, o.Src, o.Dst, o.Payload)
+	default:
+		return fmt.Sprintf("%s packet(@%s,%s,%s,%s)", o.Kind, o.Src, o.Src, o.Dst, o.Payload)
+	}
+}
+
+// oracleCase generates one seeded interleaving over a small payload pool.
+// Every payload has a fixed (src,dst) pair so queries know their output
+// tuple; queries may run before the payload's packet is injected, which
+// exercises cached-empty-answer invalidation.
+func oracleCase(rng *rand.Rand, id int) []oracleOp {
+	pairs := [][2]string{{"n0", "n2"}, {"n2", "n0"}, {"n1", "n2"}, {"n0", "n1"}}
+	pool := make([]oracleOp, 3)
+	for i := range pool {
+		p := pairs[rng.Intn(len(pairs))]
+		pool[i] = oracleOp{Src: p[0], Dst: p[1], Payload: fmt.Sprintf("c%dp%d", id, i)}
+	}
+	var ops []oracleOp
+	injected := []oracleOp{}
+	steps := 5 + rng.Intn(5)
+	for i := 0; i < steps; i++ {
+		pick := pool[rng.Intn(len(pool))]
+		switch r := rng.Intn(10); {
+		case r < 4:
+			pick.Kind = "inject"
+			ops = append(ops, pick)
+			injected = append(injected, pick)
+		case r < 6 && len(injected) > 0:
+			del := injected[rng.Intn(len(injected))]
+			del.Kind = "delete"
+			ops = append(ops, del)
+		case r < 7:
+			ops = append(ops, oracleOp{Kind: "insert", Src: pick.Src})
+		default:
+			pick.Kind = "query"
+			ops = append(ops, pick)
+		}
+	}
+	// Always end with a query per payload so every case checks at least
+	// the pool's final answers (repeat queries exercise cache hits).
+	for _, p := range pool {
+		p.Kind = "query"
+		ops = append(ops, p)
+	}
+	return ops
+}
+
+// runOracleOps executes an interleaving, comparing every query answer
+// against the oracle. Returns a diagnostic on the first divergence.
+func runOracleOps(t *testing.T, c *cluster.Cluster, baseURL string, ops []oracleOp, caseID int) {
+	t.Helper()
+	for i, op := range ops {
+		switch op.Kind {
+		case "inject":
+			er := postEvents(t, baseURL, 10000, packetSpec(op.Src, op.Dst, op.Payload))
+			if er.Accepted != 1 || !er.Quiesced {
+				t.Fatalf("case %d op %d (%s): inject = %+v", caseID, i, op, er)
+			}
+		case "delete":
+			pktT := types.NewTuple("packet", types.String(op.Src), types.String(op.Src),
+				types.String(op.Dst), types.String(op.Payload))
+			if err := c.DeleteSlow(pktT); err != nil {
+				t.Fatalf("case %d op %d (%s): %v", caseID, i, op, err)
+			}
+		case "insert":
+			// A link to a phantom endpoint: durable, class-irrelevant, but
+			// its VID key fires through the full invalidation path.
+			link := types.NewTuple("link", types.String(op.Src), types.String(op.Src),
+				types.String("phantom-"+op.Payload))
+			if err := c.InsertSlow(link); err != nil {
+				t.Fatalf("case %d op %d (%s): %v", caseID, i, op, err)
+			}
+			if err := c.Quiesce(5 * time.Second); err != nil {
+				t.Fatalf("case %d op %d (%s): quiesce: %v", caseID, i, op, err)
+			}
+		case "query":
+			spec := tupleSpec{Rel: "recv", Args: []any{op.Dst, op.Src, op.Dst, op.Payload}}
+			qr, resp := get(t, baseURL, spec)
+			if resp.StatusCode != 200 {
+				t.Fatalf("case %d op %d (%s): query status %d", caseID, i, op, resp.StatusCode)
+			}
+			served := append([]string(nil), qr.Trees...)
+			sort.Strings(served)
+
+			out, err := spec.tuple()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Query(out, types.ZeroID, 10*time.Second)
+			if err != nil {
+				t.Fatalf("case %d op %d (%s): oracle query: %v", caseID, i, op, err)
+			}
+			oracle := make([]string, len(res.Trees))
+			for j, tr := range res.Trees {
+				oracle[j] = tr.String()
+			}
+			sort.Strings(oracle)
+
+			if strings.Join(served, "\x00") != strings.Join(oracle, "\x00") {
+				var b strings.Builder
+				fmt.Fprintf(&b, "case %d diverged at op %d (cached=%v)\n", caseID, i, qr.Cached)
+				fmt.Fprintf(&b, "replay script (ops executed up to the divergence):\n")
+				for j := 0; j <= i; j++ {
+					fmt.Fprintf(&b, "  %2d: %s\n", j, ops[j])
+				}
+				fmt.Fprintf(&b, "served (%d trees):\n", len(served))
+				for _, s := range served {
+					fmt.Fprintf(&b, "  %s\n", s)
+				}
+				fmt.Fprintf(&b, "oracle (%d trees):\n", len(oracle))
+				for _, s := range oracle {
+					fmt.Fprintf(&b, "  %s\n", s)
+				}
+				t.Fatal(b.String())
+			}
+		}
+	}
+}
+
+// TestCacheOracleProperty replays ≥500 seeded interleavings (cases split
+// across the three compression schemes) against the oracle. One cluster
+// and server persist per scheme: payloads are unique per case, so cases
+// compound into a long mixed history — invalidation has to stay correct
+// under accumulation, not just from a cold start.
+func TestCacheOracleProperty(t *testing.T) {
+	const casesPerScheme = 170 // ×3 schemes = 510
+	for si, scheme := range []string{"advanced", "basic", "exspan"} {
+		si, scheme := si, scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			cases := casesPerScheme
+			if testing.Short() {
+				cases = 20
+			}
+			c := newTestCluster(t, 3, scheme)
+			s, ts := newTestServer(t, Config{
+				Clusters:      map[string]*cluster.Cluster{scheme: c},
+				DefaultScheme: scheme,
+			})
+			rng := rand.New(rand.NewSource(0x5eed0 + int64(si)))
+			for cs := 0; cs < cases; cs++ {
+				runOracleOps(t, c, ts.URL, oracleCase(rng, cs), cs)
+			}
+			hits, _, _, _ := s.cache.Stats()
+			if hits == 0 {
+				t.Fatal("interleavings produced zero cache hits; the suite is not exercising the cache")
+			}
+		})
+	}
+}

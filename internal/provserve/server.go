@@ -13,11 +13,14 @@
 //     distributed walk on its own goroutine.
 //   - Admission control: a bounded pending queue; when it is full the
 //     daemon answers 429 with Retry-After instead of queueing unboundedly.
-//   - Result cache: an LRU keyed by (scheme, output tuple, event ID).
-//     Every accepted event bumps a global epoch via the cluster event
-//     hook; entries remember the epoch their query was admitted under and
-//     are never served across a bump, so a cached answer always reflects
-//     every event accepted before it was requested.
+//   - Result cache: an LRU keyed by (scheme, output tuple, event ID)
+//     with dependency-indexed invalidation (cache.go, DESIGN.md §14):
+//     every entry is tagged with the invalidation-key set its walk
+//     touched, the cluster event hook delivers the keys each accepted
+//     event fires, and only dependent entries are evicted — unrelated
+//     queries stay hot under sustained writes. The pre-keyed global
+//     epoch discipline survives behind Config.LegacyEpochInvalidation
+//     (every event evicts everything) as the A/B baseline.
 //   - Cancellation: the request context is threaded into
 //     Cluster.QueryContext, so a disconnected client aborts its in-flight
 //     distributed query instead of burning the timeout.
@@ -73,6 +76,12 @@ type Config struct {
 	// clusters; it backs GET /v1/trace/{id} and the trace gauges on
 	// /metrics. Nil disables the trace endpoint (404).
 	Tracer *trace.Collector
+	// LegacyEpochInvalidation restores the pre-keyed cache discipline:
+	// every accepted event evicts the whole cache, regardless of which
+	// invalidation keys it fired. It exists as the A/B baseline for the
+	// mixed-workload benchmark (cmd/provload, cmd/provsim) and costs the
+	// hit rate its near-zero value under sustained writes.
+	LegacyEpochInvalidation bool
 
 	// beforeQuery, when set, runs on the worker goroutine before each
 	// admitted query executes. Test hook: lets tests hold workers busy to
@@ -85,8 +94,11 @@ type Server struct {
 	cfg     Config
 	schemes []string // sorted configured scheme names
 	mux     *http.ServeMux
-	cache   *epochCache
-	epoch   atomic.Uint64
+	cache   *depCache
+	// epoch counts accepted events. Deprecated as an invalidation
+	// mechanism (the cache is key-invalidated); still exposed on
+	// /v1/query, /v1/events and /v1/stats for compatibility.
+	epoch atomic.Uint64
 
 	queue chan *queryJob
 	stop  chan struct{}
@@ -112,14 +124,15 @@ type Server struct {
 // queryJob is one admitted query traveling from the HTTP handler to a
 // worker and back.
 type queryJob struct {
-	ctx   context.Context
-	c     *cluster.Cluster
-	out   types.Tuple
-	evid  types.ID
-	epoch uint64 // cache epoch at admission
-	res   cluster.QueryResult
-	err   error
-	done  chan struct{}
+	ctx      context.Context
+	c        *cluster.Cluster
+	out      types.Tuple
+	evid     types.ID
+	epoch    uint64 // event epoch at admission (response compatibility)
+	admitSeq uint64 // cache invalidation sequence at admission (depCache.Admit)
+	res      cluster.QueryResult
+	err      error
+	done     chan struct{}
 }
 
 // New builds the server and starts its worker pool. Call Close to drain.
@@ -144,7 +157,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:         cfg,
-		cache:       newEpochCache(cfg.CacheSize),
+		cache:       newDepCache(cfg.CacheSize),
 		queue:       make(chan *queryJob, cfg.QueueDepth),
 		stop:        make(chan struct{}),
 		start:       time.Now(),
@@ -156,11 +169,20 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("provserve: nil cluster for scheme %q", name)
 		}
 		s.schemes = append(s.schemes, name)
-		// Any accepted event invalidates every cached result: bump the
-		// shared epoch. Events are injected per cluster, so one logical
-		// event may bump more than once — the epoch only needs to be
-		// monotonic, not dense.
-		c.SetEventHook(func() { s.epoch.Add(1) })
+		// Every accepted state change delivers the invalidation keys it
+		// fired; evict exactly the cached results tagged with them (or
+		// everything, in the legacy A/B mode). The epoch still counts
+		// events for response compatibility. Events are injected per
+		// cluster, so one logical event may fire more than once — firing
+		// is idempotent on an already-evicted entry.
+		c.SetEventHook(func(keys []cluster.InvalKey) {
+			s.epoch.Add(1)
+			if cfg.LegacyEpochInvalidation {
+				s.cache.InvalidateAll(invalEpoch)
+			} else {
+				s.cache.Invalidate(keys)
+			}
+		})
 	}
 	sort.Strings(s.schemes)
 	if cfg.DefaultScheme == "" {
@@ -410,13 +432,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 // queryResponse is the GET /v1/query reply.
 type queryResponse struct {
-	Tuple  string   `json:"tuple"`
-	Scheme string   `json:"scheme"`
-	EvID   string   `json:"evid,omitempty"`
-	Cached bool     `json:"cached"`
-	Epoch  uint64   `json:"epoch"` // epoch the answer was computed under
-	Trees  []string `json:"trees"`
-	Hops   int      `json:"hops"`
+	Tuple  string `json:"tuple"`
+	Scheme string `json:"scheme"`
+	EvID   string `json:"evid,omitempty"`
+	Cached bool   `json:"cached"`
+	// Epoch is the global event count the answer was admitted under.
+	// Deprecated: it no longer governs invalidation (the cache is
+	// key-invalidated; see CacheKeys) and is kept for compatibility —
+	// a cached answer can legitimately carry an Epoch older than the
+	// server's current one when the intervening events touched none of
+	// its keys.
+	Epoch uint64 `json:"epoch"`
+	// CacheKeys is the size of the answer's invalidation-key set (the
+	// equivalence-class and VID keys its walk touched).
+	CacheKeys int      `json:"cache_keys"`
+	Trees     []string `json:"trees"`
+	Hops      int      `json:"hops"`
 	// QueryNS is the distributed walk's latency (the cold cost; for a
 	// cache hit, the cost the hit avoided). ServeNS is this request's
 	// server-side handling time.
@@ -474,13 +505,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
 
 	key := cacheKey(scheme, out, evid)
-	epoch := s.epoch.Load()
-	if ans, ok := s.cache.Get(key, epoch); ok {
+	if ans, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
 		s.hitLatency.ObserveDuration(time.Since(began))
 		writeJSON(w, http.StatusOK, queryResponse{
 			Tuple: out.String(), Scheme: scheme, EvID: q.Get("evid"),
-			Cached: true, Epoch: ans.Epoch, Trees: ans.Trees, Hops: ans.Hops,
+			Cached: true, Epoch: ans.Epoch, CacheKeys: len(ans.Keys),
+			Trees: ans.Trees, Hops: ans.Hops,
 			QueryNS: ans.ColdNS, ServeNS: time.Since(began).Nanoseconds(),
 			TraceID: traceIDString(ans.TraceID),
 		})
@@ -488,7 +519,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cacheMisses.Add(1)
 
-	j := &queryJob{ctx: r.Context(), c: c, out: out, evid: evid, epoch: epoch, done: make(chan struct{})}
+	// The admission snapshot must precede the walk: a key firing between
+	// here and the walk's completion drops the answer at Put.
+	j := &queryJob{ctx: r.Context(), c: c, out: out, evid: evid,
+		epoch: s.epoch.Load(), admitSeq: s.cache.Admit(), done: make(chan struct{})}
 	select {
 	case s.queue <- j:
 	case <-s.stop:
@@ -521,12 +555,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, t := range j.res.Trees {
 		trees[i] = t.String()
 	}
-	ans := answer{Trees: trees, Hops: j.res.Hops, ColdNS: j.res.Latency.Nanoseconds(), Epoch: j.epoch, TraceID: j.res.TraceID}
+	ans := answer{Trees: trees, Hops: j.res.Hops, ColdNS: j.res.Latency.Nanoseconds(),
+		Epoch: j.epoch, Keys: j.res.InvalKeys, AdmitSeq: j.admitSeq, TraceID: j.res.TraceID}
 	s.cache.Put(key, ans)
 	s.coldLatency.ObserveDuration(time.Since(began))
 	writeJSON(w, http.StatusOK, queryResponse{
 		Tuple: out.String(), Scheme: scheme, EvID: q.Get("evid"),
-		Cached: false, Epoch: j.epoch, Trees: trees, Hops: j.res.Hops,
+		Cached: false, Epoch: j.epoch, CacheKeys: len(j.res.InvalKeys),
+		Trees: trees, Hops: j.res.Hops,
 		QueryNS: j.res.Latency.Nanoseconds(), ServeNS: time.Since(began).Nanoseconds(),
 		TraceID: traceIDString(j.res.TraceID),
 	})
@@ -613,6 +649,9 @@ func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the GET /v1/stats reply.
 type statsResponse struct {
+	// Epoch counts accepted events. Deprecated: invalidation is keyed,
+	// not epoch-based — see the cache-invalidated-* server counters for
+	// what actually evicts entries. Kept for scrape compatibility.
 	Epoch    uint64                 `json:"epoch"`
 	UptimeNS int64                  `json:"uptime_ns"`
 	Server   map[string]int64       `json:"server"`
@@ -677,6 +716,11 @@ func (s *Server) serverCounters() *metrics.Counters {
 	c.Add("cache-misses", s.cacheMisses.Load())
 	c.Add("cache-stale-drops", stale)
 	c.Add("cache-evictions", evictions)
+	// Per-reason invalidation counters (entries dropped): which kind of
+	// key firing — or legacy epoch sweep, or mid-walk race — killed them.
+	for reason, n := range s.cache.Invalidations() {
+		c.Add("cache-invalidated-"+reason, n)
+	}
 	c.Add("rejected", s.rejected.Load())
 	c.Add("query-errors", s.queryErrors.Load())
 	c.Add("canceled", s.canceled.Load())
@@ -777,6 +821,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.WriteGauge(w, "provd_queue_pending", "", float64(len(s.queue)))
 	metrics.WriteGauge(w, "provd_queue_capacity", "", float64(cap(s.queue)))
 	metrics.WriteGauge(w, "provd_cache_entries", "", float64(s.cache.Len()))
+	metrics.WriteGauge(w, "provd_cache_dep_keys", "", float64(s.cache.DepKeys()))
+	invals := s.cache.Invalidations()
+	for _, reason := range []string{invalClass, invalVID, invalEpoch, invalInflight, invalLRU} {
+		metrics.WriteCounter(w, "provd_cache_invalidations_total",
+			metrics.PromLabel("reason", reason), invals[reason])
+	}
 	metrics.WriteGauge(w, "provd_uptime_seconds", "", time.Since(s.start).Seconds())
 	s.coldLatency.WritePrometheus(w, "provd_query_seconds", `cache="miss"`)
 	s.hitLatency.WritePrometheus(w, "provd_query_seconds", `cache="hit"`)

@@ -1,0 +1,146 @@
+package wire
+
+import "fmt"
+
+// Key-set codec: the canonical wire form of a set of 64-bit invalidation
+// keys (the equivalence-class / VID tags cached query answers carry, see
+// internal/cluster and DESIGN.md §14). The set travels inside walk frames
+// and is stored verbatim in cache tags, so the encoding is strict:
+//
+//   - uvarint count
+//   - uvarint first key
+//   - uvarint deltas between consecutive keys (strictly positive)
+//
+// Keys must be sorted ascending with no duplicates; deltas of zero,
+// non-minimal varints, overflowing sums, and oversized counts are all
+// decode errors. Rejecting every non-canonical byte string is what keeps
+// a malformed or hostile frame from ever mis-invalidating (or worse,
+// mis-validating) a cache entry: there is exactly one byte string per
+// set, so decode∘encode is the identity and encode∘decode is too.
+
+// MaxKeySetLen bounds a decoded key set, mirroring the walk-frame item
+// guard (a walk cannot legitimately touch more keys than items).
+const MaxKeySetLen = 1 << 20
+
+// AppendKeySet encodes a key set into the encoder. keys must be sorted
+// strictly ascending (use NormalizeKeySet first if unsure); the encoding
+// of an unsorted or duplicated slice would be rejected by DecodeKeySet.
+func (e *Encoder) AppendKeySet(keys []uint64) {
+	e.uvarint(uint64(len(keys)))
+	prev := uint64(0)
+	for i, k := range keys {
+		if i == 0 {
+			e.uvarint(k)
+		} else {
+			e.uvarint(k - prev)
+		}
+		prev = k
+	}
+}
+
+// DecodeKeySet decodes a canonical key set, returning the sorted keys.
+// Every deviation from the canonical form — truncation, a zero delta
+// (duplicate key), a non-minimal varint, a sum overflowing 64 bits, or a
+// count past MaxKeySetLen — is an error and poisons the decoder.
+func (d *Decoder) DecodeKeySet() ([]uint64, error) {
+	n, err := d.canonicalUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxKeySetLen {
+		d.fail("key set too large")
+		return nil, fmt.Errorf("wire: key set with %d keys", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	keys := make([]uint64, 0, n)
+	cur, err := d.canonicalUvarint()
+	if err != nil {
+		return nil, err
+	}
+	keys = append(keys, cur)
+	for i := uint64(1); i < n; i++ {
+		delta, err := d.canonicalUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if delta == 0 {
+			d.fail("key set delta")
+			return nil, fmt.Errorf("wire: duplicate key in set")
+		}
+		next := cur + delta
+		if next < cur {
+			d.fail("key set overflow")
+			return nil, fmt.Errorf("wire: key set delta overflows")
+		}
+		cur = next
+		keys = append(keys, cur)
+	}
+	return keys, nil
+}
+
+// NormalizeKeySet sorts and deduplicates a key slice in place, returning
+// the canonical set AppendKeySet expects.
+func NormalizeKeySet(keys []uint64) []uint64 {
+	if len(keys) < 2 {
+		return keys
+	}
+	// Insertion sort: sets are small and usually nearly sorted already.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	out := keys[:1]
+	for _, k := range keys[1:] {
+		if k != out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// uvarint appends the minimal LEB128 encoding of v.
+func (e *Encoder) uvarint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+// canonicalUvarint reads a uvarint and rejects non-minimal encodings
+// (a padded varint would give two byte strings for one set, breaking the
+// one-encoding-per-set property the cache tags rely on).
+func (d *Decoder) canonicalUvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	start := d.off
+	for {
+		if d.off >= len(d.buf) {
+			d.fail("uvarint")
+			return 0, fmt.Errorf("wire: truncated uvarint")
+		}
+		b := d.buf[d.off]
+		d.off++
+		if shift == 63 && b > 1 {
+			d.fail("uvarint")
+			return 0, fmt.Errorf("wire: uvarint overflows 64 bits")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			n := d.off - start
+			if n > 1 && b == 0 {
+				d.fail("uvarint")
+				return 0, fmt.Errorf("wire: non-minimal uvarint")
+			}
+			return v, nil
+		}
+		shift += 7
+		if shift > 63 {
+			d.fail("uvarint")
+			return 0, fmt.Errorf("wire: uvarint too long")
+		}
+	}
+}

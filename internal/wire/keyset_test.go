@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func encodeKeySet(keys []uint64) []byte {
+	e := NewEncoder(16)
+	e.AppendKeySet(keys)
+	return e.Bytes()
+}
+
+func TestKeySetRoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{0},
+		{1},
+		{0, 1, 2, 3},
+		{7, 1 << 20, 1 << 40, 1<<64 - 1},
+		{42},
+		{0, 1<<64 - 1},
+	}
+	for _, keys := range cases {
+		raw := encodeKeySet(keys)
+		d := NewDecoder(raw)
+		got, err := d.DecodeKeySet()
+		if err != nil {
+			t.Fatalf("decode(%v): %v", keys, err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("decode(%v) = %v", keys, got)
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("decode(%v) = %v", keys, got)
+			}
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("decode(%v) left %d bytes", keys, d.Remaining())
+		}
+	}
+}
+
+func TestKeySetRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(64)
+		keys := make([]uint64, n)
+		for j := range keys {
+			keys[j] = rng.Uint64() >> uint(rng.Intn(60))
+		}
+		keys = NormalizeKeySet(keys)
+		raw := encodeKeySet(keys)
+		got, err := NewDecoder(raw).DecodeKeySet()
+		if err != nil {
+			t.Fatalf("decode: %v (keys %v)", err, keys)
+		}
+		if !bytes.Equal(encodeKeySet(got), raw) {
+			t.Fatalf("re-encode mismatch for %v", keys)
+		}
+	}
+}
+
+func TestKeySetRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated count":    {0x80},
+		"truncated first":    {2, 0x81},
+		"truncated delta":    {2, 1},
+		"zero delta (dup)":   {2, 5, 0},
+		"non-minimal varint": {1, 0x85, 0x00},
+		"non-minimal count":  {0x81, 0x00, 1},
+		"overflow delta":     {2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x02},
+		"oversized count":    {0xff, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, raw := range cases {
+		d := NewDecoder(raw)
+		if got, err := d.DecodeKeySet(); err == nil {
+			t.Errorf("%s: decoded %v, want error", name, got)
+		}
+		if d.Err() == nil {
+			t.Errorf("%s: decoder not poisoned", name)
+		}
+	}
+}
+
+func TestNormalizeKeySet(t *testing.T) {
+	got := NormalizeKeySet([]uint64{9, 1, 9, 3, 1, 0})
+	want := []uint64{0, 1, 3, 9}
+	if len(got) != len(want) {
+		t.Fatalf("normalize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalize = %v", got)
+		}
+	}
+}
+
+// FuzzCacheKeyRoundTrip fuzzes the key-set codec the cache tags travel
+// in. The invariant is strict canonicality both ways: every decodable
+// byte string re-encodes to exactly itself (no two encodings of one
+// set), and every encoded set decodes back to exactly the keys that went
+// in. A malformed input must error — never silently produce a different
+// key set, which is how a corrupt frame could mis-invalidate (or fail to
+// invalidate) cached provenance.
+func FuzzCacheKeyRoundTrip(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 42})
+	f.Add(encodeKeySet([]uint64{0, 1, 2, 1 << 33}))
+	f.Add(encodeKeySet([]uint64{7, 9, 1<<64 - 1}))
+	f.Add([]byte{2, 5, 0})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d := NewDecoder(raw)
+		keys, err := d.DecodeKeySet()
+		if err != nil {
+			if d.Err() == nil {
+				t.Fatal("decode error without poisoning the decoder")
+			}
+			return // malformed input rejected: the only acceptable failure
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("decoded set not strictly ascending: %v", keys)
+			}
+		}
+		// Canonicality: the decoded set must re-encode to the exact bytes
+		// consumed (trailing garbage after the set is the caller's concern).
+		reenc := encodeKeySet(keys)
+		consumed := len(raw) - d.Remaining()
+		if !bytes.Equal(reenc, raw[:consumed]) {
+			t.Fatalf("re-encode differs: in %x, out %x", raw[:consumed], reenc)
+		}
+		// And the opposite direction: encode∘decode is the identity.
+		back, err := NewDecoder(reenc).DecodeKeySet()
+		if err != nil || len(back) != len(keys) {
+			t.Fatalf("re-decode: %v (%d keys, want %d)", err, len(back), len(keys))
+		}
+		for i := range keys {
+			if back[i] != keys[i] {
+				t.Fatalf("re-decode changed keys: %v -> %v", keys, back)
+			}
+		}
+	})
+}
