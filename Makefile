@@ -38,6 +38,13 @@
 #                writer) against the dependency-indexed cache and against
 #                the legacy epoch baseline — keyed must hold a hit rate
 #                > 0.5 where the epoch discipline measures ~0
+#   soak-smoke   the multi-tenant scenario soak at reduced scale: every
+#                registered DELP scenario (forwarding, bgp, gossip) runs
+#                bursty ingest, Zipf queries from a well-behaved and an
+#                over-quota tenant (only the greedy one may see 429s), a
+#                deletion storm with restore, and a cache drain — then
+#                the graveyard, cache-entry, dep-key, and trace-span
+#                gauges must all be back at their baselines
 #
 # The chaos tests use fixed FaultPlan seeds, so a failure reproduces
 # deterministically; -count=1 defeats the test cache to make sure the
@@ -47,9 +54,9 @@ GO ?= go
 BENCH_SMOKE_DIR := $(or $(TMPDIR),/tmp)/provcompress-bench-smoke
 TRACE_SMOKE_FILE := $(or $(TMPDIR),/tmp)/provcompress-trace-smoke.json
 
-.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke ingest-smoke recover-smoke elastic-smoke cache-smoke
+.PHONY: verify vet build test chaos serve-smoke trace-smoke bench bench-smoke ingest-smoke recover-smoke elastic-smoke cache-smoke soak soak-smoke
 
-verify: vet build test chaos serve-smoke trace-smoke bench-smoke ingest-smoke recover-smoke elastic-smoke cache-smoke
+verify: vet build test chaos serve-smoke trace-smoke bench-smoke ingest-smoke recover-smoke elastic-smoke cache-smoke soak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -89,3 +96,11 @@ elastic-smoke:
 
 cache-smoke:
 	$(GO) run ./cmd/provsim -bench-smoke cache
+
+# Full-scale multi-tenant scenario soak (soak-smoke is the verify-gated
+# reduced-scale variant).
+soak:
+	$(GO) run ./cmd/provsim soak
+
+soak-smoke:
+	$(GO) run ./cmd/provsim -bench-smoke soak

@@ -85,7 +85,7 @@ func DependencyDOT(p *Program) string {
 	return analysis.BuildGraph(p).DOT()
 }
 
-// Bundled applications (Figures 1 and 19, plus ARP).
+// Bundled applications (Figures 1 and 19, plus ARP, BGP, and gossip).
 var (
 	// ForwardingProgram returns the packet-forwarding DELP of Figure 1.
 	ForwardingProgram = apps.Forwarding
@@ -93,6 +93,10 @@ var (
 	DNSProgram = apps.DNS
 	// ARPProgram returns the ARP DELP.
 	ARPProgram = apps.ARP
+	// BGPProgram returns the BGP-style interdomain routing DELP.
+	BGPProgram = apps.BGP
+	// GossipProgram returns the epidemic rumor-dissemination DELP.
+	GossipProgram = apps.Gossip
 	// BuiltinFuncs returns the UDF registry the bundled programs need.
 	BuiltinFuncs = apps.Funcs
 )

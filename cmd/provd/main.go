@@ -1,8 +1,9 @@
 // Command provd is the provenance query daemon: it boots one real-socket
-// cluster per configured provenance scheme (all running the
-// packet-forwarding DELP on a chain topology) and serves distributed
-// provenance queries over HTTP with result caching, admission control,
-// Prometheus metrics, and pprof.
+// cluster per configured provenance scheme (running the -app scenario:
+// packet forwarding by default, or the bgp / gossip DELPs) and serves
+// distributed provenance queries over HTTP with result caching, admission
+// control (optionally per tenant via -tenants), Prometheus metrics, and
+// pprof.
 //
 // Endpoints:
 //
@@ -21,7 +22,8 @@
 //
 // Usage:
 //
-//	provd [-listen 127.0.0.1:8463] [-schemes advanced,basic,exspan] [-nodes 8] [-trace]
+//	provd [-listen 127.0.0.1:8463] [-schemes advanced,basic,exspan] [-nodes 8]
+//	      [-app forwarding|bgp|gossip] [-tenants name=qps[:burst[:inflight]],...] [-trace]
 //
 // Quickstart:
 //
@@ -47,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -69,11 +72,16 @@ func main() {
 	selftest := flag.Bool("selftest", false, "boot on a random port, run the HTTP smoke + load phase, and exit")
 	recoverSmoke := flag.Bool("recover-smoke", false, "run the crash-recovery smoke test (spawns child provd processes on a temp -data-dir, kill -9 mid-load, asserts query equivalence) and exit")
 	traced := flag.Bool("trace", false, "collect distributed spans for every event and query; serves them on /v1/trace/{id}")
+	tenants := flag.String("tenants", "", "per-tenant admission limits as name=qps[:burst[:inflight]],... (e.g. acme=100:20:8,free=5); requests pick a tenant via X-Tenant or ?tenant=, unknown labels bill the default tenant")
 	flag.Parse()
 
 	names := splitSchemes(*schemes)
 	if len(names) == 0 {
 		log.Fatal("provd: no schemes configured")
+	}
+	tenantCfgs, err := parseTenants(*tenants)
+	if err != nil {
+		log.Fatalf("provd: %v", err)
 	}
 	if *recoverSmoke {
 		if err := runRecoverSmoke(os.Stdout); err != nil {
@@ -136,6 +144,7 @@ func main() {
 		CacheSize:     *cacheSize,
 		QueryTimeout:  *queryTimeout,
 		Tracer:        tracer,
+		Tenants:       tenantCfgs,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -187,6 +196,47 @@ func shutdown(s *http.Server) {
 }
 
 // splitSchemes parses the -schemes flag into trimmed lowercase names.
+// parseTenants decodes the -tenants flag: a comma-separated list of
+// name=qps[:burst[:inflight]] specs. qps 0 means unlimited rate; inflight
+// 0 means unlimited concurrent cold queries.
+func parseTenants(s string) ([]provserve.TenantConfig, error) {
+	var out []provserve.TenantConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, limits, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenants: bad spec %q (want name=qps[:burst[:inflight]])", part)
+		}
+		cfg := provserve.TenantConfig{Name: name}
+		fields := strings.Split(limits, ":")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("-tenants: bad spec %q (too many fields)", part)
+		}
+		for i, f := range fields {
+			if f == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("-tenants: bad spec %q: field %q", part, f)
+			}
+			switch i {
+			case 0:
+				cfg.QPS = v
+			case 1:
+				cfg.Burst = int(v)
+			case 2:
+				cfg.MaxInflight = int(v)
+			}
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
 func splitSchemes(s string) []string {
 	var out []string
 	seen := make(map[string]bool)

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"provcompress/internal/provserve"
+)
+
+func TestParseTenants(t *testing.T) {
+	got, err := parseTenants(" acme=100:20:8, free=5 ,unlimited=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []provserve.TenantConfig{
+		{Name: "acme", QPS: 100, Burst: 20, MaxInflight: 8},
+		{Name: "free", QPS: 5},
+		{Name: "unlimited"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseTenants = %+v, want %+v", got, want)
+	}
+
+	if got, err := parseTenants(""); err != nil || got != nil {
+		t.Fatalf("empty spec = %+v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"noequals", "=5", "a=1:2:3:4", "a=-1", "a=x"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("parseTenants(%q) accepted a bad spec", bad)
+		}
+	}
+}

@@ -47,6 +47,7 @@ func main() {
 	writeInterval := flag.Duration("write-interval", time.Millisecond, "with -mixed: gap between injected writer events")
 	writeSrc := flag.String("write-src", "n0", "with -mixed: writer packet source node")
 	writeDst := flag.String("write-dst", "n1", "with -mixed: writer packet destination node")
+	tenant := flag.String("tenant", "", "tenant label to bill the run against (empty = default tenant)")
 	flag.Parse()
 
 	if *inject {
@@ -63,6 +64,7 @@ func main() {
 		Concurrency: *c,
 		Alpha:       *alpha,
 		Seed:        *seed,
+		Tenant:      *tenant,
 	}
 	if *mixed {
 		report, err := provserve.RunMixedLoad(provserve.MixedLoadConfig{

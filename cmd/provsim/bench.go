@@ -71,6 +71,9 @@ type serveBenchFile struct {
 	Rebalance    rebalanceBenchRecord    `json:"rebalance"`
 	Ingest       []ingestBenchRecord     `json:"ingest"`
 	Cache        []cacheBenchRecord      `json:"cache"`
+	// Scenarios holds one soak record per registered DELP scenario
+	// (forwarding, bgp, gossip) — see soak.go.
+	Scenarios []scenarioBenchRecord `json:"scenarios"`
 }
 
 // rebalanceBenchRecord measures the elastic membership subsystem: a
@@ -349,6 +352,10 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	scen, err := benchScenarios(smoke)
+	if err != nil {
+		return nil, err
+	}
 	return &serveBenchFile{
 		GeneratedBy:  "provsim -bench-out",
 		Smoke:        smoke,
@@ -363,6 +370,7 @@ func benchServe(smoke bool) (*serveBenchFile, error) {
 		Rebalance:    reb,
 		Ingest:       ing,
 		Cache:        cch,
+		Scenarios:    scen,
 	}, nil
 }
 

@@ -6,6 +6,7 @@
 //
 //	provsim [flags] fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all
 //	provsim [-elastic-nodes N] [-elastic-replicas K] elastic
+//	provsim [-bench-smoke] soak
 //
 // By default the experiments run at a reduced scale that finishes in
 // seconds; -paper selects the paper's full parameters (100 pairs at 100
@@ -166,6 +167,13 @@ func main() {
 	if target == "cache" {
 		if err := runCacheSmoke(os.Stdout, *benchSmoke); err != nil {
 			fmt.Fprintf(os.Stderr, "provsim: cache: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if target == "soak" {
+		if err := runSoak(os.Stdout, *benchSmoke); err != nil {
+			fmt.Fprintf(os.Stderr, "provsim: soak: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,74 @@
+// Gossip runs the epidemic rumor-dissemination DELP over a binary
+// out-tree: one rumor injected at the root replicates to every gossip
+// peer (rule g1) and is delivered wherever a gossipMember row exists
+// (rule g2), fanning out exponentially. The provenance trees are wide
+// and shallow — the opposite extreme from BGP's deep chains — and a
+// single equivalence class per node absorbs every rumor.
+//
+// Run with:
+//
+//	go run ./examples/gossip
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"provcompress"
+	"provcompress/internal/scenario"
+)
+
+func main() {
+	// A 7-member binary out-tree rooted at n0 (n0 -> n1,n2; n1 -> n3,n4;
+	// n2 -> n5,n6).
+	g := scenario.GossipTree(7)
+	sys, err := provcompress.NewSystem(g, provcompress.GossipProgram(),
+		provcompress.SchemeAdvanced, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Peers follow the tree's child edges; every node is a member.
+	nodes := g.Nodes()
+	var base []provcompress.Tuple
+	for i, n := range nodes {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(nodes) {
+				base = append(base, provcompress.NewTuple("gossipPeer",
+					provcompress.Str(string(n)), provcompress.Str(string(nodes[c]))))
+			}
+		}
+		base = append(base, provcompress.NewTuple("gossipMember",
+			provcompress.Str(string(n))))
+	}
+	if err := sys.LoadBase(base...); err != nil {
+		log.Fatal(err)
+	}
+
+	// One rumor enters at the root and floods the tree.
+	rumor := provcompress.NewTuple("rumor",
+		provcompress.Str("n0"), provcompress.Str("blackout"), provcompress.Str("m0"))
+	sys.Inject(rumor)
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	outputs := sys.Outputs()
+	fmt.Printf("rumor \"blackout\" delivered at %d of %d members\n", len(outputs), len(nodes))
+	if len(outputs) != len(nodes) {
+		log.Fatalf("expected delivery at every member")
+	}
+
+	// The delivery at a leaf carries the full dissemination path back to
+	// the root (n6 heard it via n2).
+	leaf := provcompress.NewTuple("deliver",
+		provcompress.Str("n6"), provcompress.Str("blackout"), provcompress.Str("m0"))
+	res, err := sys.Query(leaf, provcompress.HashTuple(rumor))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Trees) != 1 {
+		log.Fatalf("expected one tree for %s, got %d", leaf, len(res.Trees))
+	}
+	fmt.Printf("\nprovenance of %s:\n%s", leaf, res.Trees[0])
+}

@@ -40,6 +40,29 @@ func TestARPEquivalenceKeys(t *testing.T) {
 	}
 }
 
+// TestBGPEquivalenceKeys: adverts advert(@L, P, O, SQ) join slow state on
+// the location (bgpRoute:0, bgpOwner:0) and the prefix (bgpRoute:1,
+// bgpOwner:1); the origin AS and sequence number flow only to heads. All
+// adverts for one prefix entering at one border router therefore share an
+// equivalence class, no matter how many updates the origin emits.
+func TestBGPEquivalenceKeys(t *testing.T) {
+	keys := EquivalenceKeys(apps.BGP())
+	if !reflect.DeepEqual(keys, []int{0, 1}) {
+		t.Errorf("bgp equivalence keys = %v, want [0 1]", keys)
+	}
+}
+
+// TestGossipEquivalenceKeys: rumors rumor(@L, R, O) join slow state only on
+// the location (gossipPeer:0, gossipMember:0) — the rumor ID and origin are
+// payload. Every rumor entering at one member shares a single equivalence
+// class, the maximal-sharing extreme of the analysis.
+func TestGossipEquivalenceKeys(t *testing.T) {
+	keys := EquivalenceKeys(apps.Gossip())
+	if !reflect.DeepEqual(keys, []int{0}) {
+		t.Errorf("gossip equivalence keys = %v, want [0]", keys)
+	}
+}
+
 // TestForwardingDependencyGraph checks the structure of Figure 17's graph:
 // joinSAttr marks on packet:0 and packet:2, joinFAttr edges from the packet
 // attributes to the recv attributes, and connectivity of payload to head

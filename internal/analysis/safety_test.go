@@ -9,7 +9,9 @@ import (
 )
 
 func TestCheckAdvancedApplicableAccepts(t *testing.T) {
-	for _, prog := range []*ndlog.Program{apps.Forwarding(), apps.DNS(), apps.ARP()} {
+	for _, prog := range []*ndlog.Program{
+		apps.Forwarding(), apps.DNS(), apps.ARP(), apps.DHCP(), apps.BGP(), apps.Gossip(),
+	} {
 		if err := CheckAdvancedApplicable(prog); err != nil {
 			t.Errorf("%s rejected: %v", prog.Name, err)
 		}

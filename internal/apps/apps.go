@@ -60,6 +60,33 @@ d2 dhcpRequest(@SV, H, IP) :- dhcpOffer(@H, SV, IP), accept(@H, SV).
 d3 dhcpAck(@H, SV, IP)     :- dhcpRequest(@SV, H, IP), pool(@SV, IP).
 `
 
+// BGPSrc models BGP-style interdomain route advertisement as a DELP. An
+// advertisement for prefix P carried by origin O with sequence number SQ is
+// propagated hop by hop along the slow bgpRoute table (b1) and installed
+// into the RIB at every AS that owns the prefix's policy entry (b2). The
+// interesting provenance shape is the opposite of packet forwarding:
+// advertisements are long-lived and the *slow* state churns — route policy
+// updates arrive as InsertSlow/DeleteSlow, each insert broadcasting a §5.5
+// sig that resets the equivalence-key epoch, so the Advanced scheme's
+// graveyard and deferred-landing machinery see sustained pressure.
+const BGPSrc = `
+b1 advert(@N, P, O, SQ) :- advert(@L, P, O, SQ), bgpRoute(@L, P, N).
+b2 rib(@L, P, O, SQ)    :- advert(@L, P, O, SQ), bgpOwner(@L, P).
+`
+
+// GossipSrc models epidemic dissemination as a DELP: a rumor R from origin
+// O replicates to every gossip peer of the current holder (g1) and is
+// delivered locally wherever a gossipMember row exists (g2). Over a k-ary
+// peer tree one injected rumor fans out exponentially, producing wide,
+// shallow provenance trees — the opposite extreme from BGP's deep chains —
+// and, because the only equivalence key is the location, a single class
+// absorbs every rumor at a node, stressing the Advanced scheme's deferred
+// output landings.
+const GossipSrc = `
+g1 rumor(@N, R, O)   :- rumor(@L, R, O), gossipPeer(@L, N).
+g2 deliver(@L, R, O) :- rumor(@L, R, O), gossipMember(@L).
+`
+
 // Forwarding returns the parsed and DELP-validated packet forwarding
 // program.
 func Forwarding() *ndlog.Program {
@@ -79,6 +106,17 @@ func ARP() *ndlog.Program {
 // DHCP returns the parsed and DELP-validated DHCP program.
 func DHCP() *ndlog.Program {
 	return mustDELP("dhcp", DHCPSrc)
+}
+
+// BGP returns the parsed and DELP-validated interdomain routing program.
+func BGP() *ndlog.Program {
+	return mustDELP("bgp", BGPSrc)
+}
+
+// Gossip returns the parsed and DELP-validated gossip dissemination
+// program.
+func Gossip() *ndlog.Program {
+	return mustDELP("gossip", GossipSrc)
 }
 
 func mustDELP(name, src string) *ndlog.Program {
@@ -102,7 +140,7 @@ func Funcs() ndlog.FuncMap {
 // falls under the domain DM. Domains are dot-separated label sequences; the
 // empty string and "." denote the root domain, which covers everything.
 // For example www.hello.com falls under "com" and "hello.com" but not under
-// "org" or "ello.com".
+// "org" or "ello.com". Comparison is case-insensitive per RFC 1035 §2.3.3.
 func IsSubDomain(args []types.Value) (types.Value, error) {
 	if len(args) != 2 {
 		return types.Value{}, fmt.Errorf("f_isSubDomain: want 2 arguments, got %d", len(args))
@@ -110,8 +148,8 @@ func IsSubDomain(args []types.Value) (types.Value, error) {
 	if args[0].Kind() != types.KindString || args[1].Kind() != types.KindString {
 		return types.Value{}, fmt.Errorf("f_isSubDomain: arguments must be strings")
 	}
-	dm := strings.Trim(args[0].AsString(), ".")
-	url := strings.Trim(args[1].AsString(), ".")
+	dm := strings.ToLower(strings.Trim(args[0].AsString(), "."))
+	url := strings.ToLower(strings.Trim(args[1].AsString(), "."))
 	if dm == "" {
 		return types.Bool(true), nil
 	}

@@ -16,6 +16,12 @@ func TestProgramsParseAndValidate(t *testing.T) {
 	if p := ARP(); p.Name != "arp" || len(p.Rules) != 2 {
 		t.Errorf("ARP: %v", p)
 	}
+	if p := BGP(); p.Name != "bgp" || len(p.Rules) != 2 {
+		t.Errorf("BGP: %v", p)
+	}
+	if p := Gossip(); p.Name != "gossip" || len(p.Rules) != 2 {
+		t.Errorf("Gossip: %v", p)
+	}
 }
 
 func TestFuncsRegistry(t *testing.T) {
@@ -39,6 +45,11 @@ func TestIsSubDomain(t *testing.T) {
 		{".", "anything.at.all", true},       // root domain, dot form
 		{"com.", "www.hello.com", true},      // trailing dots tolerated
 		{"hello.com", "hello.org", false},
+		// RFC 1035: DNS names compare case-insensitively.
+		{"COM", "www.hello.com", true},
+		{"com", "WWW.HELLO.COM", true},
+		{"Hello.Com", "www.HELLO.com", true},
+		{"ORG", "www.hello.com", false},
 	}
 	for _, tc := range cases {
 		got, err := IsSubDomain([]types.Value{types.String(tc.dm), types.String(tc.url)})

@@ -706,6 +706,21 @@ func (c *Cluster) TotalStorageBytes() int64 {
 	return total
 }
 
+// AdvancedStats sums the Advanced scheme's sig-reset and deferred-landing
+// counters across members. Zero for the other schemes, which have neither
+// path.
+func (c *Cluster) AdvancedStats() core.AdvancedStats {
+	var total core.AdvancedStats
+	for _, n := range c.nodeMap() {
+		n.mu.Lock()
+		if adv, ok := n.state.(*core.AdvancedState); ok {
+			total.Add(adv.Stats())
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
 // TransportStats sums the transport counters across members.
 func (c *Cluster) TransportStats() TransportStats {
 	var s TransportStats

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"provcompress/internal/apps"
+	"provcompress/internal/scenario"
 	"provcompress/internal/topo"
 	"provcompress/internal/types"
 )
@@ -87,6 +88,119 @@ func TestShardedOutputsMatchSerial(t *testing.T) {
 		if serial[i] != sharded[i] {
 			t.Fatalf("output %d differs: serial %s, sharded %s", i, serial[i], sharded[i])
 		}
+	}
+}
+
+// TestShardedOutputsMatchSerialScenarios extends the sharded-vs-serial
+// equivalence certificate to the BGP and gossip DELPs: deep slow-routed
+// chains and exponential fan-out must be invariant to shard interleaving
+// exactly like packet forwarding.
+func TestShardedOutputsMatchSerialScenarios(t *testing.T) {
+	for _, name := range []string{"bgp", "gossip"} {
+		sc, err := scenario.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) []string {
+				g := sc.Topology(7)
+				c, err := New(Config{
+					Prog: sc.Prog(), Funcs: sc.Funcs(),
+					Nodes: g.Nodes(), Shards: shards,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.LoadBase(sc.Base(g)); err != nil {
+					t.Fatal(err)
+				}
+				for seq := int64(0); seq < 24; seq++ {
+					if err := c.Inject(sc.Event(g, seq)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := c.Quiesce(30 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+				var outs []string
+				for _, o := range c.AllOutputs() {
+					outs = append(outs, fmt.Sprintf("%v", o))
+				}
+				sort.Strings(outs)
+				return outs
+			}
+			serial, sharded := run(1), run(4)
+			if len(serial) == 0 {
+				t.Fatal("serial run produced no outputs")
+			}
+			if len(serial) != len(sharded) {
+				t.Fatalf("output counts differ: serial %d, sharded %d", len(serial), len(sharded))
+			}
+			for i := range serial {
+				if serial[i] != sharded[i] {
+					t.Fatalf("output %d differs: serial %s, sharded %s", i, serial[i], sharded[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAdvancedStatsBGPChurn certifies the §5.5 sig path is measurably
+// exercised by BGP-style slow churn: every InsertSlow broadcasts a sig
+// that clears htequi on all members (SigClears counts them), and the
+// post-reset re-maintenance of an already-seen class re-lands chains.
+func TestAdvancedStatsBGPChurn(t *testing.T) {
+	sc, err := scenario.Get("bgp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sc.Topology(5)
+	c, err := New(Config{Prog: sc.Prog(), Funcs: sc.Funcs(), Nodes: g.Nodes(), Scheme: "advanced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadBase(sc.Base(g)); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.AdvancedStats(); s.SigClears != 0 {
+		t.Fatalf("pre-churn SigClears = %d, want 0", s.SigClears)
+	}
+	for seq := int64(0); seq < 8; seq++ {
+		if err := c.Inject(sc.Event(g, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	const churns = 3
+	for i := 0; i < churns; i++ {
+		if err := c.InsertSlow(sc.Churn(g, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.AdvancedStats()
+	// Each slow insert broadcasts one sig to every member.
+	if want := int64(churns * len(g.Nodes())); stats.SigClears != want {
+		t.Fatalf("SigClears = %d, want %d (%d inserts x %d nodes)", stats.SigClears, want, churns, len(g.Nodes()))
+	}
+	// Post-reset, a repeated-class advert must re-maintain instead of
+	// relying on the cleared htequi.
+	for seq := int64(8); seq < 16; seq++ {
+		if err := c.Inject(sc.Event(g, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.AdvancedStats().SigClears; got != stats.SigClears {
+		t.Fatalf("SigClears moved without slow churn: %d -> %d", stats.SigClears, got)
 	}
 }
 

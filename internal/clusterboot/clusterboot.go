@@ -13,8 +13,8 @@ import (
 	"strings"
 	"time"
 
-	"provcompress/internal/apps"
 	"provcompress/internal/cluster"
+	"provcompress/internal/scenario"
 	"provcompress/internal/store"
 	"provcompress/internal/topo"
 	"provcompress/internal/trace"
@@ -23,8 +23,11 @@ import (
 
 // Flags bundles the cluster bring-up options shared by the binaries.
 type Flags struct {
-	// Nodes is the cluster size; the topology is a chain n0--n1--...
+	// Nodes is the cluster size; the topology shape is the scenario's
+	// (chain for forwarding/bgp, binary out-tree for gossip).
 	Nodes int
+	// App names the deployed scenario (see internal/scenario.Names).
+	App string
 	// Scheme is the default provenance scheme (exspan, basic, advanced).
 	Scheme string
 	// Fault injection knobs (all zero means no FaultPlan).
@@ -72,7 +75,8 @@ type Flags struct {
 // binary's global flag set) and returns the struct they populate.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
-	fs.IntVar(&f.Nodes, "nodes", 8, "cluster size (chain topology)")
+	fs.IntVar(&f.Nodes, "nodes", 8, "cluster size (topology shape per -app)")
+	fs.StringVar(&f.App, "app", "forwarding", fmt.Sprintf("deployed application scenario: %s", strings.Join(scenario.Names(), ", ")))
 	fs.StringVar(&f.Scheme, "scheme", "advanced", "provenance scheme: exspan, basic, or advanced")
 	fs.Float64Var(&f.Drop, "drop", 0, "fault injection: per-attempt probability a frame write is dropped")
 	fs.Float64Var(&f.Delay, "delay", 0, "fault injection: per-attempt probability a frame write stalls")
@@ -120,10 +124,10 @@ func (f *Flags) Plan() *cluster.FaultPlan {
 	}
 }
 
-// Boot builds the chain topology, boots one cluster running the
-// packet-forwarding DELP under the given scheme (empty means f.Scheme),
-// and loads the shortest-path route table as base tuples. The caller owns
-// the returned cluster and must Close it.
+// Boot builds the scenario's topology (-app, default packet forwarding on
+// a chain), boots one cluster running its DELP under the given scheme
+// (empty means f.Scheme), and loads the scenario's base tuples. The caller
+// owns the returned cluster and must Close it.
 func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 	if f.Nodes < 2 {
 		return nil, nil, fmt.Errorf("clusterboot: need at least 2 nodes, have %d", f.Nodes)
@@ -131,11 +135,19 @@ func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 	if scheme == "" {
 		scheme = f.Scheme
 	}
-	g := topo.Line(f.Nodes, "n")
-	routes := g.ShortestPaths().RouteTuples()
+	app := f.App
+	if app == "" {
+		app = "forwarding"
+	}
+	sc, err := scenario.Get(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := sc.Topology(f.Nodes)
+	base := sc.Base(g)
 	cfg := cluster.Config{
-		Prog:         apps.Forwarding(),
-		Funcs:        apps.Funcs(),
+		Prog:         sc.Prog(),
+		Funcs:        sc.Funcs(),
 		Nodes:        g.Nodes(),
 		Scheme:       scheme,
 		Faults:       f.Plan(),
@@ -156,10 +168,10 @@ func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 	}
 	recovering := false
 	if f.DataDir != "" {
-		// Per-scheme subdirectory: a daemon serving several schemes from
-		// one -data-dir must not replay one scheme's log into another's
-		// state machine.
-		cfg.DataDir = filepath.Join(f.DataDir, scheme)
+		// Per-app, per-scheme subdirectory: a daemon serving several
+		// schemes (or re-deployed with a different -app) from one
+		// -data-dir must not replay one state machine's log into another.
+		cfg.DataDir = filepath.Join(f.DataDir, app, scheme)
 		cfg.Durability = opts
 		recovering = dirHasState(cfg.DataDir)
 	}
@@ -171,7 +183,7 @@ func (f *Flags) Boot(scheme string) (*cluster.Cluster, *topo.Graph, error) {
 	// since); reloading them would be harmless no-op inserts, but skipping
 	// keeps the recovery counters honest.
 	if !recovering {
-		if err := c.LoadBase(routes); err != nil {
+		if err := c.LoadBase(base); err != nil {
 			c.Close()
 			return nil, nil, err
 		}

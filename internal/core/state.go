@@ -175,6 +175,37 @@ func (s *AdvancedState) Output(out types.Tuple, m AdvMeta) []types.ID {
 // ClearEquiKeys handles a sig broadcast (Section 5.5).
 func (s *AdvancedState) ClearEquiKeys() { s.st.clearEquiKeys() }
 
+// AdvancedStats counts the Advanced scheme's §5.5 sig resets and §5.3
+// deferred-landing activity at one node. The counters are process-local
+// observability state: they are not persisted and reset with the state
+// machine.
+type AdvancedStats struct {
+	// SigClears counts htequi resets from sig broadcasts (Section 5.5).
+	SigClears int64
+	// DeferredOutputs counts outputs queued because their class's shared
+	// chain had not yet landed (out-of-order arrival, Section 5.3).
+	DeferredOutputs int64
+	// DeferredLandings counts queued outputs later resolved by an
+	// arriving chain reference.
+	DeferredLandings int64
+}
+
+// Add accumulates another node's counters.
+func (a *AdvancedStats) Add(b AdvancedStats) {
+	a.SigClears += b.SigClears
+	a.DeferredOutputs += b.DeferredOutputs
+	a.DeferredLandings += b.DeferredLandings
+}
+
+// Stats snapshots the node's sig/deferred-landing counters.
+func (s *AdvancedState) Stats() AdvancedStats {
+	return AdvancedStats{
+		SigClears:        s.st.sigClears,
+		DeferredOutputs:  s.st.deferredOutputs,
+		DeferredLandings: s.st.deferredLandings,
+	}
+}
+
 // RuleExec fetches a rule-execution row by RID.
 func (s *AdvancedState) RuleExec(rid types.ID) (RuleExec, bool) {
 	return s.st.getRuleExec(rid)

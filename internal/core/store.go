@@ -125,6 +125,13 @@ type store struct {
 	provBytes     int64
 	htequiBytes   int64
 	hmapBytes     int64
+
+	// Observability counters for the Advanced scheme's §5.5 sig path and
+	// §5.3 out-of-order landing machinery. Process-local: they are not
+	// persisted and reset with the state machine.
+	sigClears        int64
+	deferredOutputs  int64
+	deferredLandings int64
 }
 
 func newStore(withNext, withEvID, useLinks bool) *store {
@@ -248,6 +255,7 @@ func (s *store) seenEquiKey(h types.ID) bool {
 func (s *store) clearEquiKeys() {
 	s.htequi = nil
 	s.htequiBytes = 0
+	s.sigClears++
 }
 
 // addHmapRef installs a shared-chain reference for (class, output
@@ -277,6 +285,7 @@ func (s *store) addHmapRef(eq types.ID, rel string, evid types.ID, ref Ref) []pe
 		if r == ref {
 			waiting := s.pending[k]
 			delete(s.pending, k)
+			s.deferredLandings += int64(len(waiting))
 			return waiting
 		}
 	}
@@ -284,6 +293,7 @@ func (s *store) addHmapRef(eq types.ID, rel string, evid types.ID, ref Ref) []pe
 	s.hmapBytes += int64(ref.WireSize())
 	waiting := s.pending[k]
 	delete(s.pending, k)
+	s.deferredLandings += int64(len(waiting))
 	return waiting
 }
 
@@ -304,6 +314,7 @@ func (s *store) deferOutput(eq types.ID, rel string, p pendingOutput) {
 	}
 	k := hmapKey{eq, rel}
 	s.pending[k] = append(s.pending[k], p)
+	s.deferredOutputs++
 }
 
 // numRuleExec and numProv report row counts, for tests and table dumps.

@@ -97,6 +97,14 @@ func (db *Database) Insert(t types.Tuple) bool {
 		return false
 	}
 	db.byVID[vid] = t
+	// A re-inserted tuple is live again: drop its graveyard entry so the
+	// gauge and the retention cap track only genuinely deleted tuples (and
+	// so a later cap eviction cannot fire an invalidation for a live VID).
+	// Its slot in graveyardOrder stays behind as a stale entry; the cap
+	// enforcement skips VIDs no longer in the map.
+	if _, ok := db.graveyard[vid]; ok {
+		delete(db.graveyard, vid)
+	}
 	rel := db.tables[t.Rel]
 	if rel == nil {
 		rel = newRelation()
@@ -277,12 +285,26 @@ func (db *Database) enforceGraveyardCapLocked() []types.ID {
 		return nil
 	}
 	var evicted []types.ID
-	for len(db.graveyardOrder)-db.graveyardHead > db.graveyardCap {
+	// The cap applies to live entries (the map), not the order slice: a
+	// delete→re-insert leaves a stale order slot behind, which is popped
+	// here without counting as an eviction.
+	for len(db.graveyard) > db.graveyardCap && db.graveyardHead < len(db.graveyardOrder) {
 		oldest := db.graveyardOrder[db.graveyardHead]
 		db.graveyardOrder[db.graveyardHead] = types.ID{}
 		db.graveyardHead++
+		if _, live := db.graveyard[oldest]; !live {
+			continue
+		}
 		delete(db.graveyard, oldest)
 		evicted = append(evicted, oldest)
+	}
+	// Also drain any stale prefix so re-inserted VIDs don't pin slots.
+	for db.graveyardHead < len(db.graveyardOrder) {
+		if _, live := db.graveyard[db.graveyardOrder[db.graveyardHead]]; live {
+			break
+		}
+		db.graveyardOrder[db.graveyardHead] = types.ID{}
+		db.graveyardHead++
 	}
 	if db.graveyardHead > len(db.graveyardOrder)-db.graveyardHead {
 		n := copy(db.graveyardOrder, db.graveyardOrder[db.graveyardHead:])

@@ -135,3 +135,65 @@ func TestGraveyardCap(t *testing.T) {
 		t.Fatalf("re-delete graveyard size = %d, want 1", got)
 	}
 }
+
+// TestGraveyardReinsertPurge is the regression test for the deletion-storm
+// leak: a tuple that is deleted and later re-inserted is live again, so it
+// must leave the graveyard — otherwise the graveyard gauge never returns
+// to baseline after a storm, the retention cap is consumed by live tuples,
+// and a cap eviction can fire an invalidation for a tuple that still
+// resolves from the live store.
+func TestGraveyardReinsertPurge(t *testing.T) {
+	mk := func(i int) types.Tuple {
+		return types.NewTuple("route",
+			types.String("n1"), types.Int(int64(i)), types.String("n2"))
+	}
+
+	// Storm then full re-insert: the graveyard must drain to zero.
+	db := NewDatabase()
+	db.SetGraveyardCap(4)
+	for i := 0; i < 10; i++ {
+		db.Insert(mk(i))
+	}
+	for i := 0; i < 10; i++ {
+		db.Delete(mk(i))
+	}
+	if got := db.GraveyardSize(); got != 4 {
+		t.Fatalf("post-storm graveyard size = %d, want 4 (cap)", got)
+	}
+	for i := 0; i < 10; i++ {
+		db.Insert(mk(i))
+	}
+	if got := db.GraveyardSize(); got != 0 {
+		t.Fatalf("graveyard size after full re-insert = %d, want 0", got)
+	}
+	if got := len(db.GraveyardVIDs()); got != 0 {
+		t.Fatalf("GraveyardVIDs after full re-insert = %d entries, want 0", got)
+	}
+
+	// Stale order slots must not count toward the cap or surface as
+	// evictions: after re-inserting 6..9 (their order slots go stale),
+	// deleting four fresh tuples must keep exactly cap entries live and
+	// never evict a live VID.
+	for i := 6; i < 10; i++ {
+		db.Delete(mk(i))
+	}
+	for i := 10; i < 14; i++ {
+		db.Insert(mk(i))
+	}
+	for i := 10; i < 14; i++ {
+		db.Delete(mk(i))
+	}
+	if got := db.GraveyardSize(); got != 4 {
+		t.Fatalf("graveyard size = %d, want 4", got)
+	}
+	// The four oldest (6..9) were evicted; the newest four resolve.
+	for i := 10; i < 14; i++ {
+		if _, ok := db.LookupVID(types.HashTuple(mk(i))); !ok {
+			t.Fatalf("newest deleted tuple %d not resolvable", i)
+		}
+	}
+	// A re-inserted tuple resolves from the live store, not the graveyard.
+	if got, ok := db.LookupVID(types.HashTuple(mk(0))); !ok || !got.Equal(mk(0)) {
+		t.Fatal("re-inserted tuple not resolvable from live store")
+	}
+}

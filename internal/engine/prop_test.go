@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"provcompress/internal/apps"
 	"provcompress/internal/ndlog"
 	"provcompress/internal/types"
 )
@@ -44,6 +45,45 @@ func TestIndexedEvalMatchesScanOracle(t *testing.T) {
 		if strings.Join(wk, "\n") != strings.Join(gk, "\n") {
 			t.Fatalf("seed %d: rule %q event %v: firings differ\nplan = %s\nscan (%d):\n%s\nindexed (%d):\n%s",
 				seed, src, ev, plan, len(wk), strings.Join(wk, "\n"), len(gk), strings.Join(gk, "\n"))
+		}
+	}
+}
+
+// TestIndexedEvalMatchesScanOracleAppRules runs the same indexed-vs-scan
+// equivalence property over every rule of the bundled application DELPs —
+// including the BGP and gossip scenarios — with the real UDF registry, so
+// the shapes the scenario zoo actually deploys (constraint-gated DNS
+// delegation, deep BGP chains, fan-out gossip rules) are pinned against
+// the scan oracle, not just the synthetic grammar above.
+func TestIndexedEvalMatchesScanOracleAppRules(t *testing.T) {
+	progs := []*ndlog.Program{
+		apps.Forwarding(), apps.DNS(), apps.ARP(), apps.DHCP(), apps.BGP(), apps.Gossip(),
+	}
+	funcs := apps.Funcs()
+	for _, prog := range progs {
+		for _, r := range prog.Rules {
+			plan := CompileRule(r)
+			for seed := int64(0); seed < 150; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				db := genDatabase(rng, r)
+				ev := genEvent(rng, r)
+
+				want, errScan := EvalRuleScan(r, db, ev, funcs)
+				got, errPlan := plan.Eval(db, ev, funcs)
+
+				if (errScan != nil) != (errPlan != nil) {
+					t.Fatalf("%s/%s seed %d: event %v:\nscan err = %v\nplan err = %v",
+						prog.Name, r.Label, seed, ev, errScan, errPlan)
+				}
+				if errScan != nil {
+					continue
+				}
+				wk, gk := firingKeys(want), firingKeys(got)
+				if strings.Join(wk, "\n") != strings.Join(gk, "\n") {
+					t.Fatalf("%s/%s seed %d: event %v: firings differ\nscan (%d):\n%s\nindexed (%d):\n%s",
+						prog.Name, r.Label, seed, ev, len(wk), strings.Join(wk, "\n"), len(gk), strings.Join(gk, "\n"))
+				}
+			}
 		}
 	}
 }

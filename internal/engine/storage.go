@@ -58,7 +58,14 @@ func (db *Database) Contains(t types.Tuple) bool {
 func (db *Database) GraveyardVIDs() []types.ID {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return append([]types.ID(nil), db.graveyardOrder[db.graveyardHead:]...)
+	var out []types.ID
+	for _, vid := range db.graveyardOrder[db.graveyardHead:] {
+		// Skip stale slots left behind by a delete→re-insert cycle.
+		if _, ok := db.graveyard[vid]; ok {
+			out = append(out, vid)
+		}
+	}
+	return out
 }
 
 // Reset empties the database in place: tables, indexes, VID map, and
@@ -95,7 +102,14 @@ func (db *Database) EncodeSnapshot(e *wire.Encoder) {
 			e.Tuple(t)
 		}
 	}
-	live := db.graveyardOrder[db.graveyardHead:]
+	// Stale order slots (delete→re-insert) carry VIDs absent from the map;
+	// only live entries are persisted, in FIFO order.
+	var live []types.ID
+	for _, vid := range db.graveyardOrder[db.graveyardHead:] {
+		if _, ok := db.graveyard[vid]; ok {
+			live = append(live, vid)
+		}
+	}
 	e.U32(uint32(len(live)))
 	for _, vid := range live {
 		e.Tuple(db.graveyard[vid])

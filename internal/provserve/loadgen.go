@@ -34,6 +34,9 @@ type LoadConfig struct {
 	Seed int64
 	// Timeout bounds each HTTP request (default 30s).
 	Timeout time.Duration
+	// Tenant, when non-empty, labels every request (?tenant=) so the run
+	// bills against that tenant's admission budget.
+	Tenant string
 }
 
 // LoadReport is what the generator measured. A quantile that landed in
@@ -117,7 +120,7 @@ func fetchOutputs(client *http.Client, baseURL, scheme string) ([]tupleSpec, err
 }
 
 // queryURL builds the /v1/query URL for one output tuple.
-func queryURL(baseURL, scheme string, spec tupleSpec) (string, error) {
+func queryURL(baseURL, scheme, tenant string, spec tupleSpec) (string, error) {
 	args, err := json.Marshal(spec.Args)
 	if err != nil {
 		return "", err
@@ -127,6 +130,9 @@ func queryURL(baseURL, scheme string, spec tupleSpec) (string, error) {
 	v.Set("args", string(args))
 	if scheme != "" {
 		v.Set("scheme", scheme)
+	}
+	if tenant != "" {
+		v.Set("tenant", tenant)
 	}
 	return baseURL + "/v1/query?" + v.Encode(), nil
 }
@@ -159,7 +165,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	urls := make([]string, len(outputs))
 	for i, spec := range outputs {
-		u, err := queryURL(cfg.BaseURL, cfg.Scheme, spec)
+		u, err := queryURL(cfg.BaseURL, cfg.Scheme, cfg.Tenant, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +307,7 @@ func RunMixedLoad(cfg MixedLoadConfig) (*MixedLoadReport, error) {
 	}
 	urls := make([]string, len(outputs))
 	for i, spec := range outputs {
-		u, err := queryURL(cfg.BaseURL, cfg.Scheme, spec)
+		u, err := queryURL(cfg.BaseURL, cfg.Scheme, cfg.Tenant, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -309,8 +315,15 @@ func RunMixedLoad(cfg MixedLoadConfig) (*MixedLoadReport, error) {
 	}
 
 	eventsURL := cfg.BaseURL + "/v1/events"
+	ev := url.Values{}
 	if cfg.Scheme != "" {
-		eventsURL += "?scheme=" + url.QueryEscape(cfg.Scheme)
+		ev.Set("scheme", cfg.Scheme)
+	}
+	if cfg.Tenant != "" {
+		ev.Set("tenant", cfg.Tenant)
+	}
+	if len(ev) > 0 {
+		eventsURL += "?" + ev.Encode()
 	}
 	stop := make(chan struct{})
 	var writes, writeErrs atomic.Int64

@@ -13,6 +13,11 @@
 //     distributed walk on its own goroutine.
 //   - Admission control: a bounded pending queue; when it is full the
 //     daemon answers 429 with Retry-After instead of queueing unboundedly.
+//   - Multi-tenancy: requests carry a tenant label (X-Tenant / ?tenant=)
+//     and each configured tenant gets a token-bucket rate limit plus an
+//     inflight quota on the worker pool (tenant.go), so one tenant's
+//     burst 429s itself, not its neighbors. Per-tenant counters ride the
+//     tenant label on /metrics and /v1/stats.
 //   - Result cache: an LRU keyed by (scheme, output tuple, event ID)
 //     with dependency-indexed invalidation (cache.go, DESIGN.md §14):
 //     every entry is tagged with the invalidation-key set its walk
@@ -76,6 +81,12 @@ type Config struct {
 	// clusters; it backs GET /v1/trace/{id} and the trace gauges on
 	// /metrics. Nil disables the trace endpoint (404).
 	Tracer *trace.Collector
+	// Tenants configures per-tenant admission budgets (tenant.go). The
+	// list may include DefaultTenant to bound unlabeled traffic; any
+	// other tenant a request names that is not listed here bills to the
+	// default. Empty means single-tenant: everything is "default",
+	// unlimited (the global queue is still the backstop).
+	Tenants []TenantConfig
 	// LegacyEpochInvalidation restores the pre-keyed cache discipline:
 	// every accepted event evicts the whole cache, regardless of which
 	// invalidation keys it fired. It exists as the A/B baseline for the
@@ -95,6 +106,11 @@ type Server struct {
 	schemes []string // sorted configured scheme names
 	mux     *http.ServeMux
 	cache   *depCache
+	// tenants maps tenant name to its admission state; always contains
+	// DefaultTenant. tenantNames is the sorted key list for stable
+	// /metrics and /v1/stats output.
+	tenants     map[string]*tenant
+	tenantNames []string
 	// epoch counts accepted events. Deprecated as an invalidation
 	// mechanism (the cache is key-invalidated); still exposed on
 	// /v1/query, /v1/events and /v1/stats for compatibility.
@@ -184,6 +200,23 @@ func New(cfg Config) (*Server, error) {
 			}
 		})
 	}
+	s.tenants = make(map[string]*tenant, len(cfg.Tenants)+1)
+	for _, tc := range cfg.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("provserve: tenant with empty name")
+		}
+		if _, dup := s.tenants[tc.Name]; dup {
+			return nil, fmt.Errorf("provserve: duplicate tenant %q", tc.Name)
+		}
+		s.tenants[tc.Name] = newTenant(tc)
+	}
+	if _, ok := s.tenants[DefaultTenant]; !ok {
+		s.tenants[DefaultTenant] = newTenant(TenantConfig{Name: DefaultTenant})
+	}
+	for name := range s.tenants {
+		s.tenantNames = append(s.tenantNames, name)
+	}
+	sort.Strings(s.tenantNames)
 	sort.Strings(s.schemes)
 	if cfg.DefaultScheme == "" {
 		if _, ok := cfg.Clusters["advanced"]; ok {
@@ -385,6 +418,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// One token per request (a batched POST is one admission decision);
+	// the per-event count is the tenant's write-volume counter.
+	tn := s.tenantOf(r)
+	if ok, wait := tn.allow(time.Now()); !ok {
+		tn.rejectedRate.Add(1)
+		s.rejectTenant(w, tn, "rate", wait)
+		return
+	}
 	var req eventsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		jsonError(w, http.StatusBadRequest, "bad events body: %v", err)
@@ -413,6 +454,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted++
 		s.events.Add(1)
+		tn.events.Add(1)
 	}
 	quiesced := true
 	if req.WaitMS > 0 {
@@ -477,6 +519,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	began := time.Now()
+	tn := s.tenantOf(r)
+	if ok, wait := tn.allow(began); !ok {
+		tn.rejectedRate.Add(1)
+		s.rejectTenant(w, tn, "rate", wait)
+		return
+	}
 	scheme, c, err := s.schemeOf(r)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "%v", err)
@@ -503,6 +551,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		copy(evid[:], raw)
 	}
 	s.queries.Add(1)
+	tn.queries.Add(1)
 
 	key := cacheKey(scheme, out, evid)
 	if ans, ok := s.cache.Get(key); ok {
@@ -518,6 +567,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cacheMisses.Add(1)
+
+	// The tenant's inflight quota guards the worker pool, not the cache:
+	// hits above never reach here. Released when the handler returns,
+	// whatever path it takes.
+	if !tn.acquire() {
+		tn.rejectedQuota.Add(1)
+		s.rejectTenant(w, tn, "inflight-quota", 0)
+		return
+	}
+	defer tn.release()
 
 	// The admission snapshot must precede the walk: a key firing between
 	// here and the walk's completion drops the answer at Put.
@@ -656,6 +715,18 @@ type statsResponse struct {
 	UptimeNS int64                  `json:"uptime_ns"`
 	Server   map[string]int64       `json:"server"`
 	Schemes  map[string]schemeStats `json:"schemes"`
+	// Tenants reports per-tenant admission counters (always at least the
+	// default tenant).
+	Tenants map[string]tenantStats `json:"tenants"`
+}
+
+// tenantStats is the wire form of one tenant's admission counters.
+type tenantStats struct {
+	Queries       int64 `json:"queries"`
+	Events        int64 `json:"events"`
+	Inflight      int64 `json:"inflight"`
+	RejectedRate  int64 `json:"rejected_rate"`
+	RejectedQuota int64 `json:"rejected_quota"`
 }
 
 type schemeStats struct {
@@ -737,6 +808,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeNS: time.Since(s.start).Nanoseconds(),
 		Server:   map[string]int64{},
 		Schemes:  map[string]schemeStats{},
+		Tenants:  map[string]tenantStats{},
+	}
+	for _, name := range s.tenantNames {
+		tn := s.tenants[name]
+		resp.Tenants[name] = tenantStats{
+			Queries:       tn.queries.Load(),
+			Events:        tn.events.Load(),
+			Inflight:      tn.inflight.Load(),
+			RejectedRate:  tn.rejectedRate.Load(),
+			RejectedQuota: tn.rejectedQuota.Load(),
+		}
 	}
 	sc := s.serverCounters()
 	for _, name := range sc.Names() {
@@ -828,6 +910,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.PromLabel("reason", reason), invals[reason])
 	}
 	metrics.WriteGauge(w, "provd_uptime_seconds", "", time.Since(s.start).Seconds())
+	for _, name := range s.tenantNames {
+		tn := s.tenants[name]
+		label := metrics.PromLabel("tenant", name)
+		metrics.WriteCounter(w, "provd_tenant_queries_total", label, tn.queries.Load())
+		metrics.WriteCounter(w, "provd_tenant_events_total", label, tn.events.Load())
+		metrics.WriteGauge(w, "provd_tenant_inflight", label, float64(tn.inflight.Load()))
+		metrics.WriteCounter(w, "provd_tenant_rejected_total",
+			label+","+metrics.PromLabel("reason", "rate"), tn.rejectedRate.Load())
+		metrics.WriteCounter(w, "provd_tenant_rejected_total",
+			label+","+metrics.PromLabel("reason", "inflight-quota"), tn.rejectedQuota.Load())
+	}
 	s.coldLatency.WritePrometheus(w, "provd_query_seconds", `cache="miss"`)
 	s.hitLatency.WritePrometheus(w, "provd_query_seconds", `cache="hit"`)
 	if tr := s.cfg.Tracer; tr != nil {

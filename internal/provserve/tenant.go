@@ -1,0 +1,135 @@
+// Tenant admission control: the daemon serves multiple tenants from one
+// worker pool, so one tenant's burst must not starve the others. Each
+// tenant gets a token-bucket rate limit (sustained QPS + burst) applied at
+// request entry and an inflight quota applied at worker-pool admission;
+// breaching either answers 429 with Retry-After, exactly like the global
+// queue-full path. Requests name their tenant with the X-Tenant header or
+// the ?tenant= parameter; unlabeled (and unknown-labeled) requests bill to
+// the "default" tenant, which is unlimited unless configured otherwise.
+package provserve
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTenant is the tenant that requests without a (known) tenant label
+// bill to.
+const DefaultTenant = "default"
+
+// TenantConfig describes one tenant's admission budget.
+type TenantConfig struct {
+	// Name labels the tenant (the X-Tenant header / ?tenant= value).
+	Name string
+	// QPS is the sustained admitted request rate — the token bucket's
+	// refill rate, spent by /v1/query and /v1/events requests alike.
+	// 0 means unlimited.
+	QPS float64
+	// Burst is the bucket depth (default ceil(QPS), min 1): how far above
+	// the sustained rate a tenant may spike before 429s start.
+	Burst int
+	// MaxInflight caps the tenant's concurrently admitted cold queries
+	// (queued or running on the worker pool). Cache hits bypass the pool
+	// and are not counted. 0 means unlimited.
+	MaxInflight int
+}
+
+// tenant is the runtime state behind one TenantConfig.
+type tenant struct {
+	cfg TenantConfig
+
+	// Token bucket (guarded by mu; refilled lazily on each allow).
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	// inflight is the tenant's cold queries currently queued or running.
+	inflight atomic.Int64
+
+	// Per-tenant serving counters (the /metrics tenant label).
+	queries       atomic.Int64
+	events        atomic.Int64
+	rejectedRate  atomic.Int64
+	rejectedQuota atomic.Int64
+}
+
+func newTenant(cfg TenantConfig) *tenant {
+	if cfg.QPS > 0 && cfg.Burst <= 0 {
+		cfg.Burst = int(math.Ceil(cfg.QPS))
+	}
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	return &tenant{cfg: cfg, tokens: float64(cfg.Burst), last: time.Now()}
+}
+
+// allow spends one token. On breach it reports how long until a token
+// refills — the Retry-After hint that makes the 429 actionable.
+func (t *tenant) allow(now time.Time) (bool, time.Duration) {
+	if t.cfg.QPS <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tokens = math.Min(float64(t.cfg.Burst), t.tokens+now.Sub(t.last).Seconds()*t.cfg.QPS)
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - t.tokens) / t.cfg.QPS * float64(time.Second))
+}
+
+// acquire claims an inflight-quota slot; the caller must release exactly
+// once on success.
+func (t *tenant) acquire() bool {
+	if t.cfg.MaxInflight <= 0 {
+		t.inflight.Add(1)
+		return true
+	}
+	for {
+		cur := t.inflight.Load()
+		if cur >= int64(t.cfg.MaxInflight) {
+			return false
+		}
+		if t.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (t *tenant) release() { t.inflight.Add(-1) }
+
+// tenantOf resolves the request's tenant: X-Tenant header first, then the
+// ?tenant= parameter, then the default. Unknown labels bill to the default
+// tenant rather than failing — quota enforcement is for configured
+// tenants, not an authentication layer.
+func (s *Server) tenantOf(r *http.Request) *tenant {
+	name := r.Header.Get("X-Tenant")
+	if name == "" {
+		name = r.URL.Query().Get("tenant")
+	}
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	return s.tenants[DefaultTenant]
+}
+
+// rejectTenant answers a tenant-limit breach: 429 with the refill time (or
+// the global RetryAfter for quota breaches) as the Retry-After hint.
+func (s *Server) rejectTenant(w http.ResponseWriter, t *tenant, reason string, wait time.Duration) {
+	s.rejected.Add(1)
+	if wait <= 0 {
+		wait = s.cfg.RetryAfter
+	}
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	jsonError(w, http.StatusTooManyRequests, "tenant %q over %s limit", t.cfg.Name, reason)
+}

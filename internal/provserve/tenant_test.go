@@ -1,0 +1,200 @@
+package provserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tenantGet issues a /v1/query labeled with a tenant and returns the
+// response status.
+func tenantGet(t *testing.T, baseURL, tenant string, spec tupleSpec) *http.Response {
+	t.Helper()
+	args, err := json.Marshal(spec.Args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := url.Values{}
+	v.Set("rel", spec.Rel)
+	v.Set("args", string(args))
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/v1/query?"+v.Encode(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp
+}
+
+// TestTenantRateLimit: a tenant with a 1-token budget gets exactly its
+// burst through and 429s (with Retry-After) after, while an unlimited
+// neighbor — and the unlabeled default — sail through the same instant.
+func TestTenantRateLimit(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Tenants: []TenantConfig{
+			// Refill so slow the bucket is effectively the 1-token burst.
+			{Name: "greedy", QPS: 0.0001, Burst: 1},
+			{Name: "std"},
+		},
+	})
+	postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", "t-a"))
+	target := tupleSpec{Rel: "recv", Args: []any{"n2", "n0", "n2", "t-a"}}
+
+	if resp := tenantGet(t, ts.URL, "greedy", target); resp.StatusCode != http.StatusOK {
+		t.Fatalf("greedy first query: %s", resp.Status)
+	}
+	resp := tenantGet(t, ts.URL, "greedy", target)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("greedy second query: %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// The breach is the greedy tenant's alone.
+	for _, tn := range []string{"std", ""} {
+		if resp := tenantGet(t, ts.URL, tn, target); resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %q: %s, want 200", tn, resp.Status)
+		}
+	}
+	gr := s.tenants["greedy"]
+	if gr.rejectedRate.Load() != 1 {
+		t.Fatalf("greedy rejectedRate = %d, want 1", gr.rejectedRate.Load())
+	}
+	if n := s.tenants["std"].rejectedRate.Load() + s.tenants[DefaultTenant].rejectedRate.Load(); n != 0 {
+		t.Fatalf("neighbor rejections = %d, want 0", n)
+	}
+}
+
+// TestTenantEventRateLimit: the token bucket also gates writes, one token
+// per POST regardless of batch size.
+func TestTenantEventRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Tenants: []TenantConfig{{Name: "writer", QPS: 0.0001, Burst: 1}},
+	})
+	body := `{"events":[{"rel":"packet","args":["n0","n0","n2","w-0"]},{"rel":"packet","args":["n0","n0","n2","w-1"]}]}`
+	post := func() *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/events?tenant=writer", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first batch: %s", resp.Status)
+	}
+	if resp := post(); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second batch: %s, want 429", resp.Status)
+	}
+}
+
+// TestTenantInflightQuota: with the worker held, a MaxInflight:1 tenant's
+// second cold query is quota-rejected while a neighbor still admits.
+func TestTenantInflightQuota(t *testing.T) {
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Tenants: []TenantConfig{{Name: "small", MaxInflight: 1}},
+		beforeQuery: func() {
+			if !once {
+				once = true
+				close(hold)
+				<-release
+			}
+		},
+	})
+	defer close(release)
+	postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", "q-a"))
+	target := tupleSpec{Rel: "recv", Args: []any{"n2", "n0", "n2", "q-a"}}
+
+	done := make(chan *http.Response, 1)
+	go func() { done <- tenantGet(t, ts.URL, "small", target) }()
+	<-hold // first query occupies the worker (and small's only slot)
+
+	resp := tenantGet(t, ts.URL, "small", target)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second small query: %s, want 429", resp.Status)
+	}
+	if s.tenants["small"].rejectedQuota.Load() != 1 {
+		t.Fatalf("small rejectedQuota = %d, want 1", s.tenants["small"].rejectedQuota.Load())
+	}
+	release <- struct{}{}
+	select {
+	case resp := <-done:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("held query: %s", resp.Status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("held query never finished")
+	}
+	if got := s.tenants["small"].inflight.Load(); got != 0 {
+		t.Fatalf("small inflight after drain = %d, want 0", got)
+	}
+}
+
+// TestTenantMetricsAndStats: the tenant label reaches /metrics and the
+// /v1/stats tenants block, and unknown labels bill to default.
+func TestTenantMetricsAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Tenants: []TenantConfig{{Name: "acme", QPS: 1000}},
+	})
+	postEvents(t, ts.URL, 10000, packetSpec("n0", "n2", "m-a"))
+	target := tupleSpec{Rel: "recv", Args: []any{"n2", "n0", "n2", "m-a"}}
+	if resp := tenantGet(t, ts.URL, "acme", target); resp.StatusCode != http.StatusOK {
+		t.Fatalf("acme query: %s", resp.Status)
+	}
+	if resp := tenantGet(t, ts.URL, "nobody", target); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unknown-tenant query: %s", resp.Status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	for _, want := range []string{
+		`provd_tenant_queries_total{tenant="acme"} 1`,
+		`provd_tenant_queries_total{tenant="default"} 1`,
+		`provd_tenant_rejected_total{tenant="acme",reason="rate"} 0`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Tenants["acme"].Queries != 1 {
+		t.Fatalf("stats acme queries = %d, want 1", stats.Tenants["acme"].Queries)
+	}
+	if stats.Tenants[DefaultTenant].Events == 0 {
+		t.Fatal("stats default events = 0, want the injected event")
+	}
+}

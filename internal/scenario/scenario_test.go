@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"provcompress/internal/analysis"
+	"provcompress/internal/core"
+	"provcompress/internal/engine"
+	"provcompress/internal/netsim"
+	"provcompress/internal/sim"
+	"provcompress/internal/types"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"bgp", "forwarding", "gossip"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if _, err := Get("nosuch"); err == nil {
+		t.Fatal("Get(nosuch) succeeded")
+	}
+	for _, name := range want {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name || s.Prog == nil || s.Funcs == nil || s.Topology == nil ||
+			s.Base == nil || s.Event == nil || s.Churn == nil {
+			t.Fatalf("scenario %q incomplete: %+v", name, s)
+		}
+	}
+}
+
+// TestScenarioShapes pins the structural invariants every scenario must
+// hold: base tuples and events sit at live nodes, events are unique per
+// sequence number, churn tuples are deterministic and disjoint from the
+// base set, and the Advanced scheme's applicability analysis accepts the
+// program.
+func TestScenarioShapes(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			g := s.Topology(8)
+			if len(g.Nodes()) != 8 {
+				t.Fatalf("topology nodes = %d, want 8", len(g.Nodes()))
+			}
+			live := make(map[types.NodeAddr]bool)
+			for _, n := range g.Nodes() {
+				live[n] = true
+			}
+			baseVIDs := make(map[types.ID]bool)
+			for _, b := range s.Base(g) {
+				if !live[b.Loc()] {
+					t.Fatalf("base tuple %s at unknown node", b)
+				}
+				baseVIDs[types.HashTuple(b)] = true
+			}
+			seen := make(map[types.ID]bool)
+			for seq := int64(0); seq < 16; seq++ {
+				ev := s.Event(g, seq)
+				if !live[ev.Loc()] {
+					t.Fatalf("event %s at unknown node", ev)
+				}
+				vid := types.HashTuple(ev)
+				if seen[vid] {
+					t.Fatalf("event seq %d duplicates an earlier event", seq)
+				}
+				seen[vid] = true
+				if !ev.Equal(s.Event(g, seq)) {
+					t.Fatalf("event seq %d not deterministic", seq)
+				}
+			}
+			for i := 0; i < 8; i++ {
+				c := s.Churn(g, i)
+				if !live[c.Loc()] {
+					t.Fatalf("churn tuple %s at unknown node", c)
+				}
+				if baseVIDs[types.HashTuple(c)] {
+					t.Fatalf("churn tuple %d collides with the base set", i)
+				}
+				if !c.Equal(s.Churn(g, i)) {
+					t.Fatalf("churn tuple %d not deterministic", i)
+				}
+			}
+			if err := analysis.CheckAdvancedApplicable(s.Prog()); err != nil {
+				t.Fatalf("CheckAdvancedApplicable: %v", err)
+			}
+		})
+	}
+}
+
+// TestScenarioSchemesAgree runs every scenario under all three maintenance
+// schemes on the simulator and requires the derived outputs to be
+// identical — provenance maintenance must never change evaluation.
+func TestScenarioSchemesAgree(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			var want []string
+			for _, scheme := range []string{core.SchemeExSPAN, core.SchemeBasic, core.SchemeAdvanced} {
+				maint, err := core.NewScheme(scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sched sim.Scheduler
+				g := s.Topology(7)
+				net := netsim.New(&sched, g)
+				rt := engine.NewRuntime(net, s.Prog(), s.Funcs(), maint)
+				if err := rt.LoadBase(s.Base(g)); err != nil {
+					t.Fatal(err)
+				}
+				for seq := int64(0); seq < 6; seq++ {
+					rt.Inject(s.Event(g, seq))
+				}
+				rt.Run()
+				if len(rt.Errors()) > 0 {
+					t.Fatalf("%s: runtime errors: %v", scheme, rt.Errors())
+				}
+				if rt.NumOutputs() == 0 {
+					t.Fatalf("%s: no outputs derived", scheme)
+				}
+				var got []string
+				for _, o := range rt.Outputs() {
+					got = append(got, o.Tuple.String())
+				}
+				sort.Strings(got)
+				if want == nil {
+					want = got
+				} else if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s outputs diverge from ExSPAN:\n got %v\nwant %v", scheme, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"provcompress/internal/types"
+)
+
+// TestBurstyExactMultipleClosedForm pins the fence-post behavior of the
+// bursty generator: for a horizon d = m*Period (BurstLen an exact multiple
+// of the event interval), exactly m full bursts fire plus the single event
+// opening the burst that starts at the horizon itself —
+// m*(BurstLen/interval + 1) + 1 events.
+func TestBurstyExactMultipleClosedForm(t *testing.T) {
+	w := Bursty{Period: time.Second, BurstLen: 200 * time.Millisecond, Rate: 10}
+	// interval = 100ms; per full burst: t = 0, 100ms, 200ms → 3 events.
+	times := w.Times(3 * time.Second)
+	want := 3*3 + 1
+	if len(times) != want {
+		t.Fatalf("bursty events = %d, want %d", len(times), want)
+	}
+	if times[len(times)-1] != 3*time.Second {
+		t.Errorf("last event at %v, want 3s (horizon edge)", times[len(times)-1])
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("times not strictly increasing at %d: %v", i, times[:i+1])
+		}
+	}
+
+	// Non-multiple horizon: the partial cycle contributes only the events
+	// that fit.
+	if got := w.Times(2550 * time.Millisecond); len(got) != 9 {
+		t.Errorf("non-multiple events = %d, want 9", len(got))
+	}
+	// Zero horizon: the single event at t=0.
+	if got := w.Times(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("zero-horizon events = %v, want [0]", got)
+	}
+}
+
+// TestBurstyClosedFormProperty sweeps seeded random configurations whose
+// parameters divide evenly and checks Times against the closed form.
+func TestBurstyClosedFormProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		interval := time.Duration(1+rng.Intn(20)) * 10 * time.Millisecond
+		perBurst := 1 + rng.Intn(5) // events per burst window = perBurst (j = 0..perBurst-1)
+		burstLen := time.Duration(perBurst-1) * interval
+		period := burstLen + time.Duration(1+rng.Intn(5))*interval
+		m := 1 + rng.Intn(4)
+		w := Bursty{Period: period, BurstLen: burstLen, Rate: float64(time.Second) / float64(interval)}
+		d := time.Duration(m) * period
+		want := m*perBurst + 1
+		if got := w.Times(d); len(got) != want {
+			t.Fatalf("trial %d: %+v horizon %v: events = %d, want %d",
+				trial, w, d, len(got), want)
+		}
+	}
+}
+
+// TestDiurnalExactMultipleClosedForm pins the diurnal generator's phase
+// ownership: phases own [start, end), so for d = m*Period the count is m
+// full cycles plus the event at t = d (the next cycle's first phase
+// opening at the horizon).
+func TestDiurnalExactMultipleClosedForm(t *testing.T) {
+	w := Diurnal{Period: time.Second, Rates: []float64{10, 0, 5, 0}}
+	// phaseLen = 250ms. Phase 0 (100ms interval): j = 0,100,200 → 3.
+	// Phase 2 (200ms interval): j = 0,200 → 2. Per cycle: 5.
+	times := w.Times(2 * time.Second)
+	want := 2*5 + 1
+	if len(times) != want {
+		t.Fatalf("diurnal events = %d, want %d", len(times), want)
+	}
+	if times[len(times)-1] != 2*time.Second {
+		t.Errorf("last event at %v, want 2s", times[len(times)-1])
+	}
+	// Silent phases contribute nothing: no event in [250ms, 500ms).
+	for _, at := range times {
+		phase := (at % time.Second) / (250 * time.Millisecond)
+		if phase == 1 || phase == 3 {
+			t.Errorf("event at %v falls in a silent phase", at)
+		}
+	}
+	// Determinism.
+	again := w.Times(2 * time.Second)
+	for i := range times {
+		if times[i] != again[i] {
+			t.Fatal("Diurnal.Times not deterministic")
+		}
+	}
+}
+
+// TestHostileSchedulesRun drives both generators end to end on the
+// simulator and checks every scheduled event is injected exactly once.
+func TestHostileSchedulesRun(t *testing.T) {
+	build := func(seq int64) types.Tuple {
+		return PacketEvent(Pair{Src: "n0", Dst: "n2"}, seq, 20)
+	}
+
+	rt := lineRT(t, 3)
+	w := Bursty{Period: 500 * time.Millisecond, BurstLen: 100 * time.Millisecond, Rate: 20}
+	n := w.Schedule(rt, 0, time.Second, build)
+	if want := int64(len(w.Times(time.Second))); n != want {
+		t.Fatalf("bursty scheduled = %d, want %d", n, want)
+	}
+	rt.Run()
+	if got := rt.Injected(); got != n {
+		t.Errorf("bursty injected = %d, want %d", got, n)
+	}
+	if got := rt.NumOutputs(); got != n {
+		t.Errorf("bursty delivered = %d, want %d", got, n)
+	}
+
+	rt2 := lineRT(t, 3)
+	d := Diurnal{Period: 400 * time.Millisecond, Rates: []float64{20, 5}}
+	n2 := d.Schedule(rt2, 0, 800*time.Millisecond, build)
+	if want := int64(len(d.Times(800 * time.Millisecond))); n2 != want {
+		t.Fatalf("diurnal scheduled = %d, want %d", n2, want)
+	}
+	rt2.Run()
+	if got := rt2.Injected(); got != n2 {
+		t.Errorf("diurnal injected = %d, want %d", got, n2)
+	}
+	if got := rt2.NumOutputs(); got != n2 {
+		t.Errorf("diurnal delivered = %d, want %d", got, n2)
+	}
+}
+
+// TestDeletionStormOps pins the storm sequence: Waves insert+delete passes
+// over the tuple set, then the restoring re-insert.
+func TestDeletionStormOps(t *testing.T) {
+	tuples := []types.Tuple{
+		types.NewTuple("route", types.String("n1"), types.String("a"), types.String("n2")),
+		types.NewTuple("route", types.String("n1"), types.String("b"), types.String("n2")),
+	}
+	s := DeletionStorm{Tuples: tuples, Waves: 3, Restore: true}
+	ops := s.Ops()
+	if want := 3*2*len(tuples) + len(tuples); len(ops) != want {
+		t.Fatalf("ops = %d, want %d", len(ops), want)
+	}
+	// First wave: all inserts, then all deletes.
+	for i := 0; i < len(tuples); i++ {
+		if !ops[i].Insert || ops[len(tuples)+i].Insert {
+			t.Fatalf("wave 0 malformed at %d", i)
+		}
+	}
+	// Tail: the restoring inserts.
+	for _, op := range ops[len(ops)-len(tuples):] {
+		if !op.Insert {
+			t.Fatal("restore pass contains a delete")
+		}
+	}
+	// Deterministic.
+	again := s.Ops()
+	for i := range ops {
+		if ops[i].Insert != again[i].Insert || !ops[i].Tuple.Equal(again[i].Tuple) {
+			t.Fatal("DeletionStorm.Ops not deterministic")
+		}
+	}
+}
+
+// TestHotKeys pins determinism and skew of the hot-key sampler.
+func TestHotKeys(t *testing.T) {
+	a := HotKeys(42, 2000, 50, 1.2)
+	b := HotKeys(42, 2000, 50, 1.2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("HotKeys not deterministic")
+		}
+	}
+	counts := make(map[int]int)
+	for _, k := range a {
+		if k < 0 || k >= 50 {
+			t.Fatalf("rank %d out of universe", k)
+		}
+		counts[k]++
+	}
+	// Zipf with alpha > 1: rank 0 must dominate the median rank.
+	if counts[0] <= counts[25] {
+		t.Errorf("no skew: counts[0]=%d counts[25]=%d", counts[0], counts[25])
+	}
+}
